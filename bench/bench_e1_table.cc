@@ -1,0 +1,15 @@
+// Experiment: the paper's main table (Section 5, "Verification results for
+// E1") — all 17 properties P1..P17 of the computer shopping application,
+// reporting verdict, verification time, maximum pseudorun length and
+// maximum trie size.
+//
+// Paper reference values (Pentium 4 2.4GHz, JDK 1.4.2): times 0.02-4 s,
+// max run lengths 1-15, trie sizes 0-268; 8 properties true, 9 false.
+#include "bench/bench_util.h"
+
+int main() {
+  wave::AppBundle e1 = wave::BuildE1();
+  return wave::bench::RunSuite("E1: online computer shopping (paper Table, "
+                               "Section 5)",
+                               &e1);
+}

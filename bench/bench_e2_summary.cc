@@ -1,0 +1,12 @@
+// Experiment: "Verification results for E2" (Section 5) — 13 properties on
+// the Motorcycle Grand Prix browsing site.
+//
+// Paper reference: times 20 ms - 1 s; max pseudorun lengths 12-68; trie
+// sizes 35-102.
+#include "bench/bench_util.h"
+
+int main() {
+  wave::AppBundle e2 = wave::BuildE2();
+  return wave::bench::RunSuite("E2: Motorcycle Grand Prix site (Section 5)",
+                               &e2);
+}

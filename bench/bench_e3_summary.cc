@@ -1,0 +1,12 @@
+// Experiment: "Verification results for E3" (Section 5) — 14 properties on
+// the airline reservation site.
+//
+// Paper reference: times 0.68-4 s (13 of 14); max pseudorun lengths 12-51;
+// trie sizes 32-302.
+#include "bench/bench_util.h"
+
+int main() {
+  wave::AppBundle e3 = wave::BuildE3();
+  return wave::bench::RunSuite("E3: airline reservation site (Section 5)",
+                               &e3);
+}

@@ -1,0 +1,9 @@
+// Experiment: "Verification results for E4" (Section 5) — the bookstore
+// application ("the results obtained were similar, omitted due to space
+// limitations" — reported in full here).
+#include "bench/bench_util.h"
+
+int main() {
+  wave::AppBundle e4 = wave::BuildE4();
+  return wave::bench::RunSuite("E4: online bookstore (Section 5)", &e4);
+}

@@ -1,0 +1,110 @@
+// Experiment: "Failure of Classical Tools — SPIN" (Section 5). The paper
+// modeled the first-cut algorithm (explicitly enumerate every database
+// over the fixed domain, then search genuine runs) in Promela and watched
+// SPIN time out "even for the simplest properties". This harness runs our
+// implementation of that first-cut algorithm head-to-head with WAVE:
+//   * on the full E1 application it cannot even start (the database space
+//     is doubly exponential);
+//   * on a micro application it finishes but degrades brutally as the
+//     domain grows, while WAVE's pseudorun search is flat.
+#include <cstdio>
+
+#include "apps/apps.h"
+#include "baseline/firstcut.h"
+#include "parser/parser.h"
+#include "verifier/verifier.h"
+
+namespace {
+
+using namespace wave;  // NOLINT: experiment harness
+
+constexpr char kMicro[] = R"(
+app micro
+database reg(x)
+state flag()
+state seen(x)
+input pick(x)
+input button(b)
+home A
+page A {
+  input button
+  input pick
+  rule button(b) <- b = "go" | b = "stay"
+  rule pick(x) <- reg(x)
+  state +seen(x) <- pick(x) & button("go")
+  state +flag() <- exists x: pick(x) & button("go")
+  target B <- (exists x: pick(x)) & button("go")
+}
+page B {
+  input button
+  rule button(b) <- b = "back"
+  state -flag() <- button("back")
+  target A <- button("back")
+}
+property reach type T9 expect true { F [at A] }
+)";
+
+}  // namespace
+
+int main() {
+  // --- E1 with the first-cut algorithm: dead on arrival ---------------------
+  {
+    AppBundle e1 = BuildE1();
+    FirstCutVerifier baseline(e1.spec.get());
+    FirstCutOptions options;
+    options.extra_domain_values = 1;
+    options.timeout_seconds = 10;
+    FirstCutResult r = baseline.Verify(e1.properties[0].property, options);
+    std::printf("E1 + P1 (simplest property), first-cut/SPIN-style:\n");
+    std::printf("  verdict: %s\n  %s\n",
+                r.verdict == Verdict::kUnknown ? "UNKNOWN (gave up)" : "?",
+                r.stats.db_tuple_candidates > 0 && !r.failure_reason.empty()
+                    ? r.failure_reason.c_str()
+                    : "");
+    std::printf("  (paper: \"explosion lead to a timeout of the experiment "
+                "even for the simplest properties\")\n\n");
+
+    Verifier wave_verifier(e1.spec.get());
+    VerifyResult w = wave_verifier.Verify(e1.properties[0].property);
+    std::printf("E1 + P1, WAVE (pseudoruns + heuristics): %s in %.3f s, "
+                "%lld pseudoconfigurations\n\n",
+                w.holds() ? "true" : "false", w.stats.seconds,
+                static_cast<long long>(w.stats.num_expansions));
+  }
+
+  // --- scaling on the micro app ------------------------------------------------
+  std::printf("micro application, property 'reach', growing fresh-domain "
+              "size:\n");
+  std::printf("%-8s %12s %14s %14s %12s\n", "domain", "databases",
+              "firstcut[s]", "expansions", "wave[s]");
+  for (int extra = 1; extra <= 5; ++extra) {
+    ParseResult parsed = ParseSpec(kMicro);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.ErrorText().c_str());
+      return 1;
+    }
+    FirstCutVerifier baseline(parsed.spec.get());
+    FirstCutOptions options;
+    options.extra_domain_values = extra;
+    options.timeout_seconds = 60;
+    FirstCutResult r =
+        baseline.Verify(parsed.properties[0].property, options);
+
+    Verifier wave_verifier(parsed.spec.get());
+    VerifyResult w = wave_verifier.Verify(parsed.properties[0].property);
+
+    std::printf("%-8d %12lld %14.3f %14lld %12.3f%s\n",
+                r.stats.domain_size,
+                static_cast<long long>(r.stats.num_databases),
+                r.stats.seconds,
+                static_cast<long long>(r.stats.num_expansions),
+                w.stats.seconds,
+                r.verdict == Verdict::kUnknown ? "   (firstcut timed out)"
+                                               : "");
+  }
+  std::printf("\n(The first-cut explores 2^|dom| representative databases "
+              "times all runs on each; WAVE's pseudorun\n search is "
+              "independent of the domain size — the paper's central "
+              "claim.)\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared helpers for the experiment harnesses.
+#ifndef WAVE_BENCH_BENCH_UTIL_H_
+#define WAVE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "apps/apps.h"
+#include "verifier/verifier.h"
+
+namespace wave::bench {
+
+/// Verifies every property of `bundle` and prints the paper's table
+/// columns: property, type, verdict, time, max pseudorun length, max trie
+/// size. Returns the number of verdict mismatches (0 expected).
+inline int RunSuite(const char* title, AppBundle* bundle,
+                    double timeout_seconds = 120) {
+  std::printf("==== %s ====\n", title);
+  std::printf("spec: %s\n\n", bundle->spec->StatsString().c_str());
+  std::printf("%-5s %-5s %-18s %9s %12s %10s %8s\n", "prop", "type",
+              "verdict (expected)", "time[s]", "max run len", "trie max",
+              "buchi");
+  Verifier verifier(bundle->spec.get());
+  int mismatches = 0;
+  double min_time = 1e9, max_time = 0;
+  int min_len = 1 << 30, max_len = 0, min_trie = 1 << 30, max_trie = 0;
+  for (const ParsedProperty& p : bundle->properties) {
+    VerifyOptions options;
+    options.timeout_seconds = timeout_seconds;
+    VerifyResult r = verifier.Verify(p.property, options);
+    bool ok = r.verdict != Verdict::kUnknown &&
+              (r.verdict == Verdict::kHolds) == p.expected;
+    if (!ok) ++mismatches;
+    std::string verdict =
+        std::string(r.verdict == Verdict::kHolds      ? "true"
+                    : r.verdict == Verdict::kViolated ? "false"
+                                                      : "unknown") +
+        " (" + (p.expected ? "true" : "false") + ")" + (ok ? "" : "  !!");
+    std::printf("%-5s %-5s %-18s %9.3f %12d %10d %8d\n",
+                p.property.name.c_str(), p.property.type_code.c_str(),
+                verdict.c_str(), r.stats.seconds,
+                r.stats.max_pseudorun_length, r.stats.max_trie_size,
+                r.stats.buchi_states);
+    min_time = std::min(min_time, r.stats.seconds);
+    max_time = std::max(max_time, r.stats.seconds);
+    min_len = std::min(min_len, r.stats.max_pseudorun_length);
+    max_len = std::max(max_len, r.stats.max_pseudorun_length);
+    min_trie = std::min(min_trie, r.stats.max_trie_size);
+    max_trie = std::max(max_trie, r.stats.max_trie_size);
+  }
+  std::printf(
+      "\nsummary: %zu properties; times %.3f-%.3f s; pseudorun lengths "
+      "%d-%d; trie sizes %d-%d\n\n",
+      bundle->properties.size(), min_time, max_time, min_len, max_len,
+      min_trie, max_trie);
+  return mismatches;
+}
+
+}  // namespace wave::bench
+
+#endif  // WAVE_BENCH_BENCH_UTIL_H_

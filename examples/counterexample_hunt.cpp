@@ -1,0 +1,60 @@
+// Counterexample hunting on the E3 airline application: deliberately wrong
+// claims about the booking flow, each refuted with a concrete pseudorun
+// printed in full (pages, database window, states, inputs).
+//
+//   $ ./build/examples/counterexample_hunt
+#include <cstdio>
+
+#include "apps/apps.h"
+#include "parser/parser.h"
+#include "verifier/verifier.h"
+
+int main() {
+  wave::AppBundle e3 = wave::BuildE3();
+  wave::Verifier verifier(e3.spec.get());
+
+  // Three claims a reviewer might believe about the airline site — all
+  // wrong, each for a different reason.
+  const char* claims = R"(
+# Wrong: nothing forces a shopper to check out.
+property hunt_cart_converts expect false
+    desc "every cart eventually converts to a payment" {
+  forall f, p: F [cartf(f, p)] -> F [paidf(f, p)]
+}
+
+# Wrong: the user can park on the seat-selection page forever.
+property hunt_no_seat_parking expect false
+    desc "seat selection always finishes" {
+  G ([at SSP] -> F [at PSP])
+}
+
+# Wrong: cancelling a booking erases the confirmation state, so
+# "confirmed stays confirmed" fails.
+property hunt_confirmed_stays expect false
+    desc "a confirmed flight stays confirmed" {
+  forall f, p: G ([confirmedf(f, p)] -> X [confirmedf(f, p)])
+}
+)";
+  wave::ParseResult extra = wave::ParseProperties(claims, e3.spec.get());
+  if (!extra.ok()) {
+    std::fprintf(stderr, "%s\n", extra.ErrorText().c_str());
+    return 1;
+  }
+
+  for (const wave::ParsedProperty& p : extra.properties) {
+    wave::VerifyResult r = verifier.Verify(p.property);
+    std::printf("== %s — %s\n", p.property.name.c_str(),
+                p.property.description.c_str());
+    if (r.verdict != wave::Verdict::kViolated) {
+      std::printf("   unexpectedly not violated (%s)\n",
+                  r.failure_reason.c_str());
+      continue;
+    }
+    std::printf("   VIOLATED in %.3fs after exploring %lld "
+                "pseudoconfigurations\n",
+                r.stats.seconds,
+                static_cast<long long>(r.stats.num_expansions));
+    std::printf("%s\n", r.CounterexampleString(*e3.spec).c_str());
+  }
+  return 0;
+}

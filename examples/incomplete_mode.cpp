@@ -1,0 +1,128 @@
+// WAVE outside the input-bounded class (paper Section 7): the spec below
+// uses an unguarded existential quantification over a *database* relation
+// in a target rule, so completeness is no longer guaranteed. WAVE:
+//   1. diagnoses the violation via CheckInputBoundedness(),
+//   2. still searches for counterexamples (soundness is kept),
+//   3. validates any candidate counterexample by replaying it as a genuine
+//      run over a concrete database (ValidateCounterexample) — the check
+//      the paper prescribes for incomplete-mode use.
+//
+//   $ ./build/examples/incomplete_mode
+#include <cstdio>
+
+#include "parser/parser.h"
+#include "verifier/validate.h"
+#include "verifier/verifier.h"
+
+namespace {
+
+constexpr char kSite[] = R"(
+app promo_site
+
+database promo(code)
+state unlocked()
+input button(x)
+
+home HP
+
+page HP {
+  input button
+  rule button(x) <- x = "enter" | x = "reload"
+  # NOT input bounded: the existential ranges over a database relation,
+  # not over an input. The site unlocks if ANY promo exists in the
+  # database, regardless of what the user typed.
+  state +unlocked() <- (exists c: promo(c)) & button("enter")
+  target VP <- (exists c: promo(c)) & button("enter")
+  target HP <- button("reload")
+}
+
+page VP {
+  input button
+  rule button(x) <- x = "home"
+  target HP <- button("home")
+}
+
+property vault_eventually_opens expect false {
+  F [at VP]
+}
+
+property vault_stays_shut expect false {
+  G [!(at VP)]
+}
+)";
+
+}  // namespace
+
+int main() {
+  wave::ParseResult parsed = wave::ParseSpec(kSite);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ErrorText().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> issues = parsed.spec->CheckInputBoundedness();
+  std::printf("input-boundedness diagnostics (%zu):\n", issues.size());
+  for (const std::string& issue : issues) {
+    std::printf("  - %s\n", issue.c_str());
+  }
+  std::printf("\n=> WAVE runs as a sound but incomplete verifier; candidate "
+              "counterexamples must be validated.\n\n");
+
+  wave::Verifier verifier(parsed.spec.get());
+
+  // Property 1: "the vault eventually opens". Its counterexample (a user
+  // who just reloads forever) needs no database assumptions, so the very
+  // first candidate validates as genuine.
+  {
+    const wave::Property& p = parsed.properties[0].property;
+    wave::VerifyResult r =
+        wave::VerifyValidated(&verifier, parsed.spec.get(), p);
+    std::printf("'%s': %s (rejected %lld spurious candidates)\n",
+                p.name.c_str(),
+                r.verdict == wave::Verdict::kViolated ? "VIOLATED, genuine "
+                                                        "counterexample"
+                                                      : "not violated",
+                static_cast<long long>(r.stats.num_rejected_candidates));
+  }
+  std::printf("\n");
+
+  // Property 2: "the vault stays shut". First, the raw search: its first candidate happens to be SPURIOUS —
+  // the pseudorun assumes a promo tuple present at one step and absent at
+  // another, which no single database can realize (exactly the
+  // inconsistency input-boundedness rules out).
+  wave::VerifyResult raw = verifier.Verify(parsed.properties[1].property);
+  if (raw.verdict == wave::Verdict::kViolated) {
+    wave::ValidationResult validation = wave::ValidateCounterexample(
+        parsed.spec.get(), parsed.properties[1].property, raw);
+    std::printf("raw search: candidate (%zu+%zu steps) -> %s%s%s\n\n",
+                raw.stick.size(), raw.candy.size(),
+                validation.genuine ? "GENUINE" : "SPURIOUS",
+                validation.genuine ? "" : ": ",
+                validation.genuine ? "" : validation.reason.c_str());
+  }
+
+  // Now the full incomplete-mode loop: spurious candidates are discarded
+  // and the search resumes until a genuine one (or exhaustion).
+  wave::VerifyResult result = wave::VerifyValidated(
+      &verifier, parsed.spec.get(), parsed.properties[1].property);
+  std::printf("validated search: %s after rejecting %lld spurious "
+              "candidate(s)\n",
+              result.verdict == wave::Verdict::kViolated ? "VIOLATED"
+              : result.verdict == wave::Verdict::kHolds  ? "HOLDS"
+                                                         : "UNKNOWN",
+              static_cast<long long>(result.stats.num_rejected_candidates));
+  if (result.verdict == wave::Verdict::kViolated) {
+    wave::ValidationResult validation = wave::ValidateCounterexample(
+        parsed.spec.get(), parsed.properties[1].property, result);
+    std::printf("genuine counterexample over the database:\n%s",
+                validation.database.ToString(parsed.spec->symbols()).c_str());
+  } else {
+    std::printf(
+        "(UNKNOWN is the honest incomplete-mode answer here: every pseudorun "
+        "candidate the NDFS can still\n reach after the rejections mixes "
+        "inconsistent promo assumptions, so nothing can be concluded —\n "
+        "the property is in fact false, which completeness would require "
+        "input-boundedness to detect.)\n");
+  }
+  return 0;
+}

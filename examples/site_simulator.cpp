@@ -1,0 +1,120 @@
+// Drives the E1 computer-shopping application as a *genuine* run: a
+// concrete database, a scripted user session (login → search → pick → cart
+// → pay → confirm), executed with the same step semantics the verifier
+// reasons about. Prints each page, the options generated, and the actions
+// fired.
+//
+//   $ ./build/examples/site_simulator
+#include <cstdio>
+
+#include "apps/apps.h"
+#include "spec/prepared_spec.h"
+
+namespace {
+
+using namespace wave;  // NOLINT: example
+
+/// Picks the option equal to `wanted` from `options[relation]`; aborts the
+/// script if it is not offered.
+bool Choose(const WebAppSpec& spec, const InputOptions& options,
+            const std::string& relation, const Tuple& wanted,
+            InputChoice* choice) {
+  RelationId id = spec.catalog().Find(relation);
+  auto it = options.find(id);
+  if (it == options.end()) return false;
+  for (const Tuple& t : it->second) {
+    if (t == wanted) {
+      (*choice)[id] = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  AppBundle e1 = BuildE1();
+  WebAppSpec& spec = *e1.spec;
+  SymbolTable& symbols = spec.symbols();
+  auto sym = [&](const char* s) { return symbols.Intern(s); };
+
+  // A concrete database: one user, laptop search criteria, one laptop.
+  Instance database(&spec.catalog());
+  database.relation("user").Insert({sym("alice"), sym("sesame")});
+  database.relation("criteria").Insert({sym("laptop"), sym("ram"), sym("16GB")});
+  database.relation("criteria").Insert({sym("laptop"), sym("hdd"), sym("1TB")});
+  database.relation("criteria").Insert(
+      {sym("laptop"), sym("display"), sym("14in")});
+  database.relation("products").Insert({sym("x1"), sym("laptop"),
+                                        sym("carbon"), sym("16GB"),
+                                        sym("1TB"), sym("14in"),
+                                        sym("1299")});
+
+  PreparedSpec prepared(&spec);
+  Configuration config = prepared.MakeInitial(database);
+
+  // The scripted session: per step, the text inputs and the option picks.
+  struct Step {
+    const char* note;
+    std::map<std::string, Tuple> picks;  // relation -> tuple to choose
+    std::map<std::string, const char*> texts;  // input constant -> value
+  };
+  std::vector<Step> script = {
+      {"log in as alice",
+       {{"button", {sym("login")}}},
+       {{"uname", "alice"}, {"upass", "sesame"}}},
+      {"open the laptop search", {{"button", {sym("laptops")}}}, {}},
+      {"search 16GB/1TB/14in",
+       {{"button", {sym("search")}},
+        {"laptopsearch", {sym("16GB"), sym("1TB"), sym("14in")}}},
+       {}},
+      {"add the X1 to the cart",
+       {{"button", {sym("addtocart")}},
+        {"pick", {sym("x1"), sym("1299")}}},
+       {}},
+      {"view the cart", {{"button", {sym("viewcart")}}}, {}},
+      {"check out", {{"button", {sym("checkout")}}}, {}},
+      {"pay by visa",
+       {{"button", {sym("submit")}},
+        {"payfields",
+         {sym("x1"), sym("1299"), sym("visa"), sym("homeaddr"),
+          sym("standard")}}},
+       {}},
+      {"confirm the order", {{"button", {sym("confirm")}}}, {}},
+  };
+
+  for (const Step& step : script) {
+    std::vector<SymbolId> domain = prepared.EvaluationDomain(config);
+    InputOptions options = prepared.ComputeOptions(config, domain);
+    std::printf("[%s] %s\n", spec.page(config.page).name.c_str(), step.note);
+
+    InputChoice choice;
+    for (const auto& [relation, tuple] : step.picks) {
+      if (!Choose(spec, options, relation, tuple, &choice)) {
+        std::printf("  !! option not offered for %s — script aborted\n",
+                    relation.c_str());
+        return 1;
+      }
+    }
+    for (const auto& [relation, text] : step.texts) {
+      choice[spec.catalog().Find(relation)] = {symbols.Intern(text)};
+    }
+    prepared.ApplyInput(choice, domain, &config);
+
+    // Report fired actions.
+    for (RelationId id = 0; id < spec.catalog().size(); ++id) {
+      if (spec.catalog().schema(id).kind != RelationKind::kAction) continue;
+      const Relation& fired = config.data.relation(id);
+      if (!fired.empty()) {
+        std::printf("  action %s%s\n", spec.catalog().schema(id).name.c_str(),
+                    fired.ToString(symbols).c_str());
+      }
+    }
+    config = prepared.Advance(config, domain);
+  }
+  std::printf("[%s] session ends\n", spec.page(config.page).name.c_str());
+
+  // The purchase must have fired conf() for the exact catalog tuple.
+  return 0;
+}

@@ -1,0 +1,102 @@
+// spec_doctor: a command-line front end for WAVE. Reads a spec file in the
+// DSL, validates it, reports input-boundedness (the completeness
+// precondition), and verifies every embedded property.
+//
+//   $ ./build/examples/spec_doctor my_site.spec
+//   $ ./build/examples/spec_doctor --demo          # runs on the E1 source
+//   $ ./build/examples/spec_doctor --graph <file>  # DOT site graph only
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "apps/apps.h"
+#include "parser/parser.h"
+#include "spec/graph.h"
+#include "verifier/verifier.h"
+
+namespace {
+
+int Run(const std::string& source, const char* label, bool graph_only) {
+  wave::ParseResult parsed = wave::ParseSpec(source);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: parse/validation errors:\n%s\n", label,
+                 parsed.ErrorText().c_str());
+    return 2;
+  }
+  if (graph_only) {
+    std::printf("%s", wave::SiteGraphDot(*parsed.spec).c_str());
+    return 0;
+  }
+  std::printf("%s: %s\n", label, parsed.spec->StatsString().c_str());
+  std::vector<std::string> unreachable = wave::UnreachablePages(*parsed.spec);
+  for (const std::string& page : unreachable) {
+    std::printf("warning: page %s is unreachable from the home page\n",
+                page.c_str());
+  }
+
+  std::vector<std::string> ib = parsed.spec->CheckInputBoundedness();
+  if (ib.empty()) {
+    std::printf("input bounded: yes — WAVE runs as a complete verifier\n");
+  } else {
+    std::printf("input bounded: NO — WAVE degrades to a sound but "
+                "incomplete verifier:\n");
+    for (const std::string& issue : ib) {
+      std::printf("  - %s\n", issue.c_str());
+    }
+  }
+
+  if (parsed.properties.empty()) {
+    std::printf("no properties to verify.\n");
+    return 0;
+  }
+  wave::Verifier verifier(parsed.spec.get());
+  int failures = 0;
+  for (const wave::ParsedProperty& p : parsed.properties) {
+    wave::VerifyOptions options;
+    options.timeout_seconds = 60;
+    wave::VerifyResult r = verifier.Verify(p.property, options);
+    const char* verdict = r.verdict == wave::Verdict::kHolds ? "HOLDS"
+                          : r.verdict == wave::Verdict::kViolated
+                              ? "VIOLATED"
+                              : "UNKNOWN";
+    std::printf("  %-24s %-9s %7.3fs  automaton=%d trie=%d\n",
+                p.property.name.c_str(), verdict, r.stats.seconds,
+                r.stats.buchi_states, r.stats.max_trie_size);
+    if (p.has_expected &&
+        (r.verdict == wave::Verdict::kUnknown ||
+         (r.verdict == wave::Verdict::kHolds) != p.expected)) {
+      ++failures;
+      std::printf("    ^ expected %s%s%s\n", p.expected ? "HOLDS" : "VIOLATED",
+                  r.failure_reason.empty() ? "" : "; ",
+                  r.failure_reason.c_str());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.spec> | --demo\n", argv[0]);
+    return 64;
+  }
+  bool graph_only = std::strcmp(argv[1], "--graph") == 0;
+  const char* path = graph_only ? (argc > 2 ? argv[2] : nullptr) : argv[1];
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s --graph <file.spec>\n", argv[0]);
+    return 64;
+  }
+  if (std::strcmp(path, "--demo") == 0) {
+    return Run(wave::E1SpecText(), "E1 (embedded demo)", graph_only);
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 66;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Run(buffer.str(), path, graph_only);
+}

@@ -1,0 +1,420 @@
+#include "analysis/candidates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+
+namespace wave {
+
+namespace {
+
+/// Collects every (relation) atom of a formula into `out`.
+void CollectAtoms(const FormulaPtr& f, std::vector<FormulaPtr>* out) {
+  switch (f->kind()) {
+    case Formula::Kind::kAtom:
+      out->push_back(f);
+      return;
+    case Formula::Kind::kNot:
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall:
+      CollectAtoms(f->body(), out);
+      return;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+      CollectAtoms(f->left(), out);
+      CollectAtoms(f->right(), out);
+      return;
+    default:
+      return;
+  }
+}
+
+/// Collects direct var=const equalities of a formula.
+void CollectVarConstEqualities(const FormulaPtr& f,
+                               std::map<std::string, SymbolId>* out) {
+  switch (f->kind()) {
+    case Formula::Kind::kEquals: {
+      const Term& a = f->args()[0];
+      const Term& b = f->args()[1];
+      if (a.is_variable() && !b.is_variable()) {
+        out->emplace(a.variable, b.constant);
+      } else if (b.is_variable() && !a.is_variable()) {
+        out->emplace(b.variable, a.constant);
+      }
+      return;
+    }
+    case Formula::Kind::kNot:
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall:
+      CollectVarConstEqualities(f->body(), out);
+      return;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+      CollectVarConstEqualities(f->left(), out);
+      CollectVarConstEqualities(f->right(), out);
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+CandidateBuilder::CandidateBuilder(
+    WebAppSpec* spec, PageDomains* domains,
+    const ComparisonAnalysis* analysis,
+    const std::vector<FormulaPtr>* property_components,
+    const std::set<SymbolId>& constant_universe,
+    const CandidateOptions& options)
+    : spec_(spec),
+      domains_(domains),
+      analysis_(analysis),
+      property_components_(property_components),
+      constant_universe_(constant_universe),
+      options_(options) {}
+
+const PageDomain& PageDomains::Get(int page) {
+  auto it = domains_.find(page);
+  if (it != domains_.end()) return it->second;
+
+  PageDomain domain;
+  const PageSchema& schema = spec_->page(page);
+  SymbolTable& symbols = spec_->symbols();
+  const std::string prefix = schema.name;
+
+  for (RelationId input : schema.inputs) {
+    int arity = spec_->catalog().schema(input).arity;
+    for (int j = 0; j < arity; ++j) {
+      SymbolId v = symbols.MintFresh(
+          prefix + "." + spec_->catalog().schema(input).name + "." +
+          std::to_string(j));
+      domain.input_values[{input, j}] = v;
+    }
+  }
+  for (size_t r = 0; r < schema.input_rules.size(); ++r) {
+    const InputRule& rule = schema.input_rules[r];
+    std::set<std::string> head_vars;
+    for (const Term& t : rule.head) {
+      if (t.is_variable()) head_vars.insert(t.variable);
+    }
+    std::map<std::string, SymbolId> equalities;
+    CollectVarConstEqualities(rule.body, &equalities);
+    // Witnesses for every body variable that is neither a head variable nor
+    // pinned to a constant.
+    std::vector<FormulaPtr> atoms;
+    CollectAtoms(rule.body, &atoms);
+    for (const FormulaPtr& atom : atoms) {
+      for (const Term& t : atom->args()) {
+        if (!t.is_variable() || head_vars.count(t.variable) > 0 ||
+            equalities.count(t.variable) > 0) {
+          continue;
+        }
+        auto key = std::make_pair(static_cast<int>(r), t.variable);
+        if (domain.witnesses.count(key) == 0) {
+          domain.witnesses[key] =
+              symbols.MintFresh(prefix + ".w." + t.variable);
+        }
+      }
+    }
+  }
+  for (const auto& [pos, v] : domain.input_values) domain.all_values.push_back(v);
+  for (const auto& [key, v] : domain.witnesses) domain.all_values.push_back(v);
+  std::sort(domain.all_values.begin(), domain.all_values.end());
+
+  return domains_.emplace(page, std::move(domain)).first->second;
+}
+
+void CandidateBuilder::AppendProduct(
+    RelationId relation, const std::vector<std::vector<SymbolId>>& value_sets,
+    bool require_fresh, CandidateSet* out) {
+  // Count first (the product may be astronomically large).
+  double product = 1;
+  for (const auto& vs : value_sets) {
+    if (vs.empty()) return;  // empty attribute set: no candidate tuples
+    product *= static_cast<double>(vs.size());
+  }
+  if (product > 1e6) {
+    // Too large to even enumerate for the fresh-value filter; count the
+    // whole product as candidates.
+    out->approx_tuple_count += product;
+    out->overflow = true;
+    return;
+  }
+  // Materialize the product.
+  Tuple tuple(value_sets.size());
+  std::vector<size_t> idx(value_sets.size(), 0);
+  while (true) {
+    bool fresh = false;
+    for (size_t i = 0; i < value_sets.size(); ++i) {
+      tuple[i] = value_sets[i][idx[i]];
+      if (constant_universe_.count(tuple[i]) == 0) fresh = true;
+    }
+    if (!require_fresh || fresh) {
+      out->approx_tuple_count += 1;
+      if (static_cast<int>(out->tuples.size()) >= options_.max_candidates) {
+        out->overflow = true;
+      } else {
+        out->tuples.emplace_back(relation, tuple);
+      }
+    }
+    // Advance the mixed-radix counter.
+    size_t i = 0;
+    while (i < idx.size() && ++idx[i] == value_sets[i].size()) {
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == idx.size()) break;
+  }
+}
+
+void CandidateBuilder::BuildCore() {
+  core_built_ = true;
+  std::vector<SymbolId> universe(constant_universe_.begin(),
+                                 constant_universe_.end());
+  for (RelationId id = 0; id < spec_->catalog().size(); ++id) {
+    const RelationSchema& schema = spec_->catalog().schema(id);
+    if (schema.kind != RelationKind::kDatabase) continue;
+    std::vector<std::vector<SymbolId>> value_sets(schema.arity);
+    for (int i = 0; i < schema.arity; ++i) {
+      if (options_.heuristic1) {
+        const std::set<SymbolId>& allowed = analysis_->constants({id, i});
+        for (SymbolId c : allowed) {
+          if (constant_universe_.count(c) > 0) value_sets[i].push_back(c);
+        }
+      } else {
+        value_sets[i] = universe;
+      }
+    }
+    AppendProduct(id, value_sets, /*require_fresh=*/false, &core_);
+  }
+}
+
+const CandidateSet& CandidateBuilder::CoreCandidates() {
+  if (!core_built_) BuildCore();
+  return core_;
+}
+
+SymbolId PageDomains::Witness(int page, const std::string& tag) {
+  auto key = std::make_pair(page, tag);
+  auto it = generic_witnesses_.find(key);
+  if (it != generic_witnesses_.end()) return it->second;
+  SymbolId v = spec_->symbols().MintFresh(spec_->page(page).name + ".w." + tag);
+  return generic_witnesses_.emplace(key, v).first->second;
+}
+
+namespace {
+
+/// Per-variable facts local to one formula, for candidate instantiation.
+struct LocalVar {
+  std::set<SymbolId> pinned;  // constants the variable is equated to
+  // Input positions the variable occurs at: (position, is_previous).
+  std::set<std::pair<AttrPos, bool>> input_positions;
+  std::set<AttrPos> all_positions;
+};
+
+struct LocalFacts {
+  std::map<std::string, LocalVar> vars;
+
+  void Walk(const Catalog& catalog, const FormulaPtr& f) {
+    switch (f->kind()) {
+      case Formula::Kind::kAtom: {
+        RelationId id = catalog.Find(f->relation());
+        if (id == kInvalidRelation) return;
+        RelationKind kind = catalog.schema(id).kind;
+        bool is_input = kind == RelationKind::kInput ||
+                        kind == RelationKind::kInputConstant;
+        for (size_t i = 0; i < f->args().size(); ++i) {
+          const Term& t = f->args()[i];
+          if (!t.is_variable()) continue;
+          LocalVar& v = vars[t.variable];
+          AttrPos pos{id, static_cast<int>(i)};
+          v.all_positions.insert(pos);
+          if (is_input) v.input_positions.insert({pos, f->previous()});
+        }
+        return;
+      }
+      case Formula::Kind::kEquals: {
+        const Term& a = f->args()[0];
+        const Term& b = f->args()[1];
+        if (a.is_variable() && !b.is_variable()) {
+          vars[a.variable].pinned.insert(b.constant);
+        } else if (b.is_variable() && !a.is_variable()) {
+          vars[b.variable].pinned.insert(a.constant);
+        }
+        return;
+      }
+      case Formula::Kind::kNot:
+      case Formula::Kind::kExists:
+      case Formula::Kind::kForall:
+        Walk(catalog, f->body());
+        return;
+      case Formula::Kind::kAnd:
+      case Formula::Kind::kOr:
+      case Formula::Kind::kImplies:
+        Walk(catalog, f->left());
+        Walk(catalog, f->right());
+        return;
+      default:
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+void CandidateBuilder::AddFormulaCandidates(
+    const FormulaPtr& body, int page, int prev_page,
+    const std::string& formula_tag, RelationId option_head_relation,
+    const std::vector<Term>* option_head, CandidateSet* out) {
+  const Catalog& catalog = spec_->catalog();
+  LocalFacts facts;
+  facts.Walk(catalog, body);
+  if (option_head != nullptr) {
+    // Option-rule head variables are the values of the generated input
+    // tuple: treat the head columns as (current-step) input positions.
+    for (size_t j = 0; j < option_head->size(); ++j) {
+      const Term& t = (*option_head)[j];
+      if (!t.is_variable()) continue;
+      AttrPos pos{option_head_relation, static_cast<int>(j)};
+      facts.vars[t.variable].all_positions.insert(pos);
+      facts.vars[t.variable].input_positions.insert({pos, false});
+    }
+  }
+
+  const PageDomain& current = page_domain(page);
+  const PageDomain* previous =
+      prev_page >= 0 ? &page_domain(prev_page) : nullptr;
+
+  // Fresh value of a variable: a linked input position's page value, else a
+  // per-variable witness; pinned variables always take their constant(s).
+  auto fresh_values = [&](const std::string& var) {
+    const LocalVar& info = facts.vars[var];
+    std::vector<SymbolId> values(info.pinned.begin(), info.pinned.end());
+    if (!values.empty()) return values;
+    for (const auto& [pos, is_prev] : info.input_positions) {
+      const PageDomain* domain = is_prev ? previous : &current;
+      if (domain == nullptr) continue;
+      auto it = domain->input_values.find(pos);
+      if (it != domain->input_values.end()) values.push_back(it->second);
+    }
+    if (values.empty()) {
+      values.push_back(domains_->Witness(page, formula_tag + "." + var));
+    }
+    return values;
+  };
+  // Constants mode: the dataflow-allowed constants of any position the
+  // variable occupies (falling back to the fresh values).
+  auto constant_values = [&](const std::string& var) {
+    const LocalVar& info = facts.vars[var];
+    std::vector<SymbolId> values(info.pinned.begin(), info.pinned.end());
+    if (!values.empty()) return values;
+    std::set<SymbolId> cs;
+    for (const AttrPos& pos : info.all_positions) {
+      for (SymbolId c : analysis_->constants(pos)) {
+        if (constant_universe_.count(c) > 0) cs.insert(c);
+      }
+    }
+    if (!cs.empty()) return std::vector<SymbolId>(cs.begin(), cs.end());
+    return fresh_values(var);
+  };
+
+  std::vector<FormulaPtr> atoms;
+  CollectAtoms(body, &atoms);
+  for (const FormulaPtr& atom : atoms) {
+    RelationId id = catalog.Find(atom->relation());
+    if (id == kInvalidRelation) continue;
+    if (catalog.schema(id).kind != RelationKind::kDatabase) continue;
+    for (int mode = 0; mode < 2; ++mode) {
+      std::vector<std::vector<SymbolId>> value_sets(atom->args().size());
+      for (size_t k = 0; k < atom->args().size(); ++k) {
+        const Term& t = atom->args()[k];
+        if (!t.is_variable()) {
+          value_sets[k] = {t.constant};
+        } else {
+          value_sets[k] =
+              mode == 0 ? fresh_values(t.variable) : constant_values(t.variable);
+        }
+      }
+      AppendProduct(id, value_sets, /*require_fresh=*/true, out);
+    }
+  }
+}
+
+CandidateSet CandidateBuilder::BuildExtension(int page, int prev_page) {
+  CandidateSet out;
+
+  if (!options_.heuristic2) {
+    // Heuristic 2 disabled: every tuple over C ∪ C_{V_t} ∪ C_{V_s} with at
+    // least one fresh value is a candidate — Example 3.4's regime.
+    const PageDomain& current = page_domain(page);
+    std::set<SymbolId> values(constant_universe_.begin(),
+                              constant_universe_.end());
+    values.insert(current.all_values.begin(), current.all_values.end());
+    if (prev_page >= 0) {
+      const PageDomain& previous = page_domain(prev_page);
+      values.insert(previous.all_values.begin(), previous.all_values.end());
+    }
+    std::vector<SymbolId> universe(values.begin(), values.end());
+    for (RelationId id = 0; id < spec_->catalog().size(); ++id) {
+      const RelationSchema& schema = spec_->catalog().schema(id);
+      if (schema.kind != RelationKind::kDatabase) continue;
+      std::vector<std::vector<SymbolId>> value_sets(schema.arity, universe);
+      AppendProduct(id, value_sets, /*require_fresh=*/true, &out);
+    }
+    return out;
+  }
+
+  const PageSchema& schema = spec_->page(page);
+  for (size_t r = 0; r < schema.input_rules.size(); ++r) {
+    const InputRule& rule = schema.input_rules[r];
+    AddFormulaCandidates(rule.body, page, prev_page,
+                         "i" + std::to_string(r), rule.relation, &rule.head,
+                         &out);
+  }
+  for (size_t r = 0; r < schema.state_rules.size(); ++r) {
+    AddFormulaCandidates(schema.state_rules[r].body, page, prev_page,
+                         "s" + std::to_string(r), kInvalidRelation, nullptr,
+                         &out);
+  }
+  for (size_t r = 0; r < schema.action_rules.size(); ++r) {
+    AddFormulaCandidates(schema.action_rules[r].body, page, prev_page,
+                         "a" + std::to_string(r), kInvalidRelation, nullptr,
+                         &out);
+  }
+  for (size_t r = 0; r < schema.target_rules.size(); ++r) {
+    AddFormulaCandidates(schema.target_rules[r].condition, page, prev_page,
+                         "t" + std::to_string(r), kInvalidRelation, nullptr,
+                         &out);
+  }
+  if (property_components_ != nullptr) {
+    for (size_t r = 0; r < property_components_->size(); ++r) {
+      AddFormulaCandidates((*property_components_)[r], page, prev_page,
+                           "p" + std::to_string(r), kInvalidRelation, nullptr,
+                           &out);
+    }
+  }
+
+  // Deduplicate (atoms across rules often coincide).
+  std::sort(out.tuples.begin(), out.tuples.end());
+  out.tuples.erase(std::unique(out.tuples.begin(), out.tuples.end()),
+                   out.tuples.end());
+  if (!out.overflow) {
+    out.approx_tuple_count = static_cast<double>(out.tuples.size());
+  }
+  return out;
+}
+
+const CandidateSet& CandidateBuilder::ExtensionCandidates(int page,
+                                                          int prev_page) {
+  auto key = std::make_pair(page, prev_page);
+  auto it = extensions_.find(key);
+  if (it != extensions_.end()) return it->second;
+  return extensions_.emplace(key, BuildExtension(page, prev_page))
+      .first->second;
+}
+
+}  // namespace wave

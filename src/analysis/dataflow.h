@@ -1,0 +1,79 @@
+// Dataflow analysis for potential comparisons (paper Section 3.2).
+//
+// For every attribute position (relation, column) the analysis
+// overestimates:
+//   * `constants(R,i)`   — the constants the position may ever be compared
+//     to, explicitly (a constant in an atom / an equality) or implicitly
+//     (through equality transitivity within a rule, or through values being
+//     copied into a state/input/action attribute that is itself compared);
+//   * `input_links(R,i)` — the input attribute positions the position may
+//     be compared to (the ingredient of Heuristic 2's extension pruning).
+//
+// Comparison sets propagate *backwards* along copy edges: if a rule head
+// H(..x..) copies from a body atom R(..x..), anything compared to the head
+// position is potentially compared to the source position (paper
+// Example 3.6: property constants on `userchoice` flow back through the
+// `laptopsearch` input into `criteria`).
+#ifndef WAVE_ANALYSIS_DATAFLOW_H_
+#define WAVE_ANALYSIS_DATAFLOW_H_
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "fo/formula.h"
+#include "spec/web_app.h"
+
+namespace wave {
+
+/// An attribute position: relation id + 0-based column.
+struct AttrPos {
+  RelationId relation = kInvalidRelation;
+  int column = 0;
+
+  friend bool operator<(const AttrPos& a, const AttrPos& b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return a.column < b.column;
+  }
+  friend bool operator==(const AttrPos& a, const AttrPos& b) {
+    return a.relation == b.relation && a.column == b.column;
+  }
+};
+
+/// Result of the comparison dataflow.
+class ComparisonAnalysis {
+ public:
+  /// Runs the analysis over all rules of `spec` plus the given extra
+  /// formulas (typically the property's FO components, instantiated or
+  /// not). Linear in the size of spec+formulas (modulo the fixpoint, which
+  /// converges in a handful of rounds on real specs).
+  ComparisonAnalysis(const WebAppSpec& spec,
+                     const std::vector<FormulaPtr>& extra_formulas);
+
+  /// Constants the position may be compared to.
+  const std::set<SymbolId>& constants(AttrPos pos) const;
+
+  /// Input attribute positions the position may be compared to.
+  const std::set<AttrPos>& input_links(AttrPos pos) const;
+
+ private:
+  /// Processes one formula: equality classes, explicit constants, and (when
+  /// `head` is non-null) copy edges from head positions to body positions.
+  void ProcessFormula(const FormulaPtr& body, RelationId head_relation,
+                      const std::vector<Term>* head);
+
+  const WebAppSpec* spec_;
+  std::map<AttrPos, std::set<SymbolId>> constants_;
+  std::map<AttrPos, std::set<AttrPos>> input_links_;
+  // copy_edges_[target] = set of sources whose comparison sets must include
+  // target's (backward flow: head -> body-source positions).
+  std::map<AttrPos, std::set<AttrPos>> copy_edges_;
+
+  std::set<SymbolId> empty_constants_;
+  std::set<AttrPos> empty_links_;
+};
+
+}  // namespace wave
+
+#endif  // WAVE_ANALYSIS_DATAFLOW_H_

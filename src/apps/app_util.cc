@@ -1,0 +1,17 @@
+#include "apps/app_util.h"
+
+#include "common/check.h"
+
+namespace wave::internal {
+
+AppBundle BuildFromText(const char* text) {
+  ParseResult result = ParseSpec(text);
+  WAVE_CHECK_MSG(result.ok(),
+                 "embedded app spec failed to parse:\n" << result.ErrorText());
+  AppBundle bundle;
+  bundle.spec = std::move(result.spec);
+  bundle.properties = std::move(result.properties);
+  return bundle;
+}
+
+}  // namespace wave::internal

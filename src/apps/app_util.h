@@ -1,0 +1,15 @@
+// Shared helper for the app builders.
+#ifndef WAVE_APPS_APP_UTIL_H_
+#define WAVE_APPS_APP_UTIL_H_
+
+#include "apps/apps.h"
+
+namespace wave::internal {
+
+/// Parses `text`, CHECK-failing with the parse/validation errors if the
+/// embedded spec is broken (a bug in this repo, not user error).
+AppBundle BuildFromText(const char* text);
+
+}  // namespace wave::internal
+
+#endif  // WAVE_APPS_APP_UTIL_H_

@@ -1,0 +1,43 @@
+// The four experimental Web applications of the paper's evaluation
+// (Section 5), re-created in the spec DSL:
+//   E1 — online computer shopping (Dell-like; the running example),
+//   E2 — Motorcycle Grand Prix browsing site (motogp.com-like),
+//   E3 — airline reservation site (Expedia-like),
+//   E4 — online bookstore (Barnes&Noble-like, WebML-provided in the paper).
+//
+// Each builder parses an embedded DSL source (exposed for documentation
+// and tests), checks it validates and is input bounded, and returns the
+// spec together with its property suite (P1…, with the expected verdicts
+// the experiment harness asserts).
+#ifndef WAVE_APPS_APPS_H_
+#define WAVE_APPS_APPS_H_
+
+#include <memory>
+#include <vector>
+
+#include "parser/parser.h"
+#include "spec/web_app.h"
+
+namespace wave {
+
+/// A spec plus its property suite.
+struct AppBundle {
+  std::unique_ptr<WebAppSpec> spec;
+  std::vector<ParsedProperty> properties;
+};
+
+/// DSL sources (embedded; also written out by `examples/quickstart`).
+const char* E1SpecText();
+const char* E2SpecText();
+const char* E3SpecText();
+const char* E4SpecText();
+
+/// Builders (WAVE_CHECK on parse/validation failure).
+AppBundle BuildE1();
+AppBundle BuildE2();
+AppBundle BuildE3();
+AppBundle BuildE4();
+
+}  // namespace wave
+
+#endif  // WAVE_APPS_APPS_H_

@@ -1,0 +1,376 @@
+// E1 — the online computer shopping application (the paper's running
+// example, Section 2.1 / Example 2.1, functionality in the spirit of the
+// Dell site). 19 pages, 4 database relations (arities 2,3,5,7), 10 state
+// relations (arities 0..5), 6 input relations (arities 1..5) plus 3 text
+// input constants, 5 action relations.
+//
+// Page map:
+//   HP   home / login          RP   new-user registration
+//   CP   customer home         LSP  laptop search (paper Example 2.1)
+//   DSP  desktop search        PIP  product list (search results)
+//   PDP  product detail        CC   cart contents
+//   UPP  user payment page     OCP  order confirmation page
+//   MOP  my-orders page        CCP  customer cancel page
+//   ODP  order detail          AP   account page
+//   CPW  change password       EP   error page (single link home)
+//   HLP  help                  ABP  about
+//   LOP  logged-out page
+#include "apps/app_util.h"
+#include "apps/apps.h"
+
+namespace wave {
+
+namespace {
+
+constexpr char kE1[] = R"WAVE(
+app E1_computer_shopping
+
+# ---- database schema (fixed, unknown content) -------------------------------
+database user(name, password)
+database criteria(category, attr, value)
+database ordersdb(oid, uname, pid, price, status)
+database products(pid, category, name, ram, hdd, display, price)
+
+# ---- state schema ------------------------------------------------------------
+state loggedin()
+state userid(name)
+state regname(name)
+state searchcat(cat)
+state cart(pid, price)
+state paid(pid, price)
+state userchoice(ram, hdd, display)
+state orderplaced(pid, price, speed)
+state userorderpick(oid, pid, price, status)
+state shiplog(oid, uname, pid, price, status)
+
+# ---- input schema --------------------------------------------------------------
+input button(x)
+input clicklink(x)
+input pick(pid, price)
+input laptopsearch(ram, hdd, display)
+input orderpick(oid, pid, price, status)
+input payfields(pid, price, method, addr, speed)
+inputconst uname
+inputconst upass
+inputconst ccno
+
+# ---- action schema --------------------------------------------------------------
+action welcome()
+action registered(name)
+action invoice(pid, price, speed)
+action ship(pid, price, method, addr, speed)
+action conf(pid, category, name, ram, hdd, display, price)
+
+home HP
+
+# ================================ pages =======================================
+
+page HP {
+  input button
+  input uname
+  input upass
+  rule button(x) <- x = "login" | x = "toregister" | x = "help" | x = "about"
+  state +loggedin() <- exists n: uname(n) & (exists p: upass(p) & user(n, p)) & button("login")
+  state +userid(n) <- uname(n) & (exists p: upass(p) & user(n, p)) & button("login")
+  action welcome() <- exists n: uname(n) & (exists p: upass(p) & user(n, p)) & button("login")
+  target CP <- exists n: uname(n) & (exists p: upass(p) & user(n, p)) & button("login")
+  target EP <- button("login") & !(exists n: uname(n) & exists p: upass(p) & user(n, p))
+  target RP <- button("toregister")
+  target HLP <- button("help")
+  target ABP <- button("about")
+}
+
+page RP {
+  input button
+  input uname
+  input upass
+  rule button(x) <- x = "register" | x = "cancel"
+  state +regname(n) <- uname(n) & button("register")
+  action registered(n) <- uname(n) & button("register")
+  target HP <- button("register") | button("cancel")
+}
+
+page CP {
+  input button
+  rule button(x) <- x = "laptops" | x = "desktops" | x = "viewcart"
+               | x = "myorders" | x = "account" | x = "logout" | x = "help"
+  state +searchcat("laptop") <- button("laptops")
+  state +searchcat("desktop") <- button("desktops")
+  state -loggedin() <- button("logout")
+  state -userid(n) <- userid(n) & button("logout")
+  target LSP <- button("laptops")
+  target DSP <- button("desktops")
+  target CC  <- button("viewcart")
+  target MOP <- button("myorders")
+  target AP  <- button("account")
+  target LOP <- button("logout")
+  target HLP <- button("help")
+}
+
+# The laptop search page, verbatim from Example 2.1 of the paper.
+page LSP {
+  input button
+  input laptopsearch
+  rule button(x) <- x = "search" | x = "viewcart" | x = "logout"
+  rule laptopsearch(r, h, d) <- criteria("laptop", "ram", r)
+      & criteria("laptop", "hdd", h) & criteria("laptop", "display", d)
+  state +userchoice(r, h, d) <- laptopsearch(r, h, d) & button("search")
+  target HP  <- button("logout")
+  target PIP <- (exists r, h, d: laptopsearch(r, h, d)) & button("search")
+  target CC  <- button("viewcart")
+}
+
+page DSP {
+  input button
+  input laptopsearch
+  rule button(x) <- x = "search" | x = "viewcart" | x = "logout"
+  rule laptopsearch(r, h, d) <- criteria("desktop", "ram", r)
+      & criteria("desktop", "hdd", h) & criteria("desktop", "display", d)
+  state +userchoice(r, h, d) <- laptopsearch(r, h, d) & button("search")
+  target HP  <- button("logout")
+  target PIP <- (exists r, h, d: laptopsearch(r, h, d)) & button("search")
+  target CC  <- button("viewcart")
+}
+
+page PIP {
+  input button
+  input pick
+  rule button(x) <- x = "addtocart" | x = "details" | x = "back" | x = "viewcart"
+  rule pick(p, pr) <- exists c, n, r, h, d: products(p, c, n, r, h, d, pr)
+  state +cart(p, pr) <- pick(p, pr) & button("addtocart")
+  target PDP <- (exists p, pr: pick(p, pr)) & button("details")
+  target CC  <- button("viewcart")
+  target LSP <- button("back")
+  target PIP <- button("addtocart")
+}
+
+page PDP {
+  input button
+  rule button(x) <- x = "addtocart" | x = "back"
+  state +cart(p, pr) <- prev pick(p, pr) & button("addtocart")
+  target PIP <- button("addtocart") | button("back")
+}
+
+page CC {
+  input button
+  input pick
+  rule button(x) <- x = "remove" | x = "checkout" | x = "back"
+  rule pick(p, pr) <- exists c, n, r, h, d: products(p, c, n, r, h, d, pr)
+  state -cart(p, pr) <- pick(p, pr) & button("remove")
+  target UPP <- button("checkout")
+  target CP  <- button("back")
+}
+
+page UPP {
+  input button
+  input payfields
+  input ccno
+  rule button(x) <- x = "submit" | x = "cancel"
+  rule payfields(p, pr, m, a, s) <-
+      (exists c, n, r, h, d: products(p, c, n, r, h, d, pr))
+      & (m = "visa" | m = "mastercard") & a = "homeaddr"
+      & (s = "standard" | s = "express")
+  state +paid(p, pr) <- exists m, a, s: payfields(p, pr, m, a, s)
+      & cart(p, pr) & button("submit")
+  state -cart(p, pr) <- exists m, a, s: payfields(p, pr, m, a, s)
+      & cart(p, pr) & button("submit")
+  target OCP <- (exists p, pr, m, a, s: payfields(p, pr, m, a, s)) & button("submit")
+  target CC  <- button("cancel")
+}
+
+page OCP {
+  input button
+  rule button(x) <- x = "confirm" | x = "back"
+  state +orderplaced(p, pr, s) <- (exists m, a: prev payfields(p, pr, m, a, s))
+      & paid(p, pr) & button("confirm")
+  action conf(p, c, n, r, h, d, pr) <- paid(p, pr)
+      & products(p, c, n, r, h, d, pr) & button("confirm")
+  action invoice(p, pr, s) <- (exists m, a: prev payfields(p, pr, m, a, s))
+      & paid(p, pr) & button("confirm")
+  action ship(p, pr, m, a, s) <- prev payfields(p, pr, m, a, s)
+      & paid(p, pr) & button("confirm")
+  target CP <- button("confirm") | button("back")
+}
+
+page MOP {
+  input button
+  input orderpick
+  rule button(x) <- x = "cancelreq" | x = "detail" | x = "back"
+  rule orderpick(o, p, pr, st) <- exists un: ordersdb(o, un, p, pr, st)
+  state +userorderpick(o, p, pr, st) <- orderpick(o, p, pr, st)
+      & (button("cancelreq") | button("detail"))
+  target CCP <- (exists o, p, pr: orderpick(o, p, pr, "ordered")) & button("cancelreq")
+  target ODP <- (exists o, p, pr, st: orderpick(o, p, pr, st)) & button("detail")
+  target CP  <- button("back")
+}
+
+page CCP {
+  input button
+  rule button(x) <- x = "confirmcancel" | x = "back"
+  state -userorderpick(o, p, pr, st) <- userorderpick(o, p, pr, st)
+      & button("confirmcancel")
+  target MOP <- button("confirmcancel") | button("back")
+}
+
+page ODP {
+  input button
+  rule button(x) <- x = "back"
+  target MOP <- button("back")
+}
+
+page AP {
+  input button
+  rule button(x) <- x = "changepass" | x = "back"
+  target CPW <- button("changepass")
+  target CP  <- button("back")
+}
+
+page CPW {
+  input button
+  input upass
+  rule button(x) <- x = "save" | x = "back"
+  target AP <- button("save") | button("back")
+}
+
+page EP {
+  input clicklink
+  rule clicklink(x) <- x = "home"
+  target HP <- clicklink("home")
+}
+
+page HLP {
+  input clicklink
+  rule clicklink(x) <- x = "home" | x = "customer"
+  target HP <- clicklink("home")
+  target CP <- clicklink("customer") & loggedin()
+  target EP <- clicklink("customer") & !loggedin()
+}
+
+page ABP {
+  input clicklink
+  rule clicklink(x) <- x = "home"
+  target HP <- clicklink("home")
+}
+
+page LOP {
+  input clicklink
+  rule clicklink(x) <- x = "home"
+  target HP <- clicklink("home")
+}
+
+# ================================ properties ====================================
+
+# T9 guarantee — the minimum yardstick (paper P1): the home page is reached.
+property P1 type T9 expect true desc "page HP is eventually reached in all runs" {
+  F [at HP]
+}
+
+# T5 reachability (Gp | Fq).
+property P2 type T5 expect true desc "a run that ever logs in reaches the customer page" {
+  G [!loggedin()] | F [at CP]
+}
+
+property P3 type T5 expect false desc "either the error page is never seen or a welcome is issued" {
+  G [!(at EP)] | F [welcome()]
+}
+
+# T10 invariance: the successor page is always among the declared targets
+# (the paper's 'no two distinct successor pages', 12+ G and X operators).
+property P4 type T10 expect true desc "successor pages are uniquely determined" {
+  G ([at HP] -> X ([at CP] | [at EP] | [at RP] | [at HLP] | [at ABP] | [at HP]))
+  & G ([at RP] -> X ([at HP] | [at RP]))
+  & G ([at CP] -> X ([at LSP] | [at DSP] | [at CC] | [at MOP] | [at AP] | [at LOP] | [at HLP] | [at CP]))
+  & G ([at LSP] -> X ([at HP] | [at PIP] | [at CC] | [at LSP]))
+  & G ([at DSP] -> X ([at HP] | [at PIP] | [at CC] | [at DSP]))
+  & G ([at PIP] -> X ([at PDP] | [at CC] | [at LSP] | [at PIP]))
+  & G ([at PDP] -> X ([at PIP] | [at PDP]))
+  & G ([at CC] -> X ([at UPP] | [at CP] | [at CC]))
+  & G ([at UPP] -> X ([at OCP] | [at CC] | [at UPP]))
+  & G ([at OCP] -> X ([at CP] | [at OCP]))
+  & G ([at MOP] -> X ([at CCP] | [at ODP] | [at CP] | [at MOP]))
+  & G ([at EP] -> X ([at HP] | [at EP]))
+}
+
+# T1 sequence (paper Example 3.1 / Property (1)): any confirmed product was
+# previously paid for, at the right catalog price.
+property P5 type T1 expect true desc "confirmed products were paid at the catalog price" {
+  forall p, c, n, r, h, d, pr:
+  [at UPP & button("submit") & cart(p, pr) & products(p, c, n, r, h, d, pr)]
+  B [conf(p, c, n, r, h, d, pr)]
+}
+
+# T3 correlation — registering does not force ever logging in.
+property P6 type T3 expect false desc "every registered user eventually logs in" {
+  forall n:
+  F [registered(n)] -> F [userid(n)]
+}
+
+# T1 sequence (paper P7): an order is picked on the my-orders page before
+# it can be up for cancellation.
+property P7 type T1 expect true desc "orders are picked before they can be cancelled" {
+  forall o, p, pr, st:
+  [at MOP & orderpick(o, p, pr, st)] B [at CCP & userorderpick(o, p, pr, st)]
+}
+
+# T9 guarantee — not every run logs in.
+property P8 type T9 expect false desc "every run eventually logs in" {
+  F [loggedin()]
+}
+
+# T2 session (paper P9): if the user always clicks a link at EP, every
+# visit to EP eventually leads back home.
+property P9 type T2 expect true desc "EP always escapes to HP if links are clicked" {
+  G [at EP -> exists x: clicklink(x)]
+  -> G ( G [!(at EP)] | F ([at EP] & F [at HP]) )
+}
+
+# T3 correlation — payment implies the item was in the cart.
+property P10 type T3 expect true desc "paying for an item requires it in the cart" {
+  forall p, pr:
+  F [paid(p, pr)] -> F [cart(p, pr)]
+}
+
+property P11 type T3 expect false desc "every cart item is eventually paid" {
+  forall p, pr:
+  F [cart(p, pr)] -> F [paid(p, pr)]
+}
+
+# T3 correlation (paper P12): items reach the cart only via a pick.
+property P12 type T3 expect true desc "cart items were picked by the user" {
+  forall p, pr:
+  F [cart(p, pr)] -> F [pick(p, pr)]
+}
+
+# T4 response — false: the user may abandon the cart.
+property P13 type T4 expect false desc "cart items are always eventually paid for" {
+  forall p, pr:
+  G ([cart(p, pr)] -> F [paid(p, pr)])
+}
+
+property P14 type T4 expect false desc "clicking login always eventually reaches CP" {
+  G ([at HP & button("login")] -> F [at CP])
+}
+
+# T7 strong non-progress (paper P15): every run is trapped at EP.
+property P15 type T7 expect false desc "every run must reach EP and stay forever" {
+  F (G [at EP])
+}
+
+# T6 recurrence — false: a logged-in session may never revisit HP.
+property P16 type T6 expect false desc "the home page recurs forever" {
+  G (F [at HP])
+}
+
+# T8 weak non-progress — false: logout clears the session.
+property P17 type T8 expect false desc "once logged in, logged in at every next step" {
+  G ([loggedin()] -> X [loggedin()])
+}
+)WAVE";
+
+}  // namespace
+
+const char* E1SpecText() { return kE1; }
+
+AppBundle BuildE1() { return internal::BuildFromText(kE1); }
+
+}  // namespace wave

@@ -1,0 +1,238 @@
+// E2 — the Motorcycle Grand Prix sports site (modeled after motogp.com,
+// Section 5). Pure browsing: 15 pages, 7 database relations, no state or
+// action relations — representative of applications whose functionality is
+// restricted to browsing without internal state changes.
+//
+// Page map: HP home; NWP news list; NDP news detail; GP grand prix
+// calendar; GDP grand prix detail; CLP circuit list; CDP circuit detail;
+// TMP teams; TDP team detail; PLP pilots; PDP pilot detail; BKP bikes;
+// BDP bike detail; RSP results/standings; ABP about.
+#include "apps/app_util.h"
+#include "apps/apps.h"
+
+namespace wave {
+
+namespace {
+
+constexpr char kE2[] = R"WAVE(
+app E2_motogp
+
+database news(nid, title)
+database gps(gpid, name, cid)
+database circuits(cid, name, country)
+database teams(tid, name)
+database pilots(plid, name, tid, number)
+database bikes(bid, maker, tid)
+database results(gpid, plid, rank)
+
+input clickbutton(x)
+input pick_news(nid)
+input pick_gp(gpid)
+input pick_circuit(cid)
+input pick_team(tid)
+input pick_pilot(plid)
+input pick_bike(bid)
+
+home HP
+
+page HP {
+  input clickbutton
+  rule clickbutton(x) <- x = "news" | x = "calendar" | x = "teams"
+      | x = "pilots" | x = "bikes" | x = "standings" | x = "about"
+  target NWP <- clickbutton("news")
+  target GP  <- clickbutton("calendar")
+  target TMP <- clickbutton("teams")
+  target PLP <- clickbutton("pilots")
+  target BKP <- clickbutton("bikes")
+  target RSP <- clickbutton("standings")
+  target ABP <- clickbutton("about")
+}
+
+page NWP {
+  input clickbutton
+  input pick_news
+  rule clickbutton(x) <- x = "home"
+  rule pick_news(n) <- exists t: news(n, t)
+  target NDP <- exists n: pick_news(n)
+  target HP  <- clickbutton("home")
+}
+
+page NDP {
+  input clickbutton
+  rule clickbutton(x) <- x = "back" | x = "home"
+  target NWP <- clickbutton("back")
+  target HP  <- clickbutton("home")
+}
+
+page GP {
+  input clickbutton
+  input pick_gp
+  rule clickbutton(x) <- x = "home" | x = "circuits"
+  rule pick_gp(g) <- exists n, c: gps(g, n, c)
+  target GDP <- exists g: pick_gp(g)
+  target CLP <- clickbutton("circuits")
+  target HP  <- clickbutton("home")
+}
+
+page GDP {
+  input clickbutton
+  input pick_circuit
+  rule clickbutton(x) <- x = "back" | x = "home" | x = "results"
+  rule pick_circuit(c) <- exists g, n: prev pick_gp(g) & gps(g, n, c)
+  target CDP <- exists c: pick_circuit(c)
+  target RSP <- clickbutton("results")
+  target GP  <- clickbutton("back")
+  target HP  <- clickbutton("home")
+}
+
+page CLP {
+  input clickbutton
+  input pick_circuit
+  rule clickbutton(x) <- x = "home"
+  rule pick_circuit(c) <- exists n, co: circuits(c, n, co)
+  target CDP <- exists c: pick_circuit(c)
+  target HP  <- clickbutton("home")
+}
+
+page CDP {
+  input clickbutton
+  rule clickbutton(x) <- x = "back" | x = "home"
+  target CLP <- clickbutton("back")
+  target HP  <- clickbutton("home")
+}
+
+page TMP {
+  input clickbutton
+  input pick_team
+  rule clickbutton(x) <- x = "home"
+  rule pick_team(t) <- exists n: teams(t, n)
+  target TDP <- exists t: pick_team(t)
+  target HP  <- clickbutton("home")
+}
+
+page TDP {
+  input clickbutton
+  input pick_bike
+  rule clickbutton(x) <- x = "back" | x = "home"
+  rule pick_bike(b) <- exists m, t: prev pick_team(t) & bikes(b, m, t)
+  target BDP <- exists b: pick_bike(b)
+  target TMP <- clickbutton("back")
+  target HP  <- clickbutton("home")
+}
+
+page PLP {
+  input clickbutton
+  input pick_pilot
+  rule clickbutton(x) <- x = "home"
+  rule pick_pilot(p) <- exists n, t, nu: pilots(p, n, t, nu)
+  target PDP <- exists p: pick_pilot(p)
+  target HP  <- clickbutton("home")
+}
+
+page PDP {
+  input clickbutton
+  rule clickbutton(x) <- x = "back" | x = "home" | x = "results"
+  target PLP <- clickbutton("back")
+  target RSP <- clickbutton("results")
+  target HP  <- clickbutton("home")
+}
+
+page BKP {
+  input clickbutton
+  input pick_bike
+  rule clickbutton(x) <- x = "home"
+  rule pick_bike(b) <- exists m, t: bikes(b, m, t)
+  target BDP <- exists b: pick_bike(b)
+  target HP  <- clickbutton("home")
+}
+
+page BDP {
+  input clickbutton
+  rule clickbutton(x) <- x = "back" | x = "home"
+  target BKP <- clickbutton("back")
+  target HP  <- clickbutton("home")
+}
+
+page RSP {
+  input clickbutton
+  input pick_gp
+  rule clickbutton(x) <- x = "home"
+  rule pick_gp(g) <- exists p, r: results(g, p, r)
+  target GDP <- exists g: pick_gp(g)
+  target HP  <- clickbutton("home")
+}
+
+page ABP {
+  input clickbutton
+  rule clickbutton(x) <- x = "home"
+  target HP <- clickbutton("home")
+}
+
+# ---- properties -----------------------------------------------------------
+
+property Q1 type T9 expect true desc "home is reached" {
+  F [at HP]
+}
+
+# The property quoted in the paper's E2 paragraph: reaching the circuit
+# detail page requires having gone through GP with the circuits button or
+# GDP with a circuit pick.
+property Q2 type T1 expect true desc "CDP preceded by GP+circuits or GDP+pick" {
+  [(at GP & clickbutton("circuits")) | (at GDP & exists c: pick_circuit(c))]
+  B [at CDP]
+}
+
+property Q3 type T1 expect true desc "pilot detail only after the pilot list" {
+  [at PLP] B [at PDP]
+}
+
+property Q4 type T10 expect true desc "news detail returns to news, home or stays" {
+  G ([at NDP] -> X ([at NWP] | [at HP] | [at NDP]))
+}
+
+property Q5 type T9 expect false desc "every run sees a bike detail page" {
+  F [at BDP]
+}
+
+property Q6 type T6 expect false desc "home recurs forever" {
+  G (F [at HP])
+}
+
+property Q7 type T7 expect false desc "every run settles on the about page" {
+  F (G [at ABP])
+}
+
+property Q8 type T8 expect false desc "once on the calendar, always on the calendar" {
+  G ([at GP] -> X [at GP])
+}
+
+property Q9 type T2 expect true desc "arriving at news detail implies a pick" {
+  G ([at NWP] -> X [at NDP -> exists n: prev pick_news(n)])
+}
+
+property Q10 type T3 expect true desc "a remembered pick was made" {
+  forall n:
+  F [at NDP & prev pick_news(n)] -> F [pick_news(n)]
+}
+
+property Q11 type T3 expect false desc "picking a circuit implies grand prix detail" {
+  forall c:
+  F [pick_circuit(c)] -> F [at GDP]
+}
+
+property Q12 type T4 expect false desc "the team list always leads to a team detail" {
+  G ([at TMP] -> F [at TDP])
+}
+
+property Q13 type T5 expect false desc "team browsing implies bike browsing" {
+  G [!(at TDP)] | F [at BDP]
+}
+)WAVE";
+
+}  // namespace
+
+const char* E2SpecText() { return kE2; }
+
+AppBundle BuildE2() { return internal::BuildFromText(kE2); }
+
+}  // namespace wave

@@ -1,0 +1,338 @@
+// E3 — the airline reservation application (Expedia-like, Section 5):
+// 22 pages, 12 database relations (arities up to 10), 11 state relations,
+// one action relation of arity 1.
+//
+// Page map:
+//   HP home/login        REG register           ACC account
+//   FSP flight search    FRP flight results     FDP flight detail
+//   SSP seat selection   PSP passenger details  INP insurance
+//   HTP hotels           CRP cars               CTP cart
+//   PYP payment          CFP confirmation       MBP my bookings
+//   BDP booking detail   CXP cancel booking     PRP promotions
+//   HLP help             ABP about              EP error
+//   LOP logged out
+#include "apps/app_util.h"
+#include "apps/apps.h"
+
+namespace wave {
+
+namespace {
+
+constexpr char kE3[] = R"WAVE(
+app E3_airline
+
+database user(name, password)
+database airports(code)
+database flights(fno, orig, dest, dep, arr, price, carrier, class, stops, meal)
+database carriers(cid, cname)
+database fares(fno, fclass, fprice)
+database seats(fno, seat, sclass)
+database hotels(hid, city, hname, hprice)
+database cars(carid, ccity, maker, cprice)
+database bookingsdb(bid, buname, bfno, bdate, bstatus)
+database insurance(iid, iname, iprice)
+database airportcity(acode, acity)
+database promos(prid, prcode, discount)
+
+state loggedin()
+state userid(name)
+state searchreq(orig, dest)
+state flightpick(fno, price)
+state passenger(pname, pdoc)
+state seatpick(fno, seat)
+state cartf(fno, price)
+state paidf(fno, price)
+state confirmedf(fno, price)
+state insurancepick(iid, iprice)
+state promo(prcode)
+
+action eticket(fno)
+
+input button(x)
+input srcpick(orig, dest)
+input fpick(fno, price)
+input seatsel(fno, seat)
+input inspick(iid, iprice)
+input hpick(hid, hprice)
+input promoin(prcode)
+inputconst uname
+inputconst upass
+inputconst passname
+inputconst passdoc
+
+home HP
+
+page HP {
+  input button
+  input uname
+  input upass
+  rule button(x) <- x = "login" | x = "register" | x = "searchflights"
+      | x = "help" | x = "about"
+  state +loggedin() <- exists n: uname(n) & (exists p: upass(p) & user(n, p)) & button("login")
+  state +userid(n) <- uname(n) & (exists p: upass(p) & user(n, p)) & button("login")
+  target ACC <- exists n: uname(n) & (exists p: upass(p) & user(n, p)) & button("login")
+  target EP  <- button("login") & !(exists n: uname(n) & exists p: upass(p) & user(n, p))
+  target REG <- button("register")
+  target FSP <- button("searchflights")
+  target HLP <- button("help")
+  target ABP <- button("about")
+}
+
+page REG {
+  input button
+  input uname
+  input upass
+  rule button(x) <- x = "create" | x = "cancel"
+  target HP <- button("create") | button("cancel")
+}
+
+page ACC {
+  input button
+  rule button(x) <- x = "searchflights" | x = "mybookings" | x = "promos"
+      | x = "logout" | x = "home"
+  state -loggedin() <- button("logout")
+  state -userid(n) <- userid(n) & button("logout")
+  target FSP <- button("searchflights")
+  target MBP <- button("mybookings")
+  target PRP <- button("promos")
+  target LOP <- button("logout")
+  target HP  <- button("home")
+}
+
+page FSP {
+  input button
+  input srcpick
+  rule button(x) <- x = "search" | x = "home"
+  rule srcpick(o, d) <- airports(o) & airports(d)
+  state +searchreq(o, d) <- srcpick(o, d) & button("search")
+  target FRP <- (exists o, d: srcpick(o, d)) & button("search")
+  target HP  <- button("home")
+}
+
+page FRP {
+  input button
+  input fpick
+  rule button(x) <- x = "back" | x = "home"
+  rule fpick(f, p) <- exists o, d, dp, ar, ca, cl, st, me:
+      prev srcpick(o, d) & flights(f, o, d, dp, ar, p, ca, cl, st, me)
+  state +flightpick(f, p) <- fpick(f, p)
+  target FDP <- exists f, p: fpick(f, p)
+  target FSP <- button("back")
+  target HP  <- button("home")
+}
+
+page FDP {
+  input button
+  rule button(x) <- x = "selectseat" | x = "addtocart" | x = "back"
+  state +cartf(f, p) <- prev fpick(f, p) & button("addtocart")
+  target SSP <- button("selectseat")
+  target CTP <- button("addtocart")
+  target FRP <- button("back")
+}
+
+page SSP {
+  input button
+  input seatsel
+  rule button(x) <- x = "confirmseat" | x = "back"
+  rule seatsel(f, s) <- exists c: seats(f, s, c)
+  state +seatpick(f, s) <- seatsel(f, s) & button("confirmseat")
+  target PSP <- (exists f, s: seatsel(f, s)) & button("confirmseat")
+  target FDP <- button("back")
+}
+
+page PSP {
+  input button
+  input passname
+  input passdoc
+  rule button(x) <- x = "savepassenger" | x = "back"
+  state +passenger(n, d) <- passname(n) & passdoc(d) & button("savepassenger")
+  target INP <- button("savepassenger")
+  target SSP <- button("back")
+}
+
+page INP {
+  input button
+  input inspick
+  rule button(x) <- x = "addinsurance" | x = "skip"
+  rule inspick(i, p) <- exists n: insurance(i, n, p)
+  state +insurancepick(i, p) <- inspick(i, p) & button("addinsurance")
+  target CTP <- button("addinsurance") | button("skip")
+}
+
+page HTP {
+  input button
+  input hpick
+  rule button(x) <- x = "back" | x = "home"
+  rule hpick(h, p) <- exists c, n: hotels(h, c, n, p)
+  target CTP <- (exists h, p: hpick(h, p)) | button("back")
+  target HP  <- button("home")
+}
+
+page CRP {
+  input button
+  rule button(x) <- x = "back"
+  target CTP <- button("back")
+}
+
+page CTP {
+  input button
+  rule button(x) <- x = "checkout" | x = "hotels" | x = "cars"
+      | x = "addflight" | x = "home"
+  state +cartf(f, p) <- flightpick(f, p) & button("addflight")
+  target PYP <- button("checkout")
+  target HTP <- button("hotels")
+  target CRP <- button("cars")
+  target HP  <- button("home")
+}
+
+page PYP {
+  input button
+  input fpick
+  rule button(x) <- x = "pay" | x = "back"
+  rule fpick(f, p) <- exists o, d, dp, ar, ca, cl, st, me:
+      flights(f, o, d, dp, ar, p, ca, cl, st, me)
+  state +paidf(f, p) <- fpick(f, p) & cartf(f, p) & button("pay")
+  state -cartf(f, p) <- fpick(f, p) & cartf(f, p) & button("pay")
+  target CFP <- (exists f, p: fpick(f, p)) & button("pay")
+  target CTP <- button("back")
+}
+
+page CFP {
+  input button
+  rule button(x) <- x = "confirm" | x = "home"
+  state +confirmedf(f, p) <- paidf(f, p) & button("confirm")
+  # CFP is only reachable through a successful payment, so the previous
+  # fpick here is the paid flight.
+  action eticket(f) <- (exists p: prev fpick(f, p)) & button("confirm")
+  target ACC <- button("confirm")
+  target HP  <- button("home")
+}
+
+page MBP {
+  input button
+  input fpick
+  rule button(x) <- x = "cancelbooking" | x = "detail" | x = "back"
+  rule fpick(f, p) <- exists b, u, d, s: bookingsdb(b, u, f, d, s) & fares(f, s, p)
+  target CXP <- (exists f, p: fpick(f, p)) & button("cancelbooking")
+  target BDP <- (exists f, p: fpick(f, p)) & button("detail")
+  target ACC <- button("back")
+}
+
+page BDP {
+  input button
+  rule button(x) <- x = "back"
+  target MBP <- button("back")
+}
+
+page CXP {
+  input button
+  rule button(x) <- x = "confirmcancel" | x = "back"
+  state -confirmedf(f, p) <- confirmedf(f, p) & button("confirmcancel")
+  target MBP <- button("confirmcancel") | button("back")
+}
+
+page PRP {
+  input button
+  input promoin
+  rule button(x) <- x = "apply" | x = "back"
+  rule promoin(c) <- exists i, d: promos(i, c, d)
+  state +promo(c) <- promoin(c) & button("apply")
+  target ACC <- button("apply") | button("back")
+}
+
+page HLP {
+  input button
+  rule button(x) <- x = "home"
+  target HP <- button("home")
+}
+
+page ABP {
+  input button
+  rule button(x) <- x = "home"
+  target HP <- button("home")
+}
+
+page EP {
+  input button
+  rule button(x) <- x = "home"
+  target HP <- button("home")
+}
+
+page LOP {
+  input button
+  rule button(x) <- x = "home"
+  target HP <- button("home")
+}
+
+# ---- properties -----------------------------------------------------------
+
+property R1 type T9 expect true desc "home reached" {
+  F [at HP]
+}
+
+property R2 type T9 expect false desc "every run logs in" {
+  F [loggedin()]
+}
+
+property R3 type T1 expect true desc "an in-cart payment step precedes confirmation" {
+  forall f, p:
+  [at PYP & button("pay") & cartf(f, p)] B [confirmedf(f, p)]
+}
+
+property R4 type T1 expect true desc "a flight is picked before its eticket is issued" {
+  forall f:
+  [exists p: fpick(f, p)] B [eticket(f)]
+}
+
+property R5 type T3 expect true desc "paid flights were in the cart" {
+  forall f, p:
+  F [paidf(f, p)] -> F [cartf(f, p)]
+}
+
+property R6 type T3 expect false desc "every cart flight is paid" {
+  forall f, p:
+  F [cartf(f, p)] -> F [paidf(f, p)]
+}
+
+property R7 type T4 expect false desc "searches always yield a booking" {
+  G ([at FSP & button("search")] -> F [at CFP])
+}
+
+property R8 type T5 expect true desc "a run that pays reaches the confirmation page" {
+  G [!(exists f, p: fpick(f, p) & cartf(f, p) & button("pay") & at PYP)] | F [at CFP]
+}
+
+property R9 type T10 expect true desc "payment page only transitions to CFP or CTP" {
+  G ([at PYP] -> X ([at CFP] | [at CTP] | [at PYP]))
+}
+
+property R10 type T8 expect false desc "once searching, always searching" {
+  G ([at FSP] -> X [at FSP])
+}
+
+property R11 type T6 expect false desc "the account page recurs forever" {
+  G (F [at ACC])
+}
+
+property R12 type T7 expect false desc "every run settles on the error page" {
+  F (G [at EP])
+}
+
+property R13 type T2 expect true desc "seat confirmation leads to the passenger page" {
+  G ([at SSP & (exists f, s: seatsel(f, s)) & button("confirmseat")]
+     -> X [at PSP])
+}
+
+property R14 type T3 expect false desc "insurance price always matches a picked flight" {
+  forall i, p:
+  F [insurancepick(i, p)] -> F [exists f: fpick(f, p)]
+}
+)WAVE";
+
+}  // namespace
+
+const char* E3SpecText() { return kE3; }
+
+AppBundle BuildE3() { return internal::BuildFromText(kE3); }
+
+}  // namespace wave

@@ -1,0 +1,421 @@
+// E4 — the online bookstore (Barnes&Noble-like; in the paper this spec was
+// provided by the WebML project members, Section 5): 35 pages, 22 database
+// relations (arities up to 14), 7 state relations.
+//
+// The bulk of the site is catalog browsing (genre/author/series/award/...
+// list and detail pages over dedicated database relations); the commerce
+// core is the usual search → detail → cart → checkout → payment →
+// confirmation flow.
+#include "apps/app_util.h"
+#include "apps/apps.h"
+
+namespace wave {
+
+namespace {
+
+constexpr char kE4[] = R"WAVE(
+app E4_bookstore
+
+database bookfull(bid, title, author, genre, publisher, year, isbn, pages, lang, format, price, rating, stock, cover)
+database users(name, password)
+database authors(aid, aname)
+database genres(gid, gname)
+database publishers(pubid, pubname)
+database reviews(bid, rid, rrating)
+database pricing(bid, pprice)
+database bestsellers(bsid)
+database newreleases(nrid)
+database awards(awbid, award)
+database series(sid, sname)
+database seriesbooks(sbsid, sbbid)
+database similar(sbid, sbid2)
+database editors(eid, ename)
+database giftcards(gcid, gcvalue)
+database coupons(ccode, cdiscount)
+database shippingdb(smethod, sprice)
+database taxes(region, rate)
+database storesdb(stid, stcity)
+database eventsdb(evid, evcity, evdate)
+database magazines(mid, mtitle)
+database staffpicks(spbid)
+
+state loggedin()
+state userid(name)
+state cartb(bid, price)
+state paidb(bid, price)
+state wish(bid)
+state couponused(code)
+state orderedb(bid, price)
+
+action receipt(bid, price)
+action mailed(code)
+
+input button(x)
+input bpick(bid, price)
+input gpick(gid)
+input apick(aid)
+input spick(sid)
+input cpick(code)
+inputconst uname
+inputconst upass
+inputconst query
+
+home HP
+
+page HP {
+  input button
+  input uname
+  input upass
+  rule button(x) <- x = "login" | x = "register" | x = "browse" | x = "search"
+      | x = "bestsellers" | x = "newreleases" | x = "stores" | x = "help"
+  state +loggedin() <- exists n: uname(n) & (exists p: upass(p) & users(n, p)) & button("login")
+  state +userid(n) <- uname(n) & (exists p: upass(p) & users(n, p)) & button("login")
+  target ACC <- exists n: uname(n) & (exists p: upass(p) & users(n, p)) & button("login")
+  target EP  <- button("login") & !(exists n: uname(n) & exists p: upass(p) & users(n, p))
+  target REG <- button("register")
+  target BRP <- button("browse")
+  target SRP <- button("search")
+  target BSP <- button("bestsellers")
+  target NRP <- button("newreleases")
+  target STP <- button("stores")
+  target HLP <- button("help")
+}
+
+page REG {
+  input button
+  input uname
+  input upass
+  rule button(x) <- x = "create" | x = "cancel"
+  target HP <- button("create") | button("cancel")
+}
+
+page ACC {
+  input button
+  rule button(x) <- x = "orders" | x = "wishlist" | x = "giftcards"
+      | x = "coupons" | x = "logout" | x = "home"
+  state -loggedin() <- button("logout")
+  state -userid(n) <- userid(n) & button("logout")
+  target ORD <- button("orders")
+  target WLP <- button("wishlist")
+  target GCP <- button("giftcards")
+  target CPP <- button("coupons")
+  target LOP <- button("logout")
+  target HP  <- button("home")
+}
+
+page BRP {
+  input button
+  rule button(x) <- x = "genres" | x = "byauthor" | x = "byseries" | x = "awards"
+      | x = "editors" | x = "staffpicks" | x = "magazines" | x = "events" | x = "home"
+  target GLP <- button("genres")
+  target ALP <- button("byauthor")
+  target SEP <- button("byseries")
+  target AWP <- button("awards")
+  target EDP <- button("editors")
+  target SPP <- button("staffpicks")
+  target MGP <- button("magazines")
+  target EVP <- button("events")
+  target HP  <- button("home")
+}
+
+page GLP {
+  input button
+  input gpick
+  rule button(x) <- x = "back"
+  rule gpick(g) <- exists n: genres(g, n)
+  target GBP <- exists g: gpick(g)
+  target BRP <- button("back")
+}
+
+page GBP {
+  input button
+  input bpick
+  rule button(x) <- x = "back"
+  rule bpick(b, p) <- exists t, a, g, pu, y, i, pg, l, f, r, s, c:
+      bookfull(b, t, a, g, pu, y, i, pg, l, f, p, r, s, c)
+  target BDP <- exists b, p: bpick(b, p)
+  target GLP <- button("back")
+}
+
+page ALP {
+  input button
+  input apick
+  rule button(x) <- x = "back"
+  rule apick(a) <- exists n: authors(a, n)
+  target ABKP <- exists a: apick(a)
+  target BRP <- button("back")
+}
+
+page ABKP {
+  input button
+  input bpick
+  rule button(x) <- x = "back"
+  rule bpick(b, p) <- exists t, a, g, pu, y, i, pg, l, f, r, s, c:
+      bookfull(b, t, a, g, pu, y, i, pg, l, f, p, r, s, c)
+  target BDP <- exists b, p: bpick(b, p)
+  target ALP <- button("back")
+}
+
+page SRP {
+  input button
+  input query
+  rule button(x) <- x = "go" | x = "home"
+  target SRRP <- button("go")
+  target HP   <- button("home")
+}
+
+page SRRP {
+  input button
+  input bpick
+  rule button(x) <- x = "back"
+  rule bpick(b, p) <- exists t, a, g, pu, y, i, pg, l, f, r, s, c:
+      bookfull(b, t, a, g, pu, y, i, pg, l, f, p, r, s, c)
+  target BDP <- exists b, p: bpick(b, p)
+  target SRP <- button("back")
+}
+
+page BDP {
+  input button
+  rule button(x) <- x = "addtocart" | x = "addtowish" | x = "reviews"
+      | x = "similar" | x = "back"
+  state +cartb(b, p) <- prev bpick(b, p) & button("addtocart")
+  state +wish(b) <- (exists p: prev bpick(b, p)) & button("addtowish")
+  target RVP <- button("reviews")
+  target SIM <- button("similar")
+  target CRT <- button("addtocart")
+  target HP  <- button("back")
+}
+
+page RVP {
+  input button
+  rule button(x) <- x = "back"
+  target HP <- button("back")
+}
+
+page SIM {
+  input button
+  input bpick
+  rule button(x) <- x = "back"
+  rule bpick(b, p) <- exists t, a, g, pu, y, i, pg, l, f, r, s, c:
+      bookfull(b, t, a, g, pu, y, i, pg, l, f, p, r, s, c)
+  target BDP <- exists b, p: bpick(b, p)
+  target HP  <- button("back")
+}
+
+page CRT {
+  input button
+  input bpick
+  rule button(x) <- x = "checkout" | x = "remove" | x = "home"
+  rule bpick(b, p) <- exists t, a, g, pu, y, i, pg, l, f, r, s, c:
+      bookfull(b, t, a, g, pu, y, i, pg, l, f, p, r, s, c)
+  state -cartb(b, p) <- bpick(b, p) & button("remove")
+  target CKP <- button("checkout")
+  target HP  <- button("home")
+}
+
+page CKP {
+  input button
+  rule button(x) <- x = "topayment" | x = "back" | x = "shipping"
+  target PYP <- button("topayment")
+  target SHP <- button("shipping")
+  target CRT <- button("back")
+}
+
+page SHP {
+  input button
+  rule button(x) <- x = "back"
+  target CKP <- button("back")
+}
+
+page PYP {
+  input button
+  input bpick
+  rule button(x) <- x = "pay" | x = "back"
+  rule bpick(b, p) <- exists t, a, g, pu, y, i, pg, l, f, r, s, c:
+      bookfull(b, t, a, g, pu, y, i, pg, l, f, p, r, s, c)
+  state +paidb(b, p) <- bpick(b, p) & cartb(b, p) & button("pay")
+  state -cartb(b, p) <- bpick(b, p) & cartb(b, p) & button("pay")
+  target CFP <- (exists b, p: bpick(b, p)) & button("pay")
+  target CKP <- button("back")
+}
+
+page CFP {
+  input button
+  rule button(x) <- x = "confirm" | x = "home"
+  state +orderedb(b, p) <- paidb(b, p) & button("confirm")
+  action receipt(b, p) <- paidb(b, p) & button("confirm")
+  target ACC <- button("confirm")
+  target HP  <- button("home")
+}
+
+page ORD {
+  input button
+  rule button(x) <- x = "back"
+  target ACC <- button("back")
+}
+
+page WLP {
+  input button
+  rule button(x) <- x = "back"
+  target ACC <- button("back")
+}
+
+page GCP {
+  input button
+  rule button(x) <- x = "back"
+  target ACC <- button("back")
+}
+
+page CPP {
+  input button
+  input cpick
+  rule button(x) <- x = "apply" | x = "back"
+  rule cpick(c) <- exists d: coupons(c, d)
+  state +couponused(c) <- cpick(c) & button("apply")
+  action mailed(c) <- cpick(c) & button("apply")
+  target ACC <- button("apply") | button("back")
+}
+
+page BSP {
+  input button
+  rule button(x) <- x = "home"
+  target HP <- button("home")
+}
+
+page NRP {
+  input button
+  rule button(x) <- x = "home"
+  target HP <- button("home")
+}
+
+page AWP {
+  input button
+  rule button(x) <- x = "back"
+  target BRP <- button("back")
+}
+
+page SEP {
+  input button
+  input spick
+  rule button(x) <- x = "back"
+  rule spick(s) <- exists n: series(s, n)
+  target SEBP <- exists s: spick(s)
+  target BRP <- button("back")
+}
+
+page SEBP {
+  input button
+  rule button(x) <- x = "back"
+  target SEP <- button("back")
+}
+
+page EDP {
+  input button
+  rule button(x) <- x = "back"
+  target BRP <- button("back")
+}
+
+page SPP {
+  input button
+  rule button(x) <- x = "back"
+  target BRP <- button("back")
+}
+
+page MGP {
+  input button
+  rule button(x) <- x = "back"
+  target BRP <- button("back")
+}
+
+page EVP {
+  input button
+  rule button(x) <- x = "back"
+  target BRP <- button("back")
+}
+
+page STP {
+  input button
+  rule button(x) <- x = "home"
+  target HP <- button("home")
+}
+
+page HLP {
+  input button
+  rule button(x) <- x = "home"
+  target HP <- button("home")
+}
+
+page EP {
+  input button
+  rule button(x) <- x = "home"
+  target HP <- button("home")
+}
+
+page LOP {
+  input button
+  rule button(x) <- x = "home"
+  target HP <- button("home")
+}
+
+# ---- properties -----------------------------------------------------------
+
+property S1 type T9 expect true desc "home reached" {
+  F [at HP]
+}
+
+property S2 type T9 expect false desc "every run logs in" {
+  F [loggedin()]
+}
+
+property S3 type T1 expect true desc "books are paid in-cart before the receipt" {
+  forall b, p:
+  [at PYP & button("pay") & cartb(b, p)] B [receipt(b, p)]
+}
+
+property S4 type T3 expect true desc "paid books were in the cart" {
+  forall b, p:
+  F [paidb(b, p)] -> F [cartb(b, p)]
+}
+
+property S5 type T3 expect false desc "every cart book is paid" {
+  forall b, p:
+  F [cartb(b, p)] -> F [paidb(b, p)]
+}
+
+property S6 type T1 expect true desc "coupons are picked before taking effect" {
+  forall c:
+  [at CPP & cpick(c)] B [couponused(c)]
+}
+
+property S7 type T4 expect false desc "checkout always completes" {
+  G ([at CKP] -> F [at CFP])
+}
+
+property S8 type T10 expect true desc "payment page successors" {
+  G ([at PYP] -> X ([at CFP] | [at CKP] | [at PYP]))
+}
+
+property S9 type T8 expect false desc "once browsing, always browsing" {
+  G ([at BRP] -> X [at BRP])
+}
+
+property S10 type T6 expect false desc "home recurs forever" {
+  G (F [at HP])
+}
+
+property S11 type T7 expect false desc "every run settles at the error page" {
+  F (G [at EP])
+}
+
+property S12 type T5 expect true desc "an ordered book implies confirmation was visited" {
+  G [!(exists b, p: orderedb(b, p))] | F [at CFP]
+}
+)WAVE";
+
+}  // namespace
+
+const char* E4SpecText() { return kE4; }
+
+AppBundle BuildE4() { return internal::BuildFromText(kE4); }
+
+}  // namespace wave

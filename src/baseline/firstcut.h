@@ -1,0 +1,70 @@
+// The "first cut" verifier sketched in Section 3 of the paper — and shown
+// there to be hopeless: materialize every representative database over a
+// fixed domain, then run a nested depth-first search over *genuine* runs.
+// This is the algorithm the paper encoded in Promela to test whether SPIN
+// could handle the problem ("We observed no pruning of the search space,
+// whose explosion lead to a timeout of the experiment even for the simplest
+// properties").
+//
+// Two uses in this repo:
+//   * `bench_firstcut_explosion` reproduces the blow-up against WAVE;
+//   * differential tests cross-check WAVE's verdicts on tiny specs, where
+//     exhaustive database enumeration is actually feasible.
+#ifndef WAVE_BASELINE_FIRSTCUT_H_
+#define WAVE_BASELINE_FIRSTCUT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ltl/ltl_formula.h"
+#include "spec/prepared_spec.h"
+#include "spec/web_app.h"
+#include "verifier/verifier.h"
+
+namespace wave {
+
+/// Budgets for the explicit search.
+struct FirstCutOptions {
+  /// Fresh domain values added beyond the spec/property constants (the
+  /// paper's `dom` is exponential in |W| + |ϕ|; any fixed number here is a
+  /// *bounded* approximation — the baseline is only complete up to it).
+  int extra_domain_values = 1;
+  double timeout_seconds = 30.0;
+  int64_t max_expansions = -1;
+  /// Abort upfront if the number of candidate database tuples exceeds this
+  /// (the powerset 2^n is the database count).
+  int max_db_tuple_bits = 24;
+};
+
+/// Statistics of one explicit run.
+struct FirstCutStats {
+  double seconds = 0;
+  int domain_size = 0;
+  double db_tuple_candidates = 0;  // n: #databases = 2^n
+  int64_t num_databases = 0;       // databases actually explored
+  int64_t num_expansions = 0;
+  int max_visited = 0;  // peak visited-set size over per-database searches
+};
+
+struct FirstCutResult {
+  Verdict verdict = Verdict::kUnknown;
+  std::string failure_reason;
+  FirstCutStats stats;
+};
+
+/// Explicit-database verifier over a bounded domain.
+class FirstCutVerifier {
+ public:
+  explicit FirstCutVerifier(WebAppSpec* spec);
+
+  FirstCutResult Verify(const Property& property,
+                        const FirstCutOptions& options = {});
+
+ private:
+  WebAppSpec* spec_;
+  PreparedSpec prepared_;
+};
+
+}  // namespace wave
+
+#endif  // WAVE_BASELINE_FIRSTCUT_H_

@@ -1,0 +1,396 @@
+#include "buchi/buchi.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace wave {
+
+bool NormalizeGuard(Guard* guard) {
+  std::sort(guard->begin(), guard->end());
+  guard->erase(std::unique(guard->begin(), guard->end()), guard->end());
+  for (size_t i = 0; i + 1 < guard->size(); ++i) {
+    if ((*guard)[i].prop == (*guard)[i + 1].prop &&
+        (*guard)[i].positive != (*guard)[i + 1].positive) {
+      return false;  // contradictory
+    }
+  }
+  return true;
+}
+
+bool GuardSatisfied(const Guard& guard, const std::vector<bool>& assignment) {
+  for (const Literal& lit : guard) {
+    WAVE_CHECK(lit.prop >= 0 &&
+               lit.prop < static_cast<int>(assignment.size()));
+    if (assignment[lit.prop] != lit.positive) return false;
+  }
+  return true;
+}
+
+int BuchiAutomaton::NumTransitions() const {
+  int n = 0;
+  for (const auto& ts : adj) n += static_cast<int>(ts.size());
+  return n;
+}
+
+namespace {
+
+/// Applies a state renumbering: `keep[s]` is the new id of s or -1 to drop.
+void Renumber(BuchiAutomaton* a, const std::vector<int>& keep,
+              int new_count) {
+  std::vector<std::vector<BuchiTransition>> adj(new_count);
+  std::vector<bool> accepting(new_count, false);
+  for (int s = 0; s < a->NumStates(); ++s) {
+    if (keep[s] < 0) continue;
+    accepting[keep[s]] = a->accepting[s];
+    for (const BuchiTransition& t : a->adj[s]) {
+      if (keep[t.to] < 0) continue;
+      adj[keep[s]].push_back({keep[t.to], t.guard});
+    }
+  }
+  for (auto& ts : adj) {
+    std::sort(ts.begin(), ts.end());
+    ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  }
+  a->adj = std::move(adj);
+  a->accepting = std::move(accepting);
+  a->start = keep[a->start];
+  WAVE_CHECK(a->start >= 0);
+}
+
+/// Ensures the automaton has at least a start state.
+void EnsureNonDegenerate(BuchiAutomaton* a) {
+  if (a->NumStates() == 0) {
+    a->adj.resize(1);
+    a->accepting.assign(1, false);
+    a->start = 0;
+  }
+}
+
+std::vector<bool> ReachableFromStart(const BuchiAutomaton& a) {
+  std::vector<bool> seen(a.NumStates(), false);
+  std::vector<int> stack = {a.start};
+  seen[a.start] = true;
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
+    for (const BuchiTransition& t : a.adj[s]) {
+      if (!seen[t.to]) {
+        seen[t.to] = true;
+        stack.push_back(t.to);
+      }
+    }
+  }
+  return seen;
+}
+
+/// Tarjan SCC; returns component index per state and component count.
+int StronglyConnectedComponents(const BuchiAutomaton& a,
+                                std::vector<int>* comp) {
+  int n = a.NumStates();
+  comp->assign(n, -1);
+  std::vector<int> index(n, -1), low(n, 0), on_stack(n, 0);
+  std::vector<int> stack;
+  int next_index = 0, num_comp = 0;
+
+  // Iterative Tarjan (explicit call stack) to avoid deep recursion.
+  struct Frame {
+    int v;
+    size_t edge;
+  };
+  for (int root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames = {{root, 0}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < a.adj[f.v].size()) {
+        int w = a.adj[f.v][f.edge++].to;
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        if (low[f.v] == index[f.v]) {
+          int w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            (*comp)[w] = num_comp;
+          } while (w != f.v);
+          ++num_comp;
+        }
+        int v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+      }
+    }
+  }
+  return num_comp;
+}
+
+/// True if state `s` lies on some cycle (nontrivial SCC or a self-loop).
+std::vector<bool> OnCycle(const BuchiAutomaton& a) {
+  std::vector<int> comp;
+  StronglyConnectedComponents(a, &comp);
+  std::vector<int> comp_size(a.NumStates(), 0);
+  for (int c : comp) comp_size[c]++;
+  std::vector<bool> on_cycle(a.NumStates(), false);
+  for (int s = 0; s < a.NumStates(); ++s) {
+    if (comp_size[comp[s]] > 1) {
+      on_cycle[s] = true;
+    } else {
+      for (const BuchiTransition& t : a.adj[s]) {
+        if (t.to == s) on_cycle[s] = true;
+      }
+    }
+  }
+  return on_cycle;
+}
+
+}  // namespace
+
+void BuchiAutomaton::RemoveUnreachable() {
+  std::vector<bool> seen = ReachableFromStart(*this);
+  std::vector<int> keep(NumStates(), -1);
+  int next = 0;
+  for (int s = 0; s < NumStates(); ++s) {
+    if (seen[s]) keep[s] = next++;
+  }
+  Renumber(this, keep, next);
+  EnsureNonDegenerate(this);
+}
+
+void BuchiAutomaton::ClearAcceptanceOffCycles() {
+  std::vector<bool> on_cycle = OnCycle(*this);
+  for (int s = 0; s < NumStates(); ++s) {
+    if (!on_cycle[s]) accepting[s] = false;
+  }
+}
+
+void BuchiAutomaton::RemoveSubsumedTransitions() {
+  for (auto& ts : adj) {
+    std::vector<BuchiTransition> kept;
+    for (const BuchiTransition& t : ts) {
+      bool subsumed = false;
+      for (const BuchiTransition& other : ts) {
+        if (&other == &t || other.to != t.to) continue;
+        // `other` subsumes `t` if other's guard is a subset of t's guard
+        // (weaker condition, fires whenever t does). Break guard-equality
+        // ties by address to keep exactly one copy.
+        bool subset = std::includes(t.guard.begin(), t.guard.end(),
+                                    other.guard.begin(), other.guard.end());
+        if (subset && (other.guard != t.guard || &other < &t)) {
+          subsumed = true;
+          break;
+        }
+      }
+      if (!subsumed) kept.push_back(t);
+    }
+    ts = std::move(kept);
+  }
+}
+
+void BuchiAutomaton::MergeEquivalentStates() {
+  int n = NumStates();
+  std::vector<int> part(n);
+  for (int s = 0; s < n; ++s) part[s] = accepting[s] ? 1 : 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Signature: (current class, sorted set of (guard, successor class)).
+    std::map<std::pair<int, std::set<std::pair<Guard, int>>>, int> classes;
+    std::vector<int> next_part(n);
+    for (int s = 0; s < n; ++s) {
+      std::set<std::pair<Guard, int>> succs;
+      for (const BuchiTransition& t : adj[s]) {
+        succs.emplace(t.guard, part[t.to]);
+      }
+      auto key = std::make_pair(part[s], std::move(succs));
+      auto it =
+          classes.emplace(std::move(key), static_cast<int>(classes.size()))
+              .first;
+      next_part[s] = it->second;
+    }
+    if (next_part != part) {
+      part = std::move(next_part);
+      changed = true;
+    }
+  }
+  // Acceptance folding: a state not on any cycle is visited finitely often
+  // by every run, so its acceptance flag is irrelevant; fold it into any
+  // class with the same successor signature even if acceptance differs.
+  {
+    std::vector<bool> on_cycle = OnCycle(*this);
+    // Normalize first so folding can never manufacture acceptance.
+    for (int s = 0; s < n; ++s) {
+      if (!on_cycle[s]) accepting[s] = false;
+    }
+    bool folded = true;
+    while (folded) {
+      folded = false;
+      std::map<std::set<std::pair<Guard, int>>, int> by_signature;
+      std::vector<std::set<std::pair<Guard, int>>> signature(n);
+      for (int s = 0; s < n; ++s) {
+        for (const BuchiTransition& t : adj[s]) {
+          signature[s].emplace(t.guard, part[t.to]);
+        }
+        if (on_cycle[s]) by_signature.emplace(signature[s], part[s]);
+      }
+      for (int s = 0; s < n; ++s) {
+        if (on_cycle[s]) continue;
+        auto it = by_signature.find(signature[s]);
+        if (it != by_signature.end() && part[s] != it->second) {
+          part[s] = it->second;
+          folded = true;
+        }
+      }
+    }
+  }
+  // Keep one representative per class.
+  int num_classes = 0;
+  for (int p : part) num_classes = std::max(num_classes, p + 1);
+  std::vector<int> rep(num_classes, -1);
+  std::vector<int> keep(n, -1);
+  int next = 0;
+  for (int s = 0; s < n; ++s) {
+    if (rep[part[s]] == -1) {
+      rep[part[s]] = next;
+      keep[s] = next++;
+    }
+  }
+  std::vector<std::vector<BuchiTransition>> new_adj(next);
+  std::vector<bool> new_acc(next, false);
+  for (int s = 0; s < n; ++s) {
+    int cls = rep[part[s]];
+    // OR: folded off-cycle members must not clear an accepting class.
+    new_acc[cls] = new_acc[cls] || accepting[s];
+    for (const BuchiTransition& t : adj[s]) {
+      new_adj[cls].push_back({rep[part[t.to]], t.guard});
+    }
+  }
+  for (auto& ts : new_adj) {
+    std::sort(ts.begin(), ts.end());
+    ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  }
+  adj = std::move(new_adj);
+  accepting = std::move(new_acc);
+  start = rep[part[start]];
+}
+
+void BuchiAutomaton::PruneDeadStates() {
+  // States on an accepting cycle.
+  std::vector<int> comp;
+  StronglyConnectedComponents(*this, &comp);
+  std::vector<int> comp_size(NumStates(), 0);
+  for (int c : comp) comp_size[c]++;
+  std::vector<bool> live(NumStates(), false);
+  for (int s = 0; s < NumStates(); ++s) {
+    if (!accepting[s]) continue;
+    bool on_cycle = comp_size[comp[s]] > 1;
+    if (!on_cycle) {
+      for (const BuchiTransition& t : adj[s]) {
+        if (t.to == s) on_cycle = true;
+      }
+    }
+    if (on_cycle) live[s] = true;
+  }
+  // Backward closure: a state is live if it reaches a live state. Iterate
+  // to fixpoint (automata are small).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int s = 0; s < NumStates(); ++s) {
+      if (live[s]) continue;
+      for (const BuchiTransition& t : adj[s]) {
+        if (live[t.to]) {
+          live[s] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<int> keep(NumStates(), -1);
+  int next = 0;
+  // Always keep the start state so the automaton stays well-formed.
+  for (int s = 0; s < NumStates(); ++s) {
+    if (live[s] || s == start) keep[s] = next++;
+  }
+  Renumber(this, keep, next);
+  EnsureNonDegenerate(this);
+}
+
+void BuchiAutomaton::Simplify() {
+  // Cheap fixpoint: each pass only shrinks the automaton.
+  int prev_states = -1, prev_transitions = -1;
+  while (prev_states != NumStates() || prev_transitions != NumTransitions()) {
+    prev_states = NumStates();
+    prev_transitions = NumTransitions();
+    RemoveUnreachable();
+    RemoveSubsumedTransitions();
+    ClearAcceptanceOffCycles();
+    MergeEquivalentStates();
+    PruneDeadStates();
+  }
+}
+
+bool BuchiAutomaton::IsEmptyLanguage() const {
+  BuchiAutomaton copy = *this;
+  copy.RemoveUnreachable();
+  std::vector<int> comp;
+  StronglyConnectedComponents(copy, &comp);
+  std::vector<int> comp_size(copy.NumStates(), 0);
+  for (int c : comp) comp_size[c]++;
+  for (int s = 0; s < copy.NumStates(); ++s) {
+    if (!copy.accepting[s]) continue;
+    if (comp_size[comp[s]] > 1) return false;
+    for (const BuchiTransition& t : copy.adj[s]) {
+      if (t.to == s) return false;
+    }
+  }
+  return true;
+}
+
+std::string BuchiAutomaton::ToDot(
+    const std::function<std::string(int)>& prop_name) const {
+  std::string out = "digraph buchi {\n  rankdir=LR;\n";
+  out += "  init [shape=point];\n";
+  for (int s = 0; s < NumStates(); ++s) {
+    out += "  s" + std::to_string(s) + " [shape=" +
+           (accepting[s] ? "doublecircle" : "circle") + "];\n";
+  }
+  out += "  init -> s" + std::to_string(start) + ";\n";
+  for (int s = 0; s < NumStates(); ++s) {
+    for (const BuchiTransition& t : adj[s]) {
+      std::string label;
+      if (t.guard.empty()) {
+        label = "true";
+      } else {
+        for (size_t i = 0; i < t.guard.size(); ++i) {
+          if (i > 0) label += " & ";
+          if (!t.guard[i].positive) label += "!";
+          label += prop_name ? prop_name(t.guard[i].prop)
+                             : "P" + std::to_string(t.guard[i].prop);
+        }
+      }
+      out += "  s" + std::to_string(s) + " -> s" + std::to_string(t.to) +
+             " [label=\"" + label + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace wave

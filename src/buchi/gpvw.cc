@@ -1,0 +1,279 @@
+#include "buchi/gpvw.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wave {
+
+namespace {
+
+using NodeSet = std::set<PropId>;
+
+/// A tableau node in the GPVW expansion. `name` is assigned only when the
+/// node completes (New empty) and is registered — split copies of a node in
+/// progress must not share an identity.
+struct GNode {
+  int name = -2;  // unassigned until completion
+  std::set<int> incoming;  // node names; kInitName denotes the initial edge
+  NodeSet nnew;            // obligations still to process
+  NodeSet old;             // processed obligations (define the state label)
+  NodeSet next;            // obligations for the successor state
+};
+
+constexpr int kInitName = -1;
+
+class Expander {
+ public:
+  Expander(PropArena* arena, PropId root) : arena_(arena) {
+    GNode init;
+    init.incoming.insert(kInitName);
+    init.nnew.insert(root);
+    // Worklist instead of recursion across nodes: successor nodes are
+    // queued, only the obligation-processing within one node recurses
+    // (depth bounded by the formula's closure size).
+    pending_.push_back(std::move(init));
+    while (!pending_.empty()) {
+      GNode node = std::move(pending_.front());
+      pending_.pop_front();
+      Expand(std::move(node));
+    }
+  }
+
+  const std::vector<GNode>& nodes() const { return done_; }
+
+ private:
+  const PropArena::Node& N(PropId id) const { return arena_->node(id); }
+
+  /// Negation of an NNF leaf/literal, for the contradiction check.
+  PropId NegLiteral(PropId f) {
+    const PropArena::Node& n = N(f);
+    if (n.kind == PropArena::Kind::kNot) return n.left;
+    WAVE_CHECK(n.kind == PropArena::Kind::kProp);
+    return arena_->Not(f);
+  }
+
+  bool IsLiteral(PropId f) {
+    switch (N(f).kind) {
+      case PropArena::Kind::kProp:
+      case PropArena::Kind::kNot:
+      case PropArena::Kind::kTrue:
+      case PropArena::Kind::kFalse:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  void Expand(GNode node) {
+    if (node.nnew.empty()) {
+      // A fully processed node: merge with an existing node having the same
+      // Old and Next sets, else register it and start its successor.
+      for (GNode& nd : done_) {
+        if (nd.old == node.old && nd.next == node.next) {
+          nd.incoming.insert(node.incoming.begin(), node.incoming.end());
+          return;
+        }
+      }
+      node.name = next_name_++;
+      GNode succ;
+      succ.incoming.insert(node.name);
+      succ.nnew = node.next;
+      done_.push_back(std::move(node));
+      pending_.push_back(std::move(succ));
+      return;
+    }
+    PropId f = *node.nnew.begin();
+    node.nnew.erase(node.nnew.begin());
+    const PropArena::Node& n = N(f);
+    if (IsLiteral(f)) {
+      if (n.kind == PropArena::Kind::kFalse) return;  // contradiction
+      if (n.kind != PropArena::Kind::kTrue) {
+        if (node.old.count(NegLiteral(f)) > 0) return;  // p & !p
+        node.old.insert(f);
+      }
+      Expand(std::move(node));
+      return;
+    }
+    switch (n.kind) {
+      case PropArena::Kind::kAnd: {
+        if (node.old.count(n.left) == 0) node.nnew.insert(n.left);
+        if (node.old.count(n.right) == 0) node.nnew.insert(n.right);
+        node.old.insert(f);
+        Expand(std::move(node));
+        return;
+      }
+      case PropArena::Kind::kOr: {
+        GNode n1 = node, n2 = node;
+        if (n1.old.count(n.left) == 0) n1.nnew.insert(n.left);
+        n1.old.insert(f);
+        if (n2.old.count(n.right) == 0) n2.nnew.insert(n.right);
+        n2.old.insert(f);
+        Expand(std::move(n1));
+        Expand(std::move(n2));
+        return;
+      }
+      case PropArena::Kind::kU: {
+        // f = l U r:  (l ∧ X f)  ∨  r
+        GNode n1 = node, n2 = node;
+        if (n1.old.count(n.left) == 0) n1.nnew.insert(n.left);
+        n1.next.insert(f);
+        n1.old.insert(f);
+        if (n2.old.count(n.right) == 0) n2.nnew.insert(n.right);
+        n2.old.insert(f);
+        Expand(std::move(n1));
+        Expand(std::move(n2));
+        return;
+      }
+      case PropArena::Kind::kR: {
+        // f = l R r:  (r ∧ X f)  ∨  (l ∧ r)
+        GNode n1 = node, n2 = node;
+        if (n1.old.count(n.right) == 0) n1.nnew.insert(n.right);
+        n1.next.insert(f);
+        n1.old.insert(f);
+        if (n2.old.count(n.left) == 0) n2.nnew.insert(n.left);
+        if (n2.old.count(n.right) == 0) n2.nnew.insert(n.right);
+        n2.old.insert(f);
+        Expand(std::move(n1));
+        Expand(std::move(n2));
+        return;
+      }
+      case PropArena::Kind::kX: {
+        node.next.insert(n.left);
+        node.old.insert(f);
+        Expand(std::move(node));
+        return;
+      }
+      default:
+        WAVE_CHECK_MSG(false, "non-NNF node in GPVW expansion");
+    }
+  }
+
+  PropArena* arena_;
+  int next_name_ = 0;
+  std::vector<GNode> done_;
+  std::deque<GNode> pending_;
+};
+
+}  // namespace
+
+BuchiAutomaton LtlToBuchi(PropArena* arena, PropId f, int num_props,
+                          const GpvwOptions& options) {
+  PropId nnf = arena->Nnf(f);
+
+  Expander expander(arena, nnf);
+  const std::vector<GNode>& nodes = expander.nodes();
+
+  // Collect all U-subformulas appearing in any node — these induce the
+  // generalized acceptance sets F_{lUr} = { q : lUr ∉ Old(q) or r ∈ Old(q) }.
+  std::set<PropId> until_formulas;
+  for (const GNode& nd : nodes) {
+    for (PropId g : nd.old) {
+      if (arena->node(g).kind == PropArena::Kind::kU) {
+        until_formulas.insert(g);
+      }
+    }
+    for (PropId g : nd.next) {
+      if (arena->node(g).kind == PropArena::Kind::kU) {
+        until_formulas.insert(g);
+      }
+    }
+  }
+  std::vector<PropId> untils(until_formulas.begin(), until_formulas.end());
+  int k = static_cast<int>(untils.size());
+
+  // Map tableau node names to dense ids; state 0 is a fresh initial state
+  // (the paper's automata also carry an explicit start).
+  std::map<int, int> state_of_name;
+  state_of_name[kInitName] = 0;
+  for (const GNode& nd : nodes) {
+    state_of_name[nd.name] = static_cast<int>(state_of_name.size());
+  }
+  int num_gba_states = static_cast<int>(state_of_name.size());
+
+  // Guard of every transition *into* node q: conjunction of literals in
+  // Old(q).
+  auto guard_of = [&](const GNode& q) -> Guard {
+    Guard g;
+    for (PropId h : q.old) {
+      const PropArena::Node& n = arena->node(h);
+      if (n.kind == PropArena::Kind::kProp) {
+        g.push_back({n.prop, true});
+      } else if (n.kind == PropArena::Kind::kNot) {
+        g.push_back({arena->node(n.left).prop, false});
+      }
+    }
+    bool ok = NormalizeGuard(&g);
+    WAVE_CHECK(ok);  // expansion already rejects contradictions
+    return g;
+  };
+
+  // Membership in acceptance set i.
+  auto in_accept_set = [&](const GNode& q, int i) {
+    PropId u = untils[i];
+    if (q.old.count(u) == 0) return true;
+    return q.old.count(arena->node(u).right) > 0;
+  };
+
+  BuchiAutomaton out;
+  out.num_props = num_props;
+
+  if (k == 0) {
+    // No Until subformulas: the generalized condition is vacuous; every
+    // state is accepting.
+    out.adj.assign(num_gba_states, {});
+    out.accepting.assign(num_gba_states, true);
+    out.start = 0;
+    for (const GNode& q : nodes) {
+      Guard g = guard_of(q);
+      for (int p_name : q.incoming) {
+        out.adj[state_of_name[p_name]].push_back(
+            {state_of_name[q.name], g});
+      }
+    }
+  } else {
+    // Degeneralize with a counter: state (q, i) waits to see acceptance
+    // set i. From (q, i) an edge q->q' goes to (q', i') where i' advances
+    // when q belongs to F_i. Accepting: (q, 0) with q ∈ F_0.
+    auto id_of = [&](int state, int counter) {
+      return state * k + counter;
+    };
+    out.adj.assign(num_gba_states * k, {});
+    out.accepting.assign(num_gba_states * k, false);
+    out.start = id_of(0, 0);
+    // Initial virtual state: belongs to every F_i vacuously (it has no Old
+    // set), so its counter advances; keep it simple and treat it as in all
+    // acceptance sets.
+    std::vector<std::vector<bool>> in_f(num_gba_states,
+                                        std::vector<bool>(k, true));
+    for (const GNode& q : nodes) {
+      for (int i = 0; i < k; ++i) {
+        in_f[state_of_name[q.name]][i] = in_accept_set(q, i);
+      }
+    }
+    for (int s = 0; s < num_gba_states; ++s) {
+      if (in_f[s][0]) out.accepting[id_of(s, 0)] = true;
+    }
+    for (const GNode& q : nodes) {
+      Guard g = guard_of(q);
+      int to_state = state_of_name[q.name];
+      for (int p_name : q.incoming) {
+        int from_state = state_of_name[p_name];
+        for (int i = 0; i < k; ++i) {
+          int next_i = in_f[from_state][i] ? (i + 1) % k : i;
+          out.adj[id_of(from_state, i)].push_back(
+              {id_of(to_state, next_i), g});
+        }
+      }
+    }
+  }
+
+  if (options.simplify) out.Simplify();
+  return out;
+}
+
+}  // namespace wave

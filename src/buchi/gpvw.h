@@ -1,0 +1,31 @@
+// LTL → Büchi translation, replacing the paper's use of the external
+// `ltl2ba` tool. Implements the tableau construction of Gerth, Peled,
+// Vardi, Wolper, "Simple On-the-Fly Automatic Verification of Linear
+// Temporal Logic" (PSTV 1995) — the algorithm the paper cites [20] —
+// followed by degeneralization of the generalized acceptance condition and
+// the simplification passes of `BuchiAutomaton::Simplify`.
+#ifndef WAVE_BUCHI_GPVW_H_
+#define WAVE_BUCHI_GPVW_H_
+
+#include "buchi/buchi.h"
+#include "buchi/prop_ltl.h"
+
+namespace wave {
+
+/// Options for `LtlToBuchi`.
+struct GpvwOptions {
+  /// Run the post-translation simplification passes (default on; turn off
+  /// to inspect the raw tableau, e.g. in ablation benchmarks).
+  bool simplify = true;
+};
+
+/// Translates the propositional LTL formula `f` (any connectives; NNF is
+/// applied internally) into a Büchi automaton accepting exactly the infinite
+/// words satisfying it. `num_props` is the number of propositions (atoms
+/// are `0 .. num_props-1`).
+BuchiAutomaton LtlToBuchi(PropArena* arena, PropId f, int num_props,
+                          const GpvwOptions& options = {});
+
+}  // namespace wave
+
+#endif  // WAVE_BUCHI_GPVW_H_

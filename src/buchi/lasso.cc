@@ -1,0 +1,197 @@
+#include "buchi/lasso.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace wave {
+
+namespace {
+
+/// Flattened lasso positions: 0..n-1 prefix, n..n+k-1 cycle; the successor
+/// of the last position wraps to n.
+struct Positions {
+  explicit Positions(const LassoWord& word)
+      : n(static_cast<int>(word.prefix.size())),
+        k(static_cast<int>(word.cycle.size())) {
+    WAVE_CHECK_MSG(k > 0, "lasso cycle must be non-empty");
+  }
+  int n, k;
+  int total() const { return n + k; }
+  int Next(int i) const { return i + 1 < total() ? i + 1 : n; }
+  const std::vector<bool>& Letter(const LassoWord& word, int i) const {
+    return i < n ? word.prefix[i] : word.cycle[i - n];
+  }
+};
+
+class LassoEvaluator {
+ public:
+  LassoEvaluator(PropArena* arena, const LassoWord& word)
+      : arena_(arena), word_(word), pos_(word) {}
+
+  /// Truth vector of `f` over all positions.
+  const std::vector<bool>& Eval(PropId f) {
+    auto it = memo_.find(f);
+    if (it != memo_.end()) return it->second;
+    std::vector<bool> val(pos_.total(), false);
+    const PropArena::Node& n = arena_->node(f);
+    switch (n.kind) {
+      case PropArena::Kind::kTrue:
+        val.assign(pos_.total(), true);
+        break;
+      case PropArena::Kind::kFalse:
+        break;
+      case PropArena::Kind::kProp:
+        for (int i = 0; i < pos_.total(); ++i) {
+          const std::vector<bool>& letter = pos_.Letter(word_, i);
+          WAVE_CHECK(n.prop < static_cast<int>(letter.size()));
+          val[i] = letter[n.prop];
+        }
+        break;
+      case PropArena::Kind::kNot: {
+        const std::vector<bool>& c = Eval(n.left);
+        for (int i = 0; i < pos_.total(); ++i) val[i] = !c[i];
+        break;
+      }
+      case PropArena::Kind::kAnd: {
+        const std::vector<bool> l = Eval(n.left);
+        const std::vector<bool>& r = Eval(n.right);
+        for (int i = 0; i < pos_.total(); ++i) val[i] = l[i] && r[i];
+        break;
+      }
+      case PropArena::Kind::kOr: {
+        const std::vector<bool> l = Eval(n.left);
+        const std::vector<bool>& r = Eval(n.right);
+        for (int i = 0; i < pos_.total(); ++i) val[i] = l[i] || r[i];
+        break;
+      }
+      case PropArena::Kind::kImplies: {
+        const std::vector<bool> l = Eval(n.left);
+        const std::vector<bool>& r = Eval(n.right);
+        for (int i = 0; i < pos_.total(); ++i) val[i] = !l[i] || r[i];
+        break;
+      }
+      case PropArena::Kind::kX: {
+        const std::vector<bool>& c = Eval(n.left);
+        for (int i = 0; i < pos_.total(); ++i) val[i] = c[pos_.Next(i)];
+        break;
+      }
+      case PropArena::Kind::kU: {
+        // Least fixpoint of val[i] = r[i] | (l[i] & val[next]).
+        const std::vector<bool> l = Eval(n.left);
+        const std::vector<bool> r = Eval(n.right);
+        val = Fixpoint(l, r, /*is_until=*/true);
+        break;
+      }
+      case PropArena::Kind::kR: {
+        // Greatest fixpoint of val[i] = r[i] & (l[i] | val[next]).
+        const std::vector<bool> l = Eval(n.left);
+        const std::vector<bool> r = Eval(n.right);
+        val = Fixpoint(l, r, /*is_until=*/false);
+        break;
+      }
+      case PropArena::Kind::kG:
+        return Eval(arena_->R(arena_->False(), n.left));
+      case PropArena::Kind::kF:
+        return Eval(arena_->U(arena_->True(), n.left));
+      case PropArena::Kind::kB:
+        // p B q == !(!p U q)
+        return Eval(arena_->Not(arena_->U(arena_->Not(n.left), n.right)));
+    }
+    return memo_.emplace(f, std::move(val)).first->second;
+  }
+
+ private:
+  std::vector<bool> Fixpoint(const std::vector<bool>& l,
+                             const std::vector<bool>& r, bool is_until) {
+    std::vector<bool> val(pos_.total(), !is_until);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int i = pos_.total() - 1; i >= 0; --i) {
+        bool next = val[pos_.Next(i)];
+        bool v = is_until ? (r[i] || (l[i] && next))
+                          : (r[i] && (l[i] || next));
+        if (v != val[i]) {
+          val[i] = v;
+          changed = true;
+        }
+      }
+    }
+    return val;
+  }
+
+  PropArena* arena_;
+  const LassoWord& word_;
+  Positions pos_;
+  std::map<PropId, std::vector<bool>> memo_;
+};
+
+}  // namespace
+
+bool EvalLtlOnLasso(PropArena* arena, PropId f, const LassoWord& word) {
+  LassoEvaluator evaluator(arena, word);
+  return evaluator.Eval(f)[0];
+}
+
+bool AcceptsLasso(const BuchiAutomaton& automaton, const LassoWord& word) {
+  Positions pos(word);
+  int total = pos.total();
+  int num_product = automaton.NumStates() * total;
+  auto id = [&](int state, int i) { return state * total + i; };
+
+  // Forward reachability from (start, 0).
+  std::vector<bool> reachable(num_product, false);
+  std::vector<int> stack = {id(automaton.start, 0)};
+  reachable[stack[0]] = true;
+  while (!stack.empty()) {
+    int node = stack.back();
+    stack.pop_back();
+    int state = node / total, i = node % total;
+    const std::vector<bool>& letter = pos.Letter(word, i);
+    for (const BuchiTransition& t : automaton.adj[state]) {
+      if (!GuardSatisfied(t.guard, letter)) continue;
+      int next = id(t.to, pos.Next(i));
+      if (!reachable[next]) {
+        reachable[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+
+  // A lasso is accepted iff some reachable product node with an accepting
+  // automaton state (in the cycle region) can reach itself.
+  for (int state = 0; state < automaton.NumStates(); ++state) {
+    if (!automaton.accepting[state]) continue;
+    for (int i = pos.n; i < total; ++i) {
+      int seed = id(state, i);
+      if (!reachable[seed]) continue;
+      // BFS from seed looking for a return to seed.
+      std::vector<bool> seen(num_product, false);
+      std::vector<int> frontier = {seed};
+      bool found = false;
+      while (!frontier.empty() && !found) {
+        int node = frontier.back();
+        frontier.pop_back();
+        int s = node / total, j = node % total;
+        const std::vector<bool>& letter = pos.Letter(word, j);
+        for (const BuchiTransition& t : automaton.adj[s]) {
+          if (!GuardSatisfied(t.guard, letter)) continue;
+          int next = id(t.to, pos.Next(j));
+          if (next == seed) {
+            found = true;
+            break;
+          }
+          if (!seen[next]) {
+            seen[next] = true;
+            frontier.push_back(next);
+          }
+        }
+      }
+      if (found) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace wave

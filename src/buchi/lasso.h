@@ -1,0 +1,33 @@
+// Ultimately-periodic ("lasso") words u·v^ω over truth assignments, with
+//   * a reference semantic evaluator for propositional LTL on lassos, and
+//   * a Büchi acceptance check for lassos.
+// Used to differential-test the GPVW translation and to validate
+// counterexamples.
+#ifndef WAVE_BUCHI_LASSO_H_
+#define WAVE_BUCHI_LASSO_H_
+
+#include <vector>
+
+#include "buchi/buchi.h"
+#include "buchi/prop_ltl.h"
+
+namespace wave {
+
+/// One truth assignment per position; `prefix` then `cycle` repeated
+/// forever. `cycle` must be non-empty.
+struct LassoWord {
+  std::vector<std::vector<bool>> prefix;
+  std::vector<std::vector<bool>> cycle;
+};
+
+/// Semantic truth value of the LTL formula `f` (any connectives) on the
+/// lasso word, at position 0.
+bool EvalLtlOnLasso(PropArena* arena, PropId f, const LassoWord& word);
+
+/// True iff the automaton accepts the lasso word (has a run visiting an
+/// accepting state infinitely often).
+bool AcceptsLasso(const BuchiAutomaton& automaton, const LassoWord& word);
+
+}  // namespace wave
+
+#endif  // WAVE_BUCHI_LASSO_H_

@@ -1,0 +1,179 @@
+#include "buchi/prop_ltl.h"
+
+#include "common/check.h"
+
+namespace wave {
+
+PropId PropArena::Intern(Node n) {
+  auto key = std::make_tuple(static_cast<uint8_t>(n.kind), n.prop, n.left,
+                             n.right);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  PropId id = static_cast<PropId>(nodes_.size());
+  nodes_.push_back(n);
+  index_.emplace(key, id);
+  return id;
+}
+
+PropId PropArena::True() { return Intern({Kind::kTrue}); }
+PropId PropArena::False() { return Intern({Kind::kFalse}); }
+PropId PropArena::Prop(int prop) {
+  Node n{Kind::kProp};
+  n.prop = prop;
+  return Intern(n);
+}
+PropId PropArena::Not(PropId f) {
+  Node n{Kind::kNot};
+  n.left = f;
+  return Intern(n);
+}
+PropId PropArena::And(PropId l, PropId r) {
+  Node n{Kind::kAnd};
+  n.left = l;
+  n.right = r;
+  return Intern(n);
+}
+PropId PropArena::Or(PropId l, PropId r) {
+  Node n{Kind::kOr};
+  n.left = l;
+  n.right = r;
+  return Intern(n);
+}
+PropId PropArena::Implies(PropId l, PropId r) {
+  Node n{Kind::kImplies};
+  n.left = l;
+  n.right = r;
+  return Intern(n);
+}
+PropId PropArena::X(PropId f) {
+  Node n{Kind::kX};
+  n.left = f;
+  return Intern(n);
+}
+PropId PropArena::U(PropId l, PropId r) {
+  Node n{Kind::kU};
+  n.left = l;
+  n.right = r;
+  return Intern(n);
+}
+PropId PropArena::R(PropId l, PropId r) {
+  Node n{Kind::kR};
+  n.left = l;
+  n.right = r;
+  return Intern(n);
+}
+PropId PropArena::G(PropId f) {
+  Node n{Kind::kG};
+  n.left = f;
+  return Intern(n);
+}
+PropId PropArena::F(PropId f) {
+  Node n{Kind::kF};
+  n.left = f;
+  return Intern(n);
+}
+PropId PropArena::B(PropId l, PropId r) {
+  Node n{Kind::kB};
+  n.left = l;
+  n.right = r;
+  return Intern(n);
+}
+
+PropId PropArena::Nnf(PropId f, bool negate) {
+  Node n = nodes_[f];  // copy: interning below may reallocate nodes_
+  switch (n.kind) {
+    case Kind::kTrue:
+      return negate ? False() : True();
+    case Kind::kFalse:
+      return negate ? True() : False();
+    case Kind::kProp:
+      return negate ? Not(f) : f;
+    case Kind::kNot:
+      return Nnf(n.left, !negate);
+    case Kind::kAnd: {
+      PropId l = Nnf(n.left, negate);
+      PropId r = Nnf(n.right, negate);
+      return negate ? Or(l, r) : And(l, r);
+    }
+    case Kind::kOr: {
+      PropId l = Nnf(n.left, negate);
+      PropId r = Nnf(n.right, negate);
+      return negate ? And(l, r) : Or(l, r);
+    }
+    case Kind::kImplies: {
+      // a -> b == !a | b
+      PropId l = Nnf(n.left, !negate);
+      PropId r = Nnf(n.right, negate);
+      return negate ? And(Nnf(n.left, false), r) : Or(l, r);
+    }
+    case Kind::kX:
+      return X(Nnf(n.left, negate));
+    case Kind::kU: {
+      PropId l = Nnf(n.left, negate);
+      PropId r = Nnf(n.right, negate);
+      return negate ? R(l, r) : U(l, r);
+    }
+    case Kind::kR: {
+      PropId l = Nnf(n.left, negate);
+      PropId r = Nnf(n.right, negate);
+      return negate ? U(l, r) : R(l, r);
+    }
+    case Kind::kG:
+      // G p = false R p ; !G p = true U !p
+      return negate ? U(True(), Nnf(n.left, true))
+                    : R(False(), Nnf(n.left, false));
+    case Kind::kF:
+      // F p = true U p ; !F p = false R !p
+      return negate ? R(False(), Nnf(n.left, true))
+                    : U(True(), Nnf(n.left, false));
+    case Kind::kB:
+      // p B q == !(!p U q):  NNF = p R !q ; negation = !p U q.
+      return negate ? U(Nnf(n.left, true), Nnf(n.right, false))
+                    : R(Nnf(n.left, false), Nnf(n.right, true));
+  }
+  WAVE_CHECK(false);
+  return -1;
+}
+
+std::string PropArena::ToString(
+    PropId f, const std::function<std::string(int)>& prop_name) const {
+  const Node& n = nodes_[f];
+  switch (n.kind) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kProp:
+      return prop_name ? prop_name(n.prop) : "P" + std::to_string(n.prop);
+    case Kind::kNot:
+      return "!" + ToString(n.left, prop_name);
+    case Kind::kAnd:
+      return "(" + ToString(n.left, prop_name) + " & " +
+             ToString(n.right, prop_name) + ")";
+    case Kind::kOr:
+      return "(" + ToString(n.left, prop_name) + " | " +
+             ToString(n.right, prop_name) + ")";
+    case Kind::kImplies:
+      return "(" + ToString(n.left, prop_name) + " -> " +
+             ToString(n.right, prop_name) + ")";
+    case Kind::kX:
+      return "X" + ToString(n.left, prop_name);
+    case Kind::kU:
+      return "(" + ToString(n.left, prop_name) + " U " +
+             ToString(n.right, prop_name) + ")";
+    case Kind::kR:
+      return "(" + ToString(n.left, prop_name) + " R " +
+             ToString(n.right, prop_name) + ")";
+    case Kind::kG:
+      return "G" + ToString(n.left, prop_name);
+    case Kind::kF:
+      return "F" + ToString(n.left, prop_name);
+    case Kind::kB:
+      return "(" + ToString(n.left, prop_name) + " B " +
+             ToString(n.right, prop_name) + ")";
+  }
+  WAVE_CHECK(false);
+  return "";
+}
+
+}  // namespace wave

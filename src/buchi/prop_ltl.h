@@ -1,0 +1,90 @@
+// Propositional LTL with hash-consed nodes.
+//
+// `phi_aux` — the propositional abstraction of an LTL-FO property where
+// each maximal FO component becomes a proposition (paper Section 3, Step 1)
+// — is represented here. Hash-consing makes structural equality pointer
+// (id) equality, which the GPVW tableau construction relies on for its
+// formula sets.
+#ifndef WAVE_BUCHI_PROP_LTL_H_
+#define WAVE_BUCHI_PROP_LTL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace wave {
+
+/// Node id within a `PropArena`; ids are stable for the arena's lifetime.
+using PropId = int32_t;
+
+/// Arena of hash-consed propositional LTL nodes.
+///
+/// `Nnf` rewrites to negation normal form over the core connectives
+/// {true, false, literal, and, or, X, U, R}; the derived operators
+/// G, F, B and implication are expanded there:
+///   G p = false R p,  F p = true U p,  p B q = p R !q  (== !(!p U q)).
+class PropArena {
+ public:
+  enum class Kind : uint8_t {
+    kTrue,
+    kFalse,
+    kProp,   // proposition `prop`
+    kNot,
+    kAnd,
+    kOr,
+    kImplies,
+    kX,
+    kU,
+    kR,   // release (dual of U)
+    kG,
+    kF,
+    kB,   // before (paper footnote 1): p B q == !( !p U q )
+  };
+
+  struct Node {
+    Kind kind;
+    int prop = -1;      // kProp
+    PropId left = -1;   // unary body / binary lhs
+    PropId right = -1;  // binary rhs
+  };
+
+  PropArena() = default;
+
+  PropId True();
+  PropId False();
+  PropId Prop(int prop);
+  PropId Not(PropId f);
+  PropId And(PropId l, PropId r);
+  PropId Or(PropId l, PropId r);
+  PropId Implies(PropId l, PropId r);
+  PropId X(PropId f);
+  PropId U(PropId l, PropId r);
+  PropId R(PropId l, PropId r);
+  PropId G(PropId f);
+  PropId F(PropId f);
+  PropId B(PropId l, PropId r);
+
+  const Node& node(PropId id) const { return nodes_[id]; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// Negation normal form (negating first when `negate`). The result uses
+  /// only kTrue/kFalse/kProp/kNot-over-kProp/kAnd/kOr/kX/kU/kR.
+  PropId Nnf(PropId f, bool negate = false);
+
+  /// Renders using `prop_name` for propositions.
+  std::string ToString(PropId f,
+                       const std::function<std::string(int)>& prop_name) const;
+
+ private:
+  PropId Intern(Node n);
+
+  std::vector<Node> nodes_;
+  std::map<std::tuple<uint8_t, int, PropId, PropId>, PropId> index_;
+};
+
+}  // namespace wave
+
+#endif  // WAVE_BUCHI_PROP_LTL_H_

@@ -1,0 +1,74 @@
+#include "common/bitset.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace wave {
+
+int DynamicBitset::Count() const {
+  int count = 0;
+  for (uint64_t w : words_) count += std::popcount(w);
+  return count;
+}
+
+bool DynamicBitset::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::Increment() {
+  if (num_bits_ == 0) return false;
+  for (int i = 0; i < num_bits_; ++i) {
+    if (!Test(i)) {
+      Set(i, true);
+      return true;
+    }
+    Set(i, false);
+  }
+  return false;  // wrapped around
+}
+
+void DynamicBitset::Append(const DynamicBitset& other) {
+  for (int i = 0; i < other.num_bits_; ++i) {
+    AppendBits(other.Test(i) ? 1 : 0, 1);
+  }
+}
+
+void DynamicBitset::AppendBits(uint64_t value, int num_bits) {
+  WAVE_CHECK(num_bits >= 0 && num_bits <= 64);
+  for (int i = 0; i < num_bits; ++i) {
+    int bit = num_bits_++;
+    if ((bit >> 6) >= static_cast<int>(words_.size())) words_.push_back(0);
+    if ((value >> i) & 1) words_[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+}
+
+std::vector<uint8_t> DynamicBitset::ToBytes() const {
+  std::vector<uint8_t> bytes((num_bits_ + 7) / 8, 0);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<uint8_t>(words_[i / 8] >> ((i % 8) * 8));
+  }
+  return bytes;
+}
+
+std::string DynamicBitset::ToString() const {
+  std::string s;
+  s.reserve(num_bits_);
+  for (int i = 0; i < num_bits_; ++i) s.push_back(Test(i) ? '1' : '0');
+  return s;
+}
+
+uint64_t DynamicBitset::Hash() const {
+  // FNV-1a over words; adequate for hash-set baselines and tests.
+  uint64_t h = 14695981039346656037ull;
+  h = (h ^ static_cast<uint64_t>(num_bits_)) * 1099511628211ull;
+  for (uint64_t w : words_) {
+    h = (h ^ w) * 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace wave

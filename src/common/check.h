@@ -1,0 +1,43 @@
+// Internal invariant checking. WAVE is a verifier: an internal inconsistency
+// means any verdict it produces is untrustworthy, so invariant violations
+// abort the process rather than propagate as recoverable errors.
+#ifndef WAVE_COMMON_CHECK_H_
+#define WAVE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace wave::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "WAVE_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+}  // namespace wave::internal
+
+// Always-on assertion (active in release builds too; the checks guard
+// logical invariants on toy-sized data, not hot loops).
+#define WAVE_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::wave::internal::CheckFailed(__FILE__, __LINE__, #expr, "");       \
+    }                                                                     \
+  } while (0)
+
+#define WAVE_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream wave_check_stream_;                              \
+      wave_check_stream_ << msg;                                          \
+      ::wave::internal::CheckFailed(__FILE__, __LINE__, #expr,            \
+                                    wave_check_stream_.str());            \
+    }                                                                     \
+  } while (0)
+
+#endif  // WAVE_COMMON_CHECK_H_

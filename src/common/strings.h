@@ -1,0 +1,26 @@
+// Small string helpers shared across modules (no dependency on absl).
+#ifndef WAVE_COMMON_STRINGS_H_
+#define WAVE_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wave {
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Splits `text` on `separator`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace wave
+
+#endif  // WAVE_COMMON_STRINGS_H_

@@ -1,0 +1,41 @@
+// Input-boundedness — the syntactic restriction of [Spielmann; Deutsch-Sui-
+// Vianu] under which WAVE is a *complete* verifier (Section 2.1):
+//
+//   * every existential quantification has the form  ∃x (R(x,ȳ) ∧ φ)
+//   * every universal quantification has the form    ∀x (R(x,ȳ) → φ)
+//     where R is an input relation (current or previous input, or an input
+//     constant) and x does not occur in state or action atoms of φ;
+//   * input-option rule bodies use only existential quantification and
+//     their state atoms are ground.
+//
+// The check runs on the negation normal form, so it is invariant under the
+// property negation the verifier performs (¬∃(R∧φ) ≡ ∀(R→¬φ) stays
+// input-bounded).
+#ifndef WAVE_FO_INPUT_BOUNDED_H_
+#define WAVE_FO_INPUT_BOUNDED_H_
+
+#include <string>
+#include <vector>
+
+#include "fo/formula.h"
+#include "relational/schema.h"
+
+namespace wave {
+
+/// Where a formula appears; input-option rules carry extra restrictions.
+enum class FormulaRole {
+  kRule,            // state / action / target rule body, or property component
+  kInputOptionRule,  // body of an Options_R rule
+};
+
+/// Returns human-readable violations (empty == the formula is input
+/// bounded). `context` prefixes each message (e.g. "page LSP, state rule
+/// userchoice").
+std::vector<std::string> CheckInputBounded(const FormulaPtr& formula,
+                                           const Catalog& catalog,
+                                           FormulaRole role,
+                                           const std::string& context);
+
+}  // namespace wave
+
+#endif  // WAVE_FO_INPUT_BOUNDED_H_

@@ -1,0 +1,51 @@
+#include "fo/nnf.h"
+
+#include "common/check.h"
+
+namespace wave {
+
+FormulaPtr ToNNF(const FormulaPtr& f, bool negate) {
+  switch (f->kind()) {
+    case Formula::Kind::kTrue:
+      return negate ? Formula::False() : Formula::True();
+    case Formula::Kind::kFalse:
+      return negate ? Formula::True() : Formula::False();
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kEquals:
+    case Formula::Kind::kPage:
+      return negate ? Formula::Not(f) : f;
+    case Formula::Kind::kNot:
+      return ToNNF(f->body(), !negate);
+    case Formula::Kind::kAnd: {
+      FormulaPtr l = ToNNF(f->left(), negate);
+      FormulaPtr r = ToNNF(f->right(), negate);
+      return negate ? Formula::Or(l, r) : Formula::And(l, r);
+    }
+    case Formula::Kind::kOr: {
+      FormulaPtr l = ToNNF(f->left(), negate);
+      FormulaPtr r = ToNNF(f->right(), negate);
+      return negate ? Formula::And(l, r) : Formula::Or(l, r);
+    }
+    case Formula::Kind::kImplies: {
+      // a -> b  ==  !a | b ;  !(a -> b)  ==  a & !b
+      FormulaPtr l = ToNNF(f->left(), !negate);
+      FormulaPtr r = ToNNF(f->right(), negate);
+      return negate ? Formula::And(ToNNF(f->left(), false), r)
+                    : Formula::Or(l, r);
+    }
+    case Formula::Kind::kExists: {
+      FormulaPtr body = ToNNF(f->body(), negate);
+      return negate ? Formula::Forall(f->vars(), body)
+                    : Formula::Exists(f->vars(), body);
+    }
+    case Formula::Kind::kForall: {
+      FormulaPtr body = ToNNF(f->body(), negate);
+      return negate ? Formula::Exists(f->vars(), body)
+                    : Formula::Forall(f->vars(), body);
+    }
+  }
+  WAVE_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace wave

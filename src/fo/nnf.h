@@ -1,0 +1,19 @@
+// Negation normal form: pushes negations down to atoms and eliminates
+// implications. The prepared evaluator requires NNF input so that negation
+// only ever wraps leaves, which keeps satisfying-assignment enumeration
+// driven by positive atoms (the binding conjuncts).
+#ifndef WAVE_FO_NNF_H_
+#define WAVE_FO_NNF_H_
+
+#include "fo/formula.h"
+
+namespace wave {
+
+/// Returns an NNF formula equivalent to `f` (or to `!f` when `negate`).
+/// The result contains only True/False/Atom/Equals/Page, Not over leaves,
+/// And/Or, Exists/Forall.
+FormulaPtr ToNNF(const FormulaPtr& f, bool negate = false);
+
+}  // namespace wave
+
+#endif  // WAVE_FO_NNF_H_

@@ -1,0 +1,28 @@
+// Abstract read view of a (pseudo)configuration, the evaluation structure
+// for FO formulas: relation contents by id (with a previous-input axis) and
+// the current Web page.
+#ifndef WAVE_FO_VIEW_H_
+#define WAVE_FO_VIEW_H_
+
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace wave {
+
+/// What the evaluator can observe about a configuration.
+///
+/// `previous == true` reads the previous step's value of an input relation
+/// or input constant; for database/state/action relations it is invalid.
+class ConfigurationView {
+ public:
+  virtual ~ConfigurationView() = default;
+
+  virtual const Relation& Get(RelationId id, bool previous) const = 0;
+
+  /// Dense index of the current page (see `WebAppSpec::PageIndex`).
+  virtual int current_page() const = 0;
+};
+
+}  // namespace wave
+
+#endif  // WAVE_FO_VIEW_H_

@@ -1,0 +1,86 @@
+#include "ltl/abstraction.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace wave {
+
+FormulaPtr LtlToFo(const LtlPtr& f) {
+  switch (f->kind()) {
+    case LtlFormula::Kind::kFo:
+      return f->fo();
+    case LtlFormula::Kind::kNot:
+      return Formula::Not(LtlToFo(f->body()));
+    case LtlFormula::Kind::kAnd:
+      return Formula::And(LtlToFo(f->left()), LtlToFo(f->right()));
+    case LtlFormula::Kind::kOr:
+      return Formula::Or(LtlToFo(f->left()), LtlToFo(f->right()));
+    case LtlFormula::Kind::kImplies:
+      return Formula::Implies(LtlToFo(f->left()), LtlToFo(f->right()));
+    default:
+      WAVE_CHECK_MSG(false, "temporal operator inside an FO component");
+  }
+  return nullptr;
+}
+
+namespace {
+
+struct Abstractor {
+  const SymbolTable* symbols;
+  Abstraction* out;
+  std::map<std::string, int> prop_by_key;
+
+  PropId Walk(const LtlPtr& f) {
+    if (!f->ContainsTemporal()) {
+      FormulaPtr fo = LtlToFo(f);
+      std::string key = fo->ToString(*symbols);
+      auto it = prop_by_key.find(key);
+      int prop;
+      if (it != prop_by_key.end()) {
+        prop = it->second;
+      } else {
+        prop = static_cast<int>(out->components.size());
+        out->components.push_back(fo);
+        prop_by_key.emplace(std::move(key), prop);
+      }
+      return out->arena.Prop(prop);
+    }
+    switch (f->kind()) {
+      case LtlFormula::Kind::kFo:
+        WAVE_CHECK(false);  // handled by the temporal-free branch
+        return -1;
+      case LtlFormula::Kind::kNot:
+        return out->arena.Not(Walk(f->body()));
+      case LtlFormula::Kind::kAnd:
+        return out->arena.And(Walk(f->left()), Walk(f->right()));
+      case LtlFormula::Kind::kOr:
+        return out->arena.Or(Walk(f->left()), Walk(f->right()));
+      case LtlFormula::Kind::kImplies:
+        return out->arena.Implies(Walk(f->left()), Walk(f->right()));
+      case LtlFormula::Kind::kG:
+        return out->arena.G(Walk(f->body()));
+      case LtlFormula::Kind::kF:
+        return out->arena.F(Walk(f->body()));
+      case LtlFormula::Kind::kX:
+        return out->arena.X(Walk(f->body()));
+      case LtlFormula::Kind::kU:
+        return out->arena.U(Walk(f->left()), Walk(f->right()));
+      case LtlFormula::Kind::kB:
+        return out->arena.B(Walk(f->left()), Walk(f->right()));
+    }
+    WAVE_CHECK(false);
+    return -1;
+  }
+};
+
+}  // namespace
+
+Abstraction AbstractLtl(const LtlPtr& f, const SymbolTable& symbols) {
+  Abstraction out;
+  Abstractor abstractor{&symbols, &out, {}};
+  out.root = abstractor.Walk(f);
+  return out;
+}
+
+}  // namespace wave

@@ -1,0 +1,39 @@
+// Propositional abstraction of LTL-FO (Section 3, Steps 1-2): the maximal
+// FO components — subexpressions containing no temporal operator and not
+// nested inside a larger temporal-free subexpression — are replaced by
+// fresh propositions, yielding `phi_aux`, which `LtlToBuchi` then turns
+// into the property automaton. At search time the verifier evaluates each
+// component on the current pseudoconfiguration to obtain the truth values
+// of the propositions.
+#ifndef WAVE_LTL_ABSTRACTION_H_
+#define WAVE_LTL_ABSTRACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "buchi/prop_ltl.h"
+#include "fo/formula.h"
+#include "ltl/ltl_formula.h"
+
+namespace wave {
+
+/// Result of abstracting an LTL-FO formula.
+struct Abstraction {
+  PropArena arena;
+  PropId root = -1;  // phi_aux
+  /// Proposition i stands for components[i] (structurally distinct
+  /// components get distinct propositions; repeats are shared).
+  std::vector<FormulaPtr> components;
+};
+
+/// Abstracts `f`. `symbols` is used only to canonicalize components for
+/// sharing (printing equality).
+Abstraction AbstractLtl(const LtlPtr& f, const SymbolTable& symbols);
+
+/// Converts a temporal-operator-free LTL-FO subtree into a plain FO
+/// formula (boolean connectives map one-to-one).
+FormulaPtr LtlToFo(const LtlPtr& f);
+
+}  // namespace wave
+
+#endif  // WAVE_LTL_ABSTRACTION_H_

@@ -1,0 +1,201 @@
+#include "ltl/ltl_formula.h"
+
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace wave {
+
+LtlPtr LtlFormula::Fo(FormulaPtr f0) {
+  LtlFormula f;
+  f.kind_ = Kind::kFo;
+  f.fo_ = std::move(f0);
+  return LtlPtr(new LtlFormula(std::move(f)));
+}
+
+LtlPtr LtlFormula::Not(LtlPtr body) {
+  LtlFormula f;
+  f.kind_ = Kind::kNot;
+  f.left_ = std::move(body);
+  return LtlPtr(new LtlFormula(std::move(f)));
+}
+
+LtlPtr LtlFormula::And(LtlPtr l, LtlPtr r) {
+  LtlFormula f;
+  f.kind_ = Kind::kAnd;
+  f.left_ = std::move(l);
+  f.right_ = std::move(r);
+  return LtlPtr(new LtlFormula(std::move(f)));
+}
+
+LtlPtr LtlFormula::Or(LtlPtr l, LtlPtr r) {
+  LtlFormula f;
+  f.kind_ = Kind::kOr;
+  f.left_ = std::move(l);
+  f.right_ = std::move(r);
+  return LtlPtr(new LtlFormula(std::move(f)));
+}
+
+LtlPtr LtlFormula::Implies(LtlPtr l, LtlPtr r) {
+  LtlFormula f;
+  f.kind_ = Kind::kImplies;
+  f.left_ = std::move(l);
+  f.right_ = std::move(r);
+  return LtlPtr(new LtlFormula(std::move(f)));
+}
+
+LtlPtr LtlFormula::G(LtlPtr body) {
+  LtlFormula f;
+  f.kind_ = Kind::kG;
+  f.left_ = std::move(body);
+  return LtlPtr(new LtlFormula(std::move(f)));
+}
+
+LtlPtr LtlFormula::F(LtlPtr body) {
+  LtlFormula f;
+  f.kind_ = Kind::kF;
+  f.left_ = std::move(body);
+  return LtlPtr(new LtlFormula(std::move(f)));
+}
+
+LtlPtr LtlFormula::X(LtlPtr body) {
+  LtlFormula f;
+  f.kind_ = Kind::kX;
+  f.left_ = std::move(body);
+  return LtlPtr(new LtlFormula(std::move(f)));
+}
+
+LtlPtr LtlFormula::U(LtlPtr l, LtlPtr r) {
+  LtlFormula f;
+  f.kind_ = Kind::kU;
+  f.left_ = std::move(l);
+  f.right_ = std::move(r);
+  return LtlPtr(new LtlFormula(std::move(f)));
+}
+
+LtlPtr LtlFormula::B(LtlPtr l, LtlPtr r) {
+  LtlFormula f;
+  f.kind_ = Kind::kB;
+  f.left_ = std::move(l);
+  f.right_ = std::move(r);
+  return LtlPtr(new LtlFormula(std::move(f)));
+}
+
+std::vector<std::string> LtlFormula::FreeVariables() const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  std::vector<const LtlFormula*> stack = {this};
+  // Left-to-right DFS preserving first-occurrence order.
+  while (!stack.empty()) {
+    const LtlFormula* f = stack.back();
+    stack.pop_back();
+    if (f->kind_ == Kind::kFo) {
+      for (const std::string& v : f->fo_->FreeVariables()) {
+        if (seen.insert(v).second) out.push_back(v);
+      }
+      continue;
+    }
+    // Push right first so the left child pops (and is visited) first.
+    if (f->right_ != nullptr) stack.push_back(f->right_.get());
+    if (f->left_ != nullptr) stack.push_back(f->left_.get());
+  }
+  return out;
+}
+
+bool LtlFormula::ContainsTemporal() const {
+  switch (kind_) {
+    case Kind::kFo:
+      return false;
+    case Kind::kNot:
+      return left_->ContainsTemporal();
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kImplies:
+      return left_->ContainsTemporal() || right_->ContainsTemporal();
+    case Kind::kG:
+    case Kind::kF:
+    case Kind::kX:
+    case Kind::kU:
+    case Kind::kB:
+      return true;
+  }
+  WAVE_CHECK(false);
+  return false;
+}
+
+LtlPtr LtlFormula::SubstituteConstants(
+    const std::map<std::string, SymbolId>& binding) const {
+  switch (kind_) {
+    case Kind::kFo:
+      return Fo(fo_->SubstituteConstants(binding));
+    case Kind::kNot:
+      return Not(left_->SubstituteConstants(binding));
+    case Kind::kAnd:
+      return And(left_->SubstituteConstants(binding),
+                 right_->SubstituteConstants(binding));
+    case Kind::kOr:
+      return Or(left_->SubstituteConstants(binding),
+                right_->SubstituteConstants(binding));
+    case Kind::kImplies:
+      return Implies(left_->SubstituteConstants(binding),
+                     right_->SubstituteConstants(binding));
+    case Kind::kG:
+      return G(left_->SubstituteConstants(binding));
+    case Kind::kF:
+      return F(left_->SubstituteConstants(binding));
+    case Kind::kX:
+      return X(left_->SubstituteConstants(binding));
+    case Kind::kU:
+      return U(left_->SubstituteConstants(binding),
+               right_->SubstituteConstants(binding));
+    case Kind::kB:
+      return B(left_->SubstituteConstants(binding),
+               right_->SubstituteConstants(binding));
+  }
+  WAVE_CHECK(false);
+  return nullptr;
+}
+
+std::string LtlFormula::ToString(const SymbolTable& symbols) const {
+  switch (kind_) {
+    case Kind::kFo:
+      return "[" + fo_->ToString(symbols) + "]";
+    case Kind::kNot:
+      return "!(" + left_->ToString(symbols) + ")";
+    case Kind::kAnd:
+      return "(" + left_->ToString(symbols) + " & " +
+             right_->ToString(symbols) + ")";
+    case Kind::kOr:
+      return "(" + left_->ToString(symbols) + " | " +
+             right_->ToString(symbols) + ")";
+    case Kind::kImplies:
+      return "(" + left_->ToString(symbols) + " -> " +
+             right_->ToString(symbols) + ")";
+    case Kind::kG:
+      return "G(" + left_->ToString(symbols) + ")";
+    case Kind::kF:
+      return "F(" + left_->ToString(symbols) + ")";
+    case Kind::kX:
+      return "X(" + left_->ToString(symbols) + ")";
+    case Kind::kU:
+      return "(" + left_->ToString(symbols) + " U " +
+             right_->ToString(symbols) + ")";
+    case Kind::kB:
+      return "(" + left_->ToString(symbols) + " B " +
+             right_->ToString(symbols) + ")";
+  }
+  WAVE_CHECK(false);
+  return "";
+}
+
+std::string Property::ToString(const SymbolTable& symbols) const {
+  std::string out;
+  if (!forall_vars.empty()) {
+    out = "forall " + Join(forall_vars, ",") + ": ";
+  }
+  return out + body->ToString(symbols);
+}
+
+}  // namespace wave

@@ -1,0 +1,79 @@
+#include "ltl/patterns.h"
+
+namespace wave {
+
+namespace {
+
+Property Make(PatternInfo info, const char* type_code, LtlPtr body) {
+  Property out;
+  out.name = std::move(info.name);
+  out.description = std::move(info.description);
+  out.forall_vars = std::move(info.forall_vars);
+  out.type_code = type_code;
+  out.body = std::move(body);
+  return out;
+}
+
+}  // namespace
+
+Property Sequence(PatternInfo info, FormulaPtr p, FormulaPtr q) {
+  return Make(std::move(info), "T1",
+              LtlFormula::B(LtlFormula::Fo(std::move(p)),
+                            LtlFormula::Fo(std::move(q))));
+}
+
+Property Session(PatternInfo info, FormulaPtr p, FormulaPtr q) {
+  return Make(std::move(info), "T2",
+              LtlFormula::Implies(
+                  LtlFormula::G(LtlFormula::Fo(std::move(p))),
+                  LtlFormula::G(LtlFormula::Fo(std::move(q)))));
+}
+
+Property Correlation(PatternInfo info, FormulaPtr p, FormulaPtr q) {
+  return Make(std::move(info), "T3",
+              LtlFormula::Implies(
+                  LtlFormula::F(LtlFormula::Fo(std::move(p))),
+                  LtlFormula::F(LtlFormula::Fo(std::move(q)))));
+}
+
+Property Response(PatternInfo info, FormulaPtr p, FormulaPtr q) {
+  return Make(std::move(info), "T4",
+              LtlFormula::G(LtlFormula::Implies(
+                  LtlFormula::Fo(std::move(p)),
+                  LtlFormula::F(LtlFormula::Fo(std::move(q))))));
+}
+
+Property Reachability(PatternInfo info, FormulaPtr p, FormulaPtr q) {
+  return Make(std::move(info), "T5",
+              LtlFormula::Or(LtlFormula::G(LtlFormula::Fo(std::move(p))),
+                             LtlFormula::F(LtlFormula::Fo(std::move(q)))));
+}
+
+Property Recurrence(PatternInfo info, FormulaPtr p) {
+  return Make(std::move(info), "T6",
+              LtlFormula::G(LtlFormula::F(LtlFormula::Fo(std::move(p)))));
+}
+
+Property StrongNonProgress(PatternInfo info, FormulaPtr p) {
+  return Make(std::move(info), "T7",
+              LtlFormula::F(LtlFormula::G(LtlFormula::Fo(std::move(p)))));
+}
+
+Property WeakNonProgress(PatternInfo info, FormulaPtr p) {
+  LtlPtr component = LtlFormula::Fo(std::move(p));
+  return Make(std::move(info), "T8",
+              LtlFormula::G(LtlFormula::Implies(component,
+                                                LtlFormula::X(component))));
+}
+
+Property Guarantee(PatternInfo info, FormulaPtr p) {
+  return Make(std::move(info), "T9",
+              LtlFormula::F(LtlFormula::Fo(std::move(p))));
+}
+
+Property Invariance(PatternInfo info, FormulaPtr p) {
+  return Make(std::move(info), "T10",
+              LtlFormula::G(LtlFormula::Fo(std::move(p))));
+}
+
+}  // namespace wave

@@ -1,0 +1,49 @@
+// Programmatic constructors for the paper's property taxonomy (Section 5,
+// "Classes of Properties"): the ten syntactic shapes whose frequent
+// occurrence in verification tasks earned them standard names. Each
+// builder takes FO components (typically parsed with `ParseFormula`) and
+// returns a `Property` ready for `Verifier::Verify`.
+//
+//   type  name                 shape
+//   T1    sequence             p B q
+//   T2    session              G p -> G q
+//   T3    correlation          F p -> F q
+//   T4    response             G (p -> F q)
+//   T5    reachability         G p | F q
+//   T6    progress/recurrence  G (F p)
+//   T7    strong non-progress  F (G p)
+//   T8    weak non-progress    G (p -> X p)
+//   T9    guarantee            F p
+//   T10   invariance           G p
+#ifndef WAVE_LTL_PATTERNS_H_
+#define WAVE_LTL_PATTERNS_H_
+
+#include <string>
+#include <vector>
+
+#include "ltl/ltl_formula.h"
+
+namespace wave {
+
+/// Shared metadata for the builders below. `forall_vars` is the outermost
+/// universal block (pass the union of the components' free variables).
+struct PatternInfo {
+  std::string name;
+  std::string description;
+  std::vector<std::string> forall_vars;
+};
+
+Property Sequence(PatternInfo info, FormulaPtr p, FormulaPtr q);       // T1
+Property Session(PatternInfo info, FormulaPtr p, FormulaPtr q);        // T2
+Property Correlation(PatternInfo info, FormulaPtr p, FormulaPtr q);    // T3
+Property Response(PatternInfo info, FormulaPtr p, FormulaPtr q);       // T4
+Property Reachability(PatternInfo info, FormulaPtr p, FormulaPtr q);   // T5
+Property Recurrence(PatternInfo info, FormulaPtr p);                   // T6
+Property StrongNonProgress(PatternInfo info, FormulaPtr p);            // T7
+Property WeakNonProgress(PatternInfo info, FormulaPtr p);              // T8
+Property Guarantee(PatternInfo info, FormulaPtr p);                    // T9
+Property Invariance(PatternInfo info, FormulaPtr p);                   // T10
+
+}  // namespace wave
+
+#endif  // WAVE_LTL_PATTERNS_H_

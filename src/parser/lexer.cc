@@ -1,0 +1,146 @@
+#include "parser/lexer.h"
+
+namespace wave {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || (c >= '0' && c <= '9') || c == '.';
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  int line = 1, column = 1;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string value, int start_column) {
+    out.push_back({kind, std::move(value), line, start_column});
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    int start_column = column;
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++column;
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < text.size() && IsIdentChar(text[i])) {
+        ++i;
+        ++column;
+      }
+      push(TokenKind::kIdent, std::string(text.substr(start, i - start)),
+           start_column);
+      continue;
+    }
+    if (c == '"') {
+      size_t start = ++i;
+      ++column;
+      while (i < text.size() && text[i] != '"' && text[i] != '\n') {
+        ++i;
+        ++column;
+      }
+      if (i >= text.size() || text[i] != '"') {
+        push(TokenKind::kError, "unterminated string literal", start_column);
+        out.push_back({TokenKind::kEnd, "", line, column});
+        return out;
+      }
+      push(TokenKind::kString, std::string(text.substr(start, i - start)),
+           start_column);
+      ++i;
+      ++column;
+      continue;
+    }
+    auto two = [&](char next) {
+      return i + 1 < text.size() && text[i + 1] == next;
+    };
+    TokenKind kind = TokenKind::kError;
+    int advance = 1;
+    switch (c) {
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case '{': kind = TokenKind::kLBrace; break;
+      case '}': kind = TokenKind::kRBrace; break;
+      case '[': kind = TokenKind::kLBracket; break;
+      case ']': kind = TokenKind::kRBracket; break;
+      case ',': kind = TokenKind::kComma; break;
+      case ':': kind = TokenKind::kColon; break;
+      case '=': kind = TokenKind::kEquals; break;
+      case '+': kind = TokenKind::kPlus; break;
+      case '!': kind = TokenKind::kBang; break;
+      case '&': kind = TokenKind::kAmp; break;
+      case '|': kind = TokenKind::kPipe; break;
+      case '<':
+        if (two('-')) {
+          kind = TokenKind::kArrowLeft;
+          advance = 2;
+        }
+        break;
+      case '-':
+        if (two('>')) {
+          kind = TokenKind::kArrowRight;
+          advance = 2;
+        } else {
+          kind = TokenKind::kMinus;
+        }
+        break;
+      default:
+        break;
+    }
+    if (kind == TokenKind::kError) {
+      push(TokenKind::kError,
+           std::string("unexpected character '") + c + "'", start_column);
+      out.push_back({TokenKind::kEnd, "", line, column});
+      return out;
+    }
+    push(kind, "", start_column);
+    i += advance;
+    column += advance;
+  }
+  out.push_back({TokenKind::kEnd, "", line, column});
+  return out;
+}
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kArrowLeft: return "'<-'";
+    case TokenKind::kArrowRight: return "'->'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kError: return "lexical error";
+  }
+  return "?";
+}
+
+}  // namespace wave

@@ -1,0 +1,50 @@
+// Tokenizer for the spec/property DSL.
+#ifndef WAVE_PARSER_LEXER_H_
+#define WAVE_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wave {
+
+enum class TokenKind {
+  kIdent,    // bare identifier (also keywords; the parser decides)
+  kString,   // "quoted constant" (text field holds the unquoted value)
+  kLParen,   // (
+  kRParen,   // )
+  kLBrace,   // {
+  kRBrace,   // }
+  kLBracket, // [
+  kRBracket, // ]
+  kComma,    // ,
+  kColon,    // :
+  kEquals,   // =
+  kArrowLeft,   // <-
+  kArrowRight,  // ->
+  kPlus,     // +
+  kMinus,    // -
+  kBang,     // !
+  kAmp,      // &
+  kPipe,     // |
+  kEnd,      // end of input
+  kError,    // lexical error; text holds the message
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // identifier name / string value / error message
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes the whole input ('#' starts a line comment). The final token
+/// is always kEnd (or the stream ends early at the first kError).
+std::vector<Token> Tokenize(std::string_view text);
+
+/// Name of a token kind for error messages.
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace wave
+
+#endif  // WAVE_PARSER_LEXER_H_

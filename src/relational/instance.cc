@@ -1,0 +1,62 @@
+#include "relational/instance.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace wave {
+
+Instance::Instance(const Catalog* catalog) : catalog_(catalog) {
+  relations_.reserve(catalog->size());
+  for (RelationId id = 0; id < catalog->size(); ++id) {
+    relations_.emplace_back(catalog->schema(id).arity);
+  }
+}
+
+Relation& Instance::relation(const std::string& name) {
+  RelationId id = catalog_->Find(name);
+  WAVE_CHECK_MSG(id != kInvalidRelation, "unknown relation '" << name << "'");
+  return relations_[id];
+}
+
+const Relation& Instance::relation(const std::string& name) const {
+  RelationId id = catalog_->Find(name);
+  WAVE_CHECK_MSG(id != kInvalidRelation, "unknown relation '" << name << "'");
+  return relations_[id];
+}
+
+int Instance::TupleCount() const {
+  int n = 0;
+  for (const Relation& r : relations_) n += r.size();
+  return n;
+}
+
+std::vector<SymbolId> Instance::ActiveDomain() const {
+  std::vector<SymbolId> domain;
+  for (const Relation& r : relations_) {
+    for (const Tuple& t : r.tuples()) {
+      domain.insert(domain.end(), t.begin(), t.end());
+    }
+  }
+  std::sort(domain.begin(), domain.end());
+  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+  return domain;
+}
+
+void Instance::Clear() {
+  for (Relation& r : relations_) r.Clear();
+}
+
+std::string Instance::ToString(const SymbolTable& symbols) const {
+  std::string out;
+  for (RelationId id = 0; id < catalog_->size(); ++id) {
+    if (relations_[id].empty()) continue;
+    out += catalog_->schema(id).name;
+    out += " = ";
+    out += relations_[id].ToString(symbols);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace wave

@@ -1,0 +1,60 @@
+// An instance assigns a `Relation` to every relation of a `Catalog`.
+#ifndef WAVE_RELATIONAL_INSTANCE_H_
+#define WAVE_RELATIONAL_INSTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace wave {
+
+/// A total instance over a catalog: every relation id has a (possibly empty)
+/// relation of the declared arity. Copying an `Instance` is cheap at the
+/// sizes the verifier manipulates (a handful of tuples in total).
+class Instance {
+ public:
+  Instance() = default;
+  /// Creates an all-empty instance over `catalog`. The catalog must outlive
+  /// the instance.
+  explicit Instance(const Catalog* catalog);
+
+  Instance(const Instance&) = default;
+  Instance& operator=(const Instance&) = default;
+  Instance(Instance&&) = default;
+  Instance& operator=(Instance&&) = default;
+
+  const Catalog& catalog() const { return *catalog_; }
+
+  Relation& relation(RelationId id) { return relations_[id]; }
+  const Relation& relation(RelationId id) const { return relations_[id]; }
+
+  /// Convenience lookup by name; the relation must exist.
+  Relation& relation(const std::string& name);
+  const Relation& relation(const std::string& name) const;
+
+  /// Total number of tuples across all relations.
+  int TupleCount() const;
+
+  /// Collects every symbol occurring in any tuple (the active domain).
+  std::vector<SymbolId> ActiveDomain() const;
+
+  /// Empties every relation.
+  void Clear();
+
+  /// Renders non-empty relations, one per line.
+  std::string ToString(const SymbolTable& symbols) const;
+
+  friend bool operator==(const Instance& a, const Instance& b) {
+    return a.relations_ == b.relations_;
+  }
+
+ private:
+  const Catalog* catalog_ = nullptr;
+  std::vector<Relation> relations_;
+};
+
+}  // namespace wave
+
+#endif  // WAVE_RELATIONAL_INSTANCE_H_

@@ -1,0 +1,86 @@
+#include "relational/table_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace wave {
+
+MemoryTableStore::MemoryTableStore(const Catalog* catalog)
+    : instance_(catalog) {}
+
+bool MemoryTableStore::Insert(RelationId id, const Tuple& t) {
+  return instance_.relation(id).Insert(t);
+}
+
+bool MemoryTableStore::Delete(RelationId id, const Tuple& t) {
+  return instance_.relation(id).Erase(t);
+}
+
+void MemoryTableStore::Clear() { instance_.Clear(); }
+
+const Relation& MemoryTableStore::Scan(RelationId id) const {
+  return instance_.relation(id);
+}
+
+DurableTableStore::DurableTableStore(const Catalog* catalog,
+                                     std::string log_path, bool sync_every_op)
+    : instance_(catalog),
+      log_path_(std::move(log_path)),
+      sync_every_op_(sync_every_op) {
+  fd_ = ::open(log_path_.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  WAVE_CHECK_MSG(fd_ >= 0, "cannot open redo log " << log_path_);
+}
+
+DurableTableStore::~DurableTableStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void DurableTableStore::AppendLog(char op, RelationId id, const Tuple& t) {
+  // Record format: op byte, relation id, arity, values. Binary, fixed width.
+  char buf[256];
+  size_t n = 0;
+  buf[n++] = op;
+  std::memcpy(buf + n, &id, sizeof(id));
+  n += sizeof(id);
+  int32_t arity = static_cast<int32_t>(t.size());
+  std::memcpy(buf + n, &arity, sizeof(arity));
+  n += sizeof(arity);
+  for (SymbolId v : t) {
+    WAVE_CHECK(n + sizeof(v) <= sizeof(buf));
+    std::memcpy(buf + n, &v, sizeof(v));
+    n += sizeof(v);
+  }
+  ssize_t written = ::write(fd_, buf, n);
+  WAVE_CHECK(written == static_cast<ssize_t>(n));
+  if (sync_every_op_) {
+    // Per-statement durability, the autocommit behaviour of a disk DBMS.
+    ::fdatasync(fd_);
+  }
+}
+
+bool DurableTableStore::Insert(RelationId id, const Tuple& t) {
+  bool added = instance_.relation(id).Insert(t);
+  if (added) AppendLog('i', id, t);
+  return added;
+}
+
+bool DurableTableStore::Delete(RelationId id, const Tuple& t) {
+  bool removed = instance_.relation(id).Erase(t);
+  if (removed) AppendLog('d', id, t);
+  return removed;
+}
+
+void DurableTableStore::Clear() {
+  instance_.Clear();
+  AppendLog('c', 0, {});
+}
+
+const Relation& DurableTableStore::Scan(RelationId id) const {
+  return instance_.relation(id);
+}
+
+}  // namespace wave

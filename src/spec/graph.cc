@@ -1,0 +1,59 @@
+#include "spec/graph.h"
+
+#include <vector>
+
+namespace wave {
+
+std::string SiteGraphDot(const WebAppSpec& spec, int max_label) {
+  std::string out = "digraph site {\n  rankdir=LR;\n";
+  for (int p = 0; p < spec.num_pages(); ++p) {
+    out += "  " + spec.page(p).name;
+    if (p == spec.home_page()) out += " [shape=doublecircle]";
+    out += ";\n";
+  }
+  for (int p = 0; p < spec.num_pages(); ++p) {
+    for (const TargetRule& rule : spec.page(p).target_rules) {
+      out += "  " + spec.page(p).name + " -> " +
+             spec.page(rule.target_page).name;
+      if (max_label > 0) {
+        std::string label = rule.condition->ToString(spec.symbols());
+        if (static_cast<int>(label.size()) > max_label) {
+          label = label.substr(0, max_label - 3) + "...";
+        }
+        // Escape quotes for DOT.
+        std::string escaped;
+        for (char c : label) {
+          if (c == '"') escaped += '\\';
+          escaped += c;
+        }
+        out += " [label=\"" + escaped + "\"]";
+      }
+      out += ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::vector<std::string> UnreachablePages(const WebAppSpec& spec) {
+  std::vector<bool> seen(spec.num_pages(), false);
+  std::vector<int> stack = {spec.home_page()};
+  seen[spec.home_page()] = true;
+  while (!stack.empty()) {
+    int page = stack.back();
+    stack.pop_back();
+    for (const TargetRule& rule : spec.page(page).target_rules) {
+      if (!seen[rule.target_page]) {
+        seen[rule.target_page] = true;
+        stack.push_back(rule.target_page);
+      }
+    }
+  }
+  std::vector<std::string> out;
+  for (int p = 0; p < spec.num_pages(); ++p) {
+    if (!seen[p]) out.push_back(spec.page(p).name);
+  }
+  return out;
+}
+
+}  // namespace wave

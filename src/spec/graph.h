@@ -1,0 +1,23 @@
+// Site-graph export: pages as nodes, target rules as edges. Useful for
+// documenting a spec and for eyeballing reachability before verifying.
+#ifndef WAVE_SPEC_GRAPH_H_
+#define WAVE_SPEC_GRAPH_H_
+
+#include <string>
+
+#include "spec/web_app.h"
+
+namespace wave {
+
+/// Graphviz rendering of the page/transition graph. Edge labels show the
+/// target conditions (truncated to `max_label` characters; 0 = no labels).
+std::string SiteGraphDot(const WebAppSpec& spec, int max_label = 40);
+
+/// Pages unreachable from the home page following target rules (an
+/// over-approximation of reachability: conditions are ignored). Useful as
+/// a lint: such pages are dead weight in every run.
+std::vector<std::string> UnreachablePages(const WebAppSpec& spec);
+
+}  // namespace wave
+
+#endif  // WAVE_SPEC_GRAPH_H_

@@ -1,0 +1,229 @@
+#include "spec/prepared_spec.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace wave {
+
+namespace {
+
+std::vector<std::string> HeadVariables(const std::vector<Term>& head) {
+  std::vector<std::string> vars;
+  for (const Term& t : head) {
+    if (t.is_variable() &&
+        std::find(vars.begin(), vars.end(), t.variable) == vars.end()) {
+      vars.push_back(t.variable);
+    }
+  }
+  return vars;
+}
+
+PreparedRule PrepareRule(RelationId relation, const std::vector<Term>& head,
+                         const FormulaPtr& body, const WebAppSpec& spec,
+                         const PageResolver& pages) {
+  PreparedRule rule;
+  rule.relation = relation;
+  rule.head = head;
+  rule.head_vars = HeadVariables(head);
+  rule.prepared =
+      PreparedFormula::Prepare(body, spec.catalog(), rule.head_vars, pages);
+  return rule;
+}
+
+}  // namespace
+
+Tuple PreparedRule::InstantiateHead(
+    const std::vector<SymbolId>& assignment) const {
+  Tuple out(head.size());
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (head[i].is_variable()) {
+      auto it = std::find(head_vars.begin(), head_vars.end(),
+                          head[i].variable);
+      WAVE_CHECK(it != head_vars.end());
+      out[i] = assignment[it - head_vars.begin()];
+    } else {
+      out[i] = head[i].constant;
+    }
+  }
+  return out;
+}
+
+void PreparedRule::Derive(const ConfigurationView& view,
+                          const std::vector<SymbolId>& domain,
+                          std::vector<Tuple>* out) const {
+  std::vector<Tuple> assignments;
+  prepared.EnumerateSatisfying(view, domain, &assignments);
+  for (const Tuple& a : assignments) out->push_back(InstantiateHead(a));
+}
+
+PreparedSpec::PreparedSpec(const WebAppSpec* spec) : spec_(spec) {
+  PageResolver resolver = [spec](const std::string& name) {
+    return spec->PageIndex(name);
+  };
+  for (int p = 0; p < spec->num_pages(); ++p) {
+    const PageSchema& page = spec->page(p);
+    PreparedPage out;
+    out.inputs = page.inputs;
+    for (const InputRule& r : page.input_rules) {
+      out.input_rules.push_back(
+          PrepareRule(r.relation, r.head, r.body, *spec, resolver));
+    }
+    for (const StateRule& r : page.state_rules) {
+      (r.insert ? out.state_inserts : out.state_deletes)
+          .push_back(PrepareRule(r.relation, r.head, r.body, *spec,
+                                 resolver));
+    }
+    for (const ActionRule& r : page.action_rules) {
+      out.action_rules.push_back(
+          PrepareRule(r.relation, r.head, r.body, *spec, resolver));
+    }
+    for (const TargetRule& r : page.target_rules) {
+      PreparedTarget t;
+      t.target_page = r.target_page;
+      t.condition = PreparedFormula::Prepare(r.condition, spec->catalog(),
+                                             {}, resolver);
+      out.targets.push_back(std::move(t));
+    }
+    pages_.push_back(std::move(out));
+  }
+  for (SymbolId c : spec->SpecConstants()) spec_constants_.push_back(c);
+}
+
+InputOptions PreparedSpec::ComputeOptions(
+    const Configuration& config, const std::vector<SymbolId>& domain) const {
+  ConfigurationAdapter view(&config);
+  InputOptions options;
+  const PreparedPage& page = pages_[config.page];
+  for (const PreparedRule& rule : page.input_rules) {
+    std::vector<Tuple> tuples;
+    rule.Derive(view, domain, &tuples);
+    std::sort(tuples.begin(), tuples.end());
+    tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+    options[rule.relation] = std::move(tuples);
+  }
+  return options;
+}
+
+void PreparedSpec::ApplyInput(const InputChoice& choice,
+                              const std::vector<SymbolId>& domain,
+                              Configuration* config) const {
+  // Clear all input and action relations, then install the choice.
+  const Catalog& catalog = spec_->catalog();
+  for (RelationId id = 0; id < catalog.size(); ++id) {
+    RelationKind kind = catalog.schema(id).kind;
+    if (kind == RelationKind::kInput ||
+        kind == RelationKind::kInputConstant ||
+        kind == RelationKind::kAction) {
+      config->data.relation(id).Clear();
+    }
+  }
+  for (const auto& [relation, tuple] : choice) {
+    config->data.relation(relation).Insert(tuple);
+  }
+  // Actions see the chosen input, previous input and current state.
+  ConfigurationAdapter view(config);
+  const PreparedPage& page = pages_[config->page];
+  std::vector<std::pair<RelationId, Tuple>> derived;
+  for (const PreparedRule& rule : page.action_rules) {
+    std::vector<Tuple> tuples;
+    rule.Derive(view, domain, &tuples);
+    for (Tuple& t : tuples) derived.emplace_back(rule.relation, std::move(t));
+  }
+  for (const auto& [relation, tuple] : derived) {
+    config->data.relation(relation).Insert(tuple);
+  }
+}
+
+Configuration PreparedSpec::Advance(const Configuration& config,
+                                    const std::vector<SymbolId>& domain) const {
+  ConfigurationAdapter view(&config);
+  const PreparedPage& page = pages_[config.page];
+  const Catalog& catalog = spec_->catalog();
+
+  Configuration next;
+  next.data = config.data;
+  next.previous = Instance(&catalog);
+
+  // Target page: exactly one satisfied condition moves; otherwise stay
+  // ("if several conditions are true, no transition occurs").
+  int target = -1;
+  bool unique = true;
+  std::vector<SymbolId> regs;
+  for (const PreparedTarget& t : page.targets) {
+    regs.assign(t.condition.num_slots(), kInvalidSymbol);
+    if (t.condition.EvalClosed(view, domain, &regs)) {
+      if (target == -1) {
+        target = t.target_page;
+      } else if (target != t.target_page) {
+        unique = false;
+      }
+    }
+  }
+  next.page = (target != -1 && unique) ? target : config.page;
+
+  // State update: evaluate all rules against the *current* configuration,
+  // then apply insert/delete sets with insert∧delete conflicts as no-ops.
+  std::set<std::pair<RelationId, Tuple>> inserts, deletes;
+  for (const PreparedRule& rule : page.state_inserts) {
+    std::vector<Tuple> tuples;
+    rule.Derive(view, domain, &tuples);
+    for (Tuple& t : tuples) inserts.emplace(rule.relation, std::move(t));
+  }
+  for (const PreparedRule& rule : page.state_deletes) {
+    std::vector<Tuple> tuples;
+    rule.Derive(view, domain, &tuples);
+    for (Tuple& t : tuples) deletes.emplace(rule.relation, std::move(t));
+  }
+  for (const auto& entry : deletes) {
+    if (inserts.count(entry) > 0) continue;  // conflict: no-op
+    next.data.relation(entry.first).Erase(entry.second);
+  }
+  for (const auto& entry : inserts) {
+    if (deletes.count(entry) > 0) continue;  // conflict: no-op
+    next.data.relation(entry.first).Insert(entry.second);
+  }
+
+  // Previous inputs of the successor are the current inputs; clear the
+  // current input and action relations (they belong to the new step).
+  for (RelationId id = 0; id < catalog.size(); ++id) {
+    RelationKind kind = catalog.schema(id).kind;
+    if (kind == RelationKind::kInput ||
+        kind == RelationKind::kInputConstant) {
+      next.previous.relation(id) = config.data.relation(id);
+      next.data.relation(id).Clear();
+    } else if (kind == RelationKind::kAction) {
+      next.data.relation(id).Clear();
+    }
+  }
+  return next;
+}
+
+Configuration PreparedSpec::MakeInitial(const Instance& database) const {
+  const Catalog& catalog = spec_->catalog();
+  Configuration config;
+  config.page = spec_->home_page();
+  config.data = Instance(&catalog);
+  config.previous = Instance(&catalog);
+  for (RelationId id = 0; id < catalog.size(); ++id) {
+    if (catalog.schema(id).kind == RelationKind::kDatabase) {
+      config.data.relation(id) = database.relation(id);
+    }
+  }
+  return config;
+}
+
+std::vector<SymbolId> PreparedSpec::EvaluationDomain(
+    const Configuration& config, const std::vector<SymbolId>& extra) const {
+  std::vector<SymbolId> domain = config.data.ActiveDomain();
+  std::vector<SymbolId> prev = config.previous.ActiveDomain();
+  domain.insert(domain.end(), prev.begin(), prev.end());
+  domain.insert(domain.end(), spec_constants_.begin(), spec_constants_.end());
+  domain.insert(domain.end(), extra.begin(), extra.end());
+  std::sort(domain.begin(), domain.end());
+  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+  return domain;
+}
+
+}  // namespace wave

@@ -1,0 +1,98 @@
+// A `WebAppSpec` with every rule compiled to a `PreparedFormula` — the
+// analogue of the paper's prepared SQL statements (Section 4): resolve and
+// "optimize" each rule once, re-execute it with fresh parameters at every
+// step of the search.
+#ifndef WAVE_SPEC_PREPARED_SPEC_H_
+#define WAVE_SPEC_PREPARED_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "fo/prepared.h"
+#include "spec/runtime.h"
+#include "spec/web_app.h"
+
+namespace wave {
+
+/// A compiled head ← body rule.
+struct PreparedRule {
+  RelationId relation = kInvalidRelation;
+  std::vector<Term> head;
+  std::vector<std::string> head_vars;  // free-variable order of `prepared`
+  PreparedFormula prepared;
+
+  /// Builds the head tuple from an assignment of `head_vars` (one value per
+  /// name, same order).
+  Tuple InstantiateHead(const std::vector<SymbolId>& assignment) const;
+
+  /// Evaluates the rule body over `view` and appends the resulting head
+  /// tuples to `out` (deduplicated by the caller's relation insert).
+  void Derive(const ConfigurationView& view,
+              const std::vector<SymbolId>& domain,
+              std::vector<Tuple>* out) const;
+};
+
+struct PreparedTarget {
+  int target_page = -1;
+  PreparedFormula condition;
+};
+
+/// One page with compiled rules.
+struct PreparedPage {
+  std::vector<RelationId> inputs;
+  std::vector<PreparedRule> input_rules;       // one per input relation
+  std::vector<PreparedRule> state_inserts;
+  std::vector<PreparedRule> state_deletes;
+  std::vector<PreparedRule> action_rules;
+  std::vector<PreparedTarget> targets;
+};
+
+/// Compiled spec + the step semantics used by runs and pseudoruns.
+class PreparedSpec {
+ public:
+  /// `spec` must outlive this object and must already validate cleanly.
+  explicit PreparedSpec(const WebAppSpec* spec);
+
+  PreparedSpec(PreparedSpec&&) = default;
+
+  const WebAppSpec& spec() const { return *spec_; }
+  const PreparedPage& page(int index) const { return pages_[index]; }
+
+  /// Options the page of `config` generates, evaluated over the database,
+  /// state and previous inputs of `config`.
+  InputOptions ComputeOptions(const Configuration& config,
+                              const std::vector<SymbolId>& domain) const;
+
+  /// Writes the input choice and the induced actions into `config` (whose
+  /// page, state and previous inputs are already in place).
+  void ApplyInput(const InputChoice& choice,
+                  const std::vector<SymbolId>& domain,
+                  Configuration* config) const;
+
+  /// Computes the successor skeleton of `config`: next page (per target
+  /// rules; stays on the same page unless exactly one condition holds),
+  /// updated state, previous inputs = current inputs. Input and action
+  /// relations of the result are empty — fill them with `ApplyInput` after
+  /// choosing inputs from `ComputeOptions`.
+  Configuration Advance(const Configuration& config,
+                        const std::vector<SymbolId>& domain) const;
+
+  /// Fresh initial configuration: home page, given database contents (only
+  /// database relations of `database` are consulted), empty state/inputs.
+  Configuration MakeInitial(const Instance& database) const;
+
+  /// The evaluation domain: spec constants ∪ active domain of `config` ∪
+  /// `extra` values.
+  std::vector<SymbolId> EvaluationDomain(
+      const Configuration& config,
+      const std::vector<SymbolId>& extra = {}) const;
+
+ private:
+  const WebAppSpec* spec_;
+  std::vector<PreparedPage> pages_;
+  std::vector<SymbolId> spec_constants_;
+};
+
+}  // namespace wave
+
+#endif  // WAVE_SPEC_PREPARED_SPEC_H_

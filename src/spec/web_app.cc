@@ -1,0 +1,325 @@
+#include "spec/web_app.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "fo/input_bounded.h"
+
+namespace wave {
+
+namespace {
+
+/// True if `f` contains a current-step (non-`prev`) atom over an input
+/// relation or input constant.
+bool HasCurrentInputAtom(const FormulaPtr& f, const Catalog& catalog) {
+  switch (f->kind()) {
+    case Formula::Kind::kAtom: {
+      if (f->previous()) return false;
+      RelationId id = catalog.Find(f->relation());
+      if (id == kInvalidRelation) return false;
+      RelationKind kind = catalog.schema(id).kind;
+      return kind == RelationKind::kInput ||
+             kind == RelationKind::kInputConstant;
+    }
+    case Formula::Kind::kNot:
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall:
+      return HasCurrentInputAtom(f->body(), catalog);
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+      return HasCurrentInputAtom(f->left(), catalog) ||
+             HasCurrentInputAtom(f->right(), catalog);
+    default:
+      return false;
+  }
+}
+
+/// Variables of a head tuple, first-occurrence order.
+std::vector<std::string> HeadVariables(const std::vector<Term>& head) {
+  std::vector<std::string> vars;
+  for (const Term& t : head) {
+    if (t.is_variable() &&
+        std::find(vars.begin(), vars.end(), t.variable) == vars.end()) {
+      vars.push_back(t.variable);
+    }
+  }
+  return vars;
+}
+
+}  // namespace
+
+int WebAppSpec::AddPage(PageSchema page) {
+  WAVE_CHECK_MSG(page_index_.find(page.name) == page_index_.end(),
+                 "page '" << page.name << "' declared twice");
+  int index = static_cast<int>(pages_.size());
+  page_index_.emplace(page.name, index);
+  pages_.push_back(std::move(page));
+  return index;
+}
+
+int WebAppSpec::PageIndex(const std::string& name) const {
+  auto it = page_index_.find(name);
+  return it == page_index_.end() ? -1 : it->second;
+}
+
+std::set<SymbolId> WebAppSpec::SpecConstants() const {
+  std::set<SymbolId> out;
+  auto add_formula = [&out](const FormulaPtr& f) {
+    std::set<SymbolId> cs = f->Constants();
+    out.insert(cs.begin(), cs.end());
+  };
+  auto add_head = [&out](const std::vector<Term>& head) {
+    for (const Term& t : head) {
+      if (!t.is_variable()) out.insert(t.constant);
+    }
+  };
+  for (const PageSchema& page : pages_) {
+    for (const InputRule& r : page.input_rules) {
+      add_head(r.head);
+      add_formula(r.body);
+    }
+    for (const StateRule& r : page.state_rules) {
+      add_head(r.head);
+      add_formula(r.body);
+    }
+    for (const ActionRule& r : page.action_rules) {
+      add_head(r.head);
+      add_formula(r.body);
+    }
+    for (const TargetRule& r : page.target_rules) add_formula(r.condition);
+  }
+  return out;
+}
+
+std::vector<std::string> WebAppSpec::Validate() const {
+  std::vector<std::string> issues;
+  auto report = [&issues](const std::string& where, const std::string& what) {
+    issues.push_back(where + ": " + what);
+  };
+
+  if (pages_.empty()) {
+    issues.push_back("spec has no pages");
+    return issues;
+  }
+  if (home_page_ < 0 || home_page_ >= num_pages()) {
+    issues.push_back("home page index out of range");
+  }
+
+  // Shared checks for a rule head + body.
+  auto check_rule = [&](const std::string& where, RelationId relation,
+                        RelationKind expected_kind,
+                        const std::vector<Term>& head, const FormulaPtr& body,
+                        bool body_may_use_current_input) {
+    if (relation == kInvalidRelation) {
+      report(where, "head relation is undeclared");
+      return;
+    }
+    const RelationSchema& schema = catalog_.schema(relation);
+    if (schema.kind != expected_kind &&
+        !(expected_kind == RelationKind::kInput &&
+          schema.kind == RelationKind::kInputConstant)) {
+      report(where, "head relation " + schema.name + " has kind " +
+                        RelationKindName(schema.kind) + ", expected " +
+                        RelationKindName(expected_kind));
+    }
+    if (static_cast<int>(head.size()) != schema.arity) {
+      report(where, "head arity " + std::to_string(head.size()) +
+                        " does not match " + schema.name + "/" +
+                        std::to_string(schema.arity));
+    }
+    // Safety: head variables == free variables of the body.
+    std::vector<std::string> head_vars = HeadVariables(head);
+    std::vector<std::string> body_vars = body->FreeVariables();
+    for (const std::string& v : body_vars) {
+      if (std::find(head_vars.begin(), head_vars.end(), v) ==
+          head_vars.end()) {
+        report(where, "body free variable '" + v + "' not in rule head");
+      }
+    }
+    for (const std::string& v : head_vars) {
+      if (std::find(body_vars.begin(), body_vars.end(), v) ==
+          body_vars.end()) {
+        report(where, "head variable '" + v +
+                          "' is unconstrained by the rule body");
+      }
+    }
+    // Relation references: must exist, match arity; action relations are
+    // write-only; input rules may not read the current input.
+    for (const std::string& rel_name : body->Relations()) {
+      RelationId id = catalog_.Find(rel_name);
+      if (id == kInvalidRelation) {
+        report(where, "body references undeclared relation '" + rel_name +
+                          "'");
+        continue;
+      }
+      if (catalog_.schema(id).kind == RelationKind::kAction) {
+        report(where, "body reads action relation '" + rel_name +
+                          "' (actions are write-only)");
+      }
+    }
+    (void)body_may_use_current_input;
+  };
+
+  for (const PageSchema& page : pages_) {
+    const std::string prefix = "page " + page.name;
+    // Input declarations.
+    std::set<RelationId> declared_inputs(page.inputs.begin(),
+                                         page.inputs.end());
+    for (RelationId id : page.inputs) {
+      RelationKind kind = catalog_.schema(id).kind;
+      if (kind != RelationKind::kInput &&
+          kind != RelationKind::kInputConstant) {
+        report(prefix, "declared input " + catalog_.schema(id).name +
+                           " is not an input relation");
+      }
+    }
+    // Every input relation (not constant) needs exactly one options rule.
+    std::set<RelationId> with_rule;
+    for (const InputRule& r : page.input_rules) {
+      check_rule(prefix + ", input rule " +
+                     (r.relation == kInvalidRelation
+                          ? "?"
+                          : catalog_.schema(r.relation).name),
+                 r.relation, RelationKind::kInput, r.head, r.body,
+                 /*body_may_use_current_input=*/false);
+      if (r.relation != kInvalidRelation) {
+        if (!with_rule.insert(r.relation).second) {
+          report(prefix, "multiple options rules for input " +
+                             catalog_.schema(r.relation).name);
+        }
+        if (declared_inputs.count(r.relation) == 0) {
+          report(prefix, "options rule for undeclared input " +
+                             catalog_.schema(r.relation).name);
+        }
+        if (catalog_.schema(r.relation).kind ==
+            RelationKind::kInputConstant) {
+          report(prefix, "input constant " +
+                             catalog_.schema(r.relation).name +
+                             " cannot have an options rule");
+        }
+      }
+    }
+    for (RelationId id : page.inputs) {
+      if (catalog_.schema(id).kind == RelationKind::kInput &&
+          with_rule.count(id) == 0) {
+        report(prefix, "input " + catalog_.schema(id).name +
+                           " lacks an options rule");
+      }
+    }
+    // Input rules may not read the *current* step's input (the model: they
+    // see database, state and previous input only).
+    for (const InputRule& r : page.input_rules) {
+      if (r.relation != kInvalidRelation &&
+          HasCurrentInputAtom(r.body, catalog_)) {
+        report(prefix, "input rule " + catalog_.schema(r.relation).name +
+                           " reads a current-step input (only `prev` input "
+                           "atoms are allowed in option rules)");
+      }
+    }
+    for (const StateRule& r : page.state_rules) {
+      check_rule(prefix + ", state rule " +
+                     (r.relation == kInvalidRelation
+                          ? "?"
+                          : catalog_.schema(r.relation).name),
+                 r.relation, RelationKind::kState, r.head, r.body, true);
+    }
+    for (const ActionRule& r : page.action_rules) {
+      check_rule(prefix + ", action rule " +
+                     (r.relation == kInvalidRelation
+                          ? "?"
+                          : catalog_.schema(r.relation).name),
+                 r.relation, RelationKind::kAction, r.head, r.body, true);
+    }
+    for (const TargetRule& r : page.target_rules) {
+      if (r.target_page < 0 || r.target_page >= num_pages()) {
+        report(prefix, "target rule points to an unknown page");
+        continue;
+      }
+      if (!r.condition->FreeVariables().empty()) {
+        report(prefix, "target condition for " +
+                           pages_[r.target_page].name +
+                           " has free variables (must be a sentence)");
+      }
+      for (const std::string& rel_name : r.condition->Relations()) {
+        RelationId id = catalog_.Find(rel_name);
+        if (id == kInvalidRelation) {
+          report(prefix, "target condition references undeclared relation '" +
+                             rel_name + "'");
+        } else if (catalog_.schema(id).kind == RelationKind::kAction) {
+          report(prefix, "target condition reads action relation '" +
+                             rel_name + "'");
+        }
+      }
+    }
+  }
+  return issues;
+}
+
+std::vector<std::string> WebAppSpec::CheckInputBoundedness() const {
+  std::vector<std::string> issues;
+  for (const PageSchema& page : pages_) {
+    const std::string prefix = "page " + page.name;
+    for (const InputRule& r : page.input_rules) {
+      auto found = CheckInputBounded(
+          r.body, catalog_, FormulaRole::kInputOptionRule,
+          prefix + ", input rule " + catalog_.schema(r.relation).name);
+      issues.insert(issues.end(), found.begin(), found.end());
+    }
+    for (const StateRule& r : page.state_rules) {
+      auto found = CheckInputBounded(
+          r.body, catalog_, FormulaRole::kRule,
+          prefix + ", state rule " + catalog_.schema(r.relation).name);
+      issues.insert(issues.end(), found.begin(), found.end());
+    }
+    for (const ActionRule& r : page.action_rules) {
+      auto found = CheckInputBounded(
+          r.body, catalog_, FormulaRole::kRule,
+          prefix + ", action rule " + catalog_.schema(r.relation).name);
+      issues.insert(issues.end(), found.begin(), found.end());
+    }
+    for (const TargetRule& r : page.target_rules) {
+      auto found = CheckInputBounded(
+          r.condition, catalog_, FormulaRole::kRule,
+          prefix + ", target rule -> " + pages_[r.target_page].name);
+      issues.insert(issues.end(), found.begin(), found.end());
+    }
+  }
+  return issues;
+}
+
+std::string WebAppSpec::StatsString() const {
+  int num_db = 0, num_state = 0, num_input = 0, num_action = 0,
+      num_const_inputs = 0;
+  int max_db_arity = 0;
+  for (RelationId id = 0; id < catalog_.size(); ++id) {
+    const RelationSchema& s = catalog_.schema(id);
+    switch (s.kind) {
+      case RelationKind::kDatabase:
+        ++num_db;
+        max_db_arity = std::max(max_db_arity, s.arity);
+        break;
+      case RelationKind::kState:
+        ++num_state;
+        break;
+      case RelationKind::kInput:
+        ++num_input;
+        break;
+      case RelationKind::kInputConstant:
+        ++num_const_inputs;
+        break;
+      case RelationKind::kAction:
+        ++num_action;
+        break;
+    }
+  }
+  return std::to_string(num_pages()) + " pages, " + std::to_string(num_db) +
+         " database relations (max arity " + std::to_string(max_db_arity) +
+         "), " + std::to_string(num_state) + " state relations, " +
+         std::to_string(num_input) + " input relations, " +
+         std::to_string(num_const_inputs) + " input constants, " +
+         std::to_string(num_action) + " action relations, " +
+         std::to_string(SpecConstants().size()) + " constants";
+}
+
+}  // namespace wave

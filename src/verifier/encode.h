@@ -1,0 +1,58 @@
+// Encodings of pseudoconfigurations and tuple sets.
+//
+// Two encodings coexist, as in the paper's implementation (Section 4):
+//   * `TupleIndexer` — the paper's rank-based mixed-radix bitmap layout for
+//     a relation whose attributes draw from fixed candidate value lists
+//     (bit index j = r_k + n_k × (r_{k-1} + n_{k-1} × (…))); used by the
+//     storage benchmark and as the core/extension subset representation.
+//   * `EncodeConfiguration` — a canonical byte serialization of a whole
+//     pseudoconfiguration, used as the visited-trie key. (The paper extends
+//     the bitmap scheme to full configurations; a canonical serialization
+//     is an equivalent injective key and avoids a second dataflow pass for
+//     derived-relation value sets — see DESIGN.md.)
+#ifndef WAVE_VERIFIER_ENCODE_H_
+#define WAVE_VERIFIER_ENCODE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/symbol_table.h"
+#include "relational/relation.h"
+#include "spec/runtime.h"
+
+namespace wave {
+
+/// Rank-based tuple <-> bit-index codec for one relation (paper Section 4,
+/// "Translation between representations").
+class TupleIndexer {
+ public:
+  /// `attribute_values[i]` lists the candidate constants of attribute i
+  /// (order defines ranks). The number of encodable tuples is the product
+  /// of the list sizes.
+  explicit TupleIndexer(std::vector<std::vector<SymbolId>> attribute_values);
+
+  /// Product of attribute list sizes (0 if any list is empty).
+  int64_t NumTuples() const { return num_tuples_; }
+
+  /// Bit index of `tuple`; -1 if some attribute value is not a candidate.
+  int64_t Index(const Tuple& tuple) const;
+
+  /// Inverse of `Index`.
+  Tuple Decode(int64_t index) const;
+
+ private:
+  std::vector<std::vector<SymbolId>> attribute_values_;
+  std::vector<std::map<SymbolId, int>> ranks_;  // per-attribute value -> rank
+  int64_t num_tuples_ = 0;
+};
+
+/// Canonical byte key of (flag, Büchi state, configuration) for the
+/// visited trie. Injective for configurations over one spec.
+std::vector<uint8_t> EncodeVisitedKey(int flag, int buchi_state,
+                                      const Configuration& config);
+
+}  // namespace wave
+
+#endif  // WAVE_VERIFIER_ENCODE_H_

@@ -1,0 +1,115 @@
+#include "verifier/trie.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace wave {
+
+int VisitedTrie::Node::FindChild(uint8_t label) const {
+  auto it = std::lower_bound(labels.begin(), labels.end(), label);
+  if (it == labels.end() || *it != label) return -1;
+  return children[it - labels.begin()];
+}
+
+// The trie is path-compressed: every edge into a node carries the node's
+// `edge` byte string (whose first byte is the child's label in the parent's
+// sorted arrays). Keys walk edges with memcmp-style span matching; a
+// mismatch in the middle of an edge splits the node.
+
+bool VisitedTrie::Insert(const std::vector<uint8_t>& key) {
+  int node = 0;
+  size_t pos = 0;
+  while (true) {
+    Node& n = nodes_[node];
+    // Match the remainder of this node's edge (the first byte was matched
+    // while selecting the child).
+    // Invariant: for the root, edge is empty.
+    if (pos == key.size()) break;
+    int child = n.FindChild(key[pos]);
+    if (child == -1) {
+      // New leaf holding the whole remaining suffix.
+      int leaf = NewNode();
+      nodes_[leaf].edge.assign(key.begin() + pos, key.end());
+      nodes_[leaf].terminal = true;
+      AddChild(node, key[pos], leaf);
+      ++num_keys_;
+      return true;
+    }
+    Node& c = nodes_[child];
+    size_t match = 0;
+    while (match < c.edge.size() && pos + match < key.size() &&
+           c.edge[match] == key[pos + match]) {
+      ++match;
+    }
+    if (match == c.edge.size()) {
+      pos += match;
+      node = child;
+      continue;
+    }
+    // Split the child's edge at `match`.
+    int lower = NewNode();
+    Node& child_node = nodes_[child];  // re-fetch (NewNode may reallocate)
+    Node& lower_node = nodes_[lower];
+    lower_node.edge.assign(child_node.edge.begin() + match,
+                           child_node.edge.end());
+    lower_node.labels = std::move(child_node.labels);
+    lower_node.children = std::move(child_node.children);
+    lower_node.terminal = child_node.terminal;
+    child_node.edge.resize(match);
+    child_node.labels.clear();
+    child_node.children.clear();
+    child_node.terminal = false;
+    AddChild(child, lower_node.edge[0], lower);
+    if (pos + match == key.size()) {
+      // The key ends exactly at the split point.
+      nodes_[child].terminal = true;
+      ++num_keys_;
+      return true;
+    }
+    int leaf = NewNode();
+    nodes_[leaf].edge.assign(key.begin() + pos + match, key.end());
+    nodes_[leaf].terminal = true;
+    AddChild(child, key[pos + match], leaf);
+    ++num_keys_;
+    return true;
+  }
+  if (nodes_[node].terminal) return false;
+  nodes_[node].terminal = true;
+  ++num_keys_;
+  return true;
+}
+
+bool VisitedTrie::Contains(const std::vector<uint8_t>& key) const {
+  int node = 0;
+  size_t pos = 0;
+  while (pos < key.size()) {
+    int child = nodes_[node].FindChild(key[pos]);
+    if (child == -1) return false;
+    const Node& c = nodes_[child];
+    if (pos + c.edge.size() > key.size()) return false;
+    if (!std::equal(c.edge.begin(), c.edge.end(), key.begin() + pos)) {
+      return false;
+    }
+    pos += c.edge.size();
+    node = child;
+  }
+  return nodes_[node].terminal;
+}
+
+int VisitedTrie::NewNode() {
+  int id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  return id;
+}
+
+void VisitedTrie::AddChild(int parent, uint8_t label, int child) {
+  Node& p = nodes_[parent];
+  auto it = std::lower_bound(p.labels.begin(), p.labels.end(), label);
+  size_t pos = it - p.labels.begin();
+  WAVE_CHECK(it == p.labels.end() || *it != label);
+  p.labels.insert(p.labels.begin() + pos, label);
+  p.children.insert(p.children.begin() + pos, child);
+}
+
+}  // namespace wave

@@ -1,0 +1,62 @@
+// Trie of visited pseudoconfigurations (paper Section 4: "The visited
+// configurations are then stored in a trie data structure which allows
+// updates and membership tests in time linear in the size of the bitmap").
+//
+// Keys are byte strings (the canonical encoding of (flag, Büchi state,
+// pseudoconfiguration)). The trie is a path-compressed radix tree with
+// children kept in sorted arrays; `size()` reports the number of stored
+// keys, the statistic the paper's "max trie size" column tracks.
+#ifndef WAVE_VERIFIER_TRIE_H_
+#define WAVE_VERIFIER_TRIE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace wave {
+
+/// Set of byte-string keys backed by a trie.
+class VisitedTrie {
+ public:
+  VisitedTrie() { nodes_.emplace_back(); }
+
+  /// Inserts `key`; returns true if it was newly added.
+  bool Insert(const std::vector<uint8_t>& key);
+
+  /// Membership test.
+  bool Contains(const std::vector<uint8_t>& key) const;
+
+  /// Number of stored keys.
+  int size() const { return num_keys_; }
+
+  /// Number of trie nodes (memory footprint proxy).
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+  void Clear() {
+    nodes_.clear();
+    nodes_.emplace_back();
+    num_keys_ = 0;
+  }
+
+ private:
+  struct Node {
+    // Compressed edge into this node (first byte doubles as its label in
+    // the parent's arrays; empty for the root).
+    std::vector<uint8_t> edge;
+    // Sorted parallel arrays of child first-bytes and child indices.
+    std::vector<uint8_t> labels;
+    std::vector<int32_t> children;
+    bool terminal = false;
+
+    int FindChild(uint8_t label) const;
+  };
+
+  int NewNode();
+  void AddChild(int parent, uint8_t label, int child);
+
+  std::vector<Node> nodes_;
+  int num_keys_ = 0;
+};
+
+}  // namespace wave
+
+#endif  // WAVE_VERIFIER_TRIE_H_

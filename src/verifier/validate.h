@@ -1,0 +1,61 @@
+// Counterexample validation — the paper's Section 7 recipe for using WAVE
+// as a sound-but-incomplete verifier outside the input-bounded class:
+// "Whenever a candidate pseudorun counterexample to the property is
+// produced in the course of the ndfs search, wave needs to check that this
+// in fact corresponds to a genuine run violating the property."
+//
+// The check materializes one concrete database (the union of the core and
+// every extension window of the pseudorun — consistent by construction,
+// since page-domain values are distinct symbols), replays the recorded
+// input choices under the *genuine* run semantics, verifies the replay is
+// a real lasso (the cycle closes), and finally checks that the Büchi
+// automaton of the negated property accepts the induced word.
+#ifndef WAVE_VERIFIER_VALIDATE_H_
+#define WAVE_VERIFIER_VALIDATE_H_
+
+#include <string>
+
+#include "ltl/ltl_formula.h"
+#include "spec/web_app.h"
+#include "verifier/verifier.h"
+
+namespace wave {
+
+/// Outcome of replaying a counterexample as a genuine run.
+struct ValidationResult {
+  /// True if the pseudorun corresponds to a genuine violating run.
+  bool genuine = false;
+  /// Why validation failed (page divergence, illegal input choice, cycle
+  /// not closing, automaton rejecting the replayed word).
+  std::string reason;
+  /// The database materialized for the replay (over the spec's catalog).
+  Instance database;
+};
+
+/// Validates `result` (which must be kViolated) for `property` on `spec`.
+///
+/// For input-bounded specs this is expected to succeed (Theorem 3.2); for
+/// non-input-bounded ones a failure means the candidate must be discarded
+/// and the search resumed — the incomplete-verifier mode.
+ValidationResult ValidateCounterexample(WebAppSpec* spec,
+                                        const Property& property,
+                                        const VerifyResult& result);
+
+/// The full incomplete-verifier loop of Section 7: runs `verifier` with a
+/// candidate filter that discards spurious counterexamples (those that do
+/// not replay as genuine runs) and resumes the search. The returned
+/// verdict is:
+///   * kViolated  — with a validated, genuine counterexample;
+///   * kHolds     — exhaustive search found no candidate at all (for
+///                  input-bounded specs this is a proof; otherwise it is
+///                  only "no pseudorun counterexample");
+///   * kUnknown   — the search exhausted after rejecting spurious
+///                  candidates (stats.num_rejected_candidates > 0), or a
+///                  budget was hit.
+VerifyResult VerifyValidated(Verifier* verifier, WebAppSpec* spec,
+                             const Property& property,
+                             VerifyOptions options = {});
+
+}  // namespace wave
+
+#endif  // WAVE_VERIFIER_VALIDATE_H_

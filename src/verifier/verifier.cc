@@ -1,0 +1,680 @@
+#include "verifier/verifier.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "buchi/gpvw.h"
+#include "ltl/abstraction.h"
+#include "verifier/encode.h"
+#include "verifier/trie.h"
+
+namespace wave {
+
+namespace {
+
+enum class SearchStatus { kContinue, kFound, kAbort };
+
+/// Gathers, per free variable of the property, the attribute positions it
+/// occurs at and the constants it is directly equated to.
+struct VarOccurrences {
+  std::map<std::string, std::set<AttrPos>> positions;
+  std::map<std::string, std::set<SymbolId>> equated_constants;
+
+  void Walk(const Catalog& catalog, const FormulaPtr& f) {
+    switch (f->kind()) {
+      case Formula::Kind::kAtom: {
+        RelationId id = catalog.Find(f->relation());
+        if (id == kInvalidRelation) return;
+        for (size_t i = 0; i < f->args().size(); ++i) {
+          if (f->args()[i].is_variable()) {
+            positions[f->args()[i].variable].insert(
+                {id, static_cast<int>(i)});
+          }
+        }
+        return;
+      }
+      case Formula::Kind::kEquals: {
+        const Term& a = f->args()[0];
+        const Term& b = f->args()[1];
+        if (a.is_variable() && !b.is_variable()) {
+          equated_constants[a.variable].insert(b.constant);
+        } else if (b.is_variable() && !a.is_variable()) {
+          equated_constants[b.variable].insert(a.constant);
+        }
+        return;
+      }
+      case Formula::Kind::kNot:
+      case Formula::Kind::kExists:
+      case Formula::Kind::kForall:
+        Walk(catalog, f->body());
+        return;
+      case Formula::Kind::kAnd:
+      case Formula::Kind::kOr:
+      case Formula::Kind::kImplies:
+        Walk(catalog, f->left());
+        Walk(catalog, f->right());
+        return;
+      default:
+        return;
+    }
+  }
+};
+
+/// One full `ndfs-pseudo` run for one property.
+class Search {
+ public:
+  Search(WebAppSpec* spec, const PreparedSpec* prepared,
+         PageDomains* page_domains, const Property& property,
+         const VerifyOptions& options, VerifyResult* result)
+      : spec_(spec),
+        prepared_(prepared),
+        page_domains_(page_domains),
+        property_(property),
+        options_(options),
+        result_(result) {}
+
+  void Run() {
+    // ϕ := ¬ϕ0 — search for a pseudorun satisfying the negation.
+    LtlPtr negated = LtlFormula::Not(property_.body);
+    Abstraction abstraction = AbstractLtl(negated, spec_->symbols());
+    raw_components_ = abstraction.components;
+    automaton_ =
+        LtlToBuchi(&abstraction.arena, abstraction.root,
+                   static_cast<int>(abstraction.components.size()));
+    result_->stats.buchi_states = automaton_.NumStates();
+    if (automaton_.IsEmptyLanguage()) {
+      // The negation is unsatisfiable over infinite words: ϕ0 holds on all
+      // runs of any system.
+      result_->verdict = Verdict::kHolds;
+      return;
+    }
+
+    // Free variables: the property's outermost universal block. Every free
+    // variable of the body must be declared there.
+    free_vars_ = property_.forall_vars;
+    {
+      std::set<std::string> declared(free_vars_.begin(), free_vars_.end());
+      for (const FormulaPtr& c : raw_components_) {
+        for (const std::string& v : c->FreeVariables()) {
+          WAVE_CHECK_MSG(declared.count(v) > 0,
+                         "property " << property_.name << ": free variable '"
+                                     << v
+                                     << "' not bound by the forall block");
+        }
+      }
+    }
+
+    // Candidate constants per free variable (dataflow-guided C∃): the
+    // constants any of the variable's attribute positions may be compared
+    // to, its directly equated constants, and one fresh value.
+    ComparisonAnalysis uninstantiated(*spec_, raw_components_);
+    VarOccurrences occurrences;
+    for (const FormulaPtr& c : raw_components_) {
+      occurrences.Walk(spec_->catalog(), c);
+    }
+    for (const std::string& v : free_vars_) {
+      std::set<SymbolId> candidates;
+      for (const AttrPos& pos : occurrences.positions[v]) {
+        const std::set<SymbolId>& cs = uninstantiated.constants(pos);
+        candidates.insert(cs.begin(), cs.end());
+      }
+      const std::set<SymbolId>& eq = occurrences.equated_constants[v];
+      candidates.insert(eq.begin(), eq.end());
+      fresh_values_.push_back(spec_->symbols().MintFresh("free." + v));
+      var_candidates_.push_back(
+          std::vector<SymbolId>(candidates.begin(), candidates.end()));
+    }
+
+    ComputeRelevance();
+
+    std::map<std::string, SymbolId> binding;
+    SearchStatus status = EnumerateAssignments(0, &binding);
+    if (status == SearchStatus::kFound) {
+      result_->verdict = Verdict::kViolated;
+    } else if (status == SearchStatus::kAbort) {
+      result_->verdict = Verdict::kUnknown;
+      result_->failure_reason = abort_reason_;
+    } else {
+      result_->verdict = Verdict::kHolds;
+    }
+  }
+
+ private:
+  // --- relevance analysis ----------------------------------------------------
+  // The paper: "a dataflow analysis to prune the partial configurations
+  // with tuples that are irrelevant to the rules and property". A state
+  // relation matters only if some rule body or property component reads
+  // it; an action relation only if the property reads it; a previous input
+  // only on pages whose rules read it via `prev` (or if the property has
+  // prev atoms); an input at page V only if V's rules, any page's prev
+  // atoms, or the property read it. Everything else is cleared/skipped so
+  // it cannot split otherwise-identical pseudoconfigurations.
+  void CollectAtomUses(const FormulaPtr& f, bool* has_prev,
+                       std::set<RelationId>* current,
+                       std::set<RelationId>* prev) {
+    switch (f->kind()) {
+      case Formula::Kind::kAtom: {
+        RelationId id = spec_->catalog().Find(f->relation());
+        if (id == kInvalidRelation) return;
+        if (f->previous()) {
+          prev->insert(id);
+          *has_prev = true;
+        } else {
+          current->insert(id);
+        }
+        return;
+      }
+      case Formula::Kind::kNot:
+      case Formula::Kind::kExists:
+      case Formula::Kind::kForall:
+        CollectAtomUses(f->body(), has_prev, current, prev);
+        return;
+      case Formula::Kind::kAnd:
+      case Formula::Kind::kOr:
+      case Formula::Kind::kImplies:
+        CollectAtomUses(f->left(), has_prev, current, prev);
+        CollectAtomUses(f->right(), has_prev, current, prev);
+        return;
+      default:
+        return;
+    }
+  }
+
+  void ComputeRelevance() {
+    const Catalog& catalog = spec_->catalog();
+    relevant_.assign(catalog.size(), false);
+    prev_read_by_page_.assign(spec_->num_pages(), {});
+    property_reads_prev_ = false;
+
+    std::set<RelationId> property_current, property_prev;
+    bool dummy = false;
+    for (const FormulaPtr& c : raw_components_) {
+      CollectAtomUses(c, &property_reads_prev_, &property_current,
+                      &property_prev);
+    }
+    for (RelationId id : property_current) relevant_[id] = true;
+    for (RelationId id : property_prev) relevant_[id] = true;
+    property_prev_reads_ = property_prev;
+
+    for (int p = 0; p < spec_->num_pages(); ++p) {
+      const PageSchema& page = spec_->page(p);
+      std::set<RelationId> current, prev;
+      auto walk = [&](const FormulaPtr& body) {
+        CollectAtomUses(body, &dummy, &current, &prev);
+      };
+      for (const InputRule& r : page.input_rules) walk(r.body);
+      for (const StateRule& r : page.state_rules) walk(r.body);
+      for (const ActionRule& r : page.action_rules) walk(r.body);
+      for (const TargetRule& r : page.target_rules) walk(r.condition);
+      for (RelationId id : current) relevant_[id] = true;
+      for (RelationId id : prev) relevant_[id] = true;
+      prev_read_by_page_[p] = prev;
+    }
+  }
+
+  /// Clears irrelevant state/action tuples and previous inputs the current
+  /// page (and property) cannot read.
+  void PruneIrrelevant(Configuration* config) {
+    const Catalog& catalog = spec_->catalog();
+    const std::set<RelationId>& page_prev = prev_read_by_page_[config->page];
+    for (RelationId id = 0; id < catalog.size(); ++id) {
+      RelationKind kind = catalog.schema(id).kind;
+      if (kind == RelationKind::kState || kind == RelationKind::kAction) {
+        if (!relevant_[id]) config->data.relation(id).Clear();
+      } else if (kind == RelationKind::kInput ||
+                 kind == RelationKind::kInputConstant) {
+        if (page_prev.count(id) == 0 && property_prev_reads_.count(id) == 0) {
+          config->previous.relation(id).Clear();
+        }
+      }
+    }
+  }
+
+  // --- C∃ enumeration -------------------------------------------------------
+  SearchStatus EnumerateAssignments(size_t i,
+                                    std::map<std::string, SymbolId>* binding) {
+    if (i == free_vars_.size()) {
+      ++result_->stats.num_assignments;
+      return RunAssignment(*binding);
+    }
+    std::vector<SymbolId> values = var_candidates_[i];
+    values.push_back(fresh_values_[i]);
+    if (options_.exhaustive_existential) {
+      // Equality patterns among fresh values: variable i may reuse the
+      // fresh value of any earlier variable (canonical partition labels).
+      for (size_t j = 0; j < i; ++j) values.push_back(fresh_values_[j]);
+    }
+    for (SymbolId v : values) {
+      (*binding)[free_vars_[i]] = v;
+      SearchStatus status = EnumerateAssignments(i + 1, binding);
+      if (status != SearchStatus::kContinue) return status;
+    }
+    binding->erase(free_vars_[i]);
+    return SearchStatus::kContinue;
+  }
+
+  SearchStatus RunAssignment(const std::map<std::string, SymbolId>& binding) {
+    current_binding_ = binding;
+    // Instantiate and prepare ϕ's FO components as sentences.
+    components_.clear();
+    std::vector<FormulaPtr> instantiated;
+    PageResolver resolver = [this](const std::string& name) {
+      return spec_->PageIndex(name);
+    };
+    for (const FormulaPtr& c : raw_components_) {
+      FormulaPtr inst = c->SubstituteConstants(binding);
+      instantiated.push_back(inst);
+      components_.push_back(PreparedFormula::Prepare(
+          inst, spec_->catalog(), {}, resolver));
+    }
+
+    // C = CW ∪ (property constants) ∪ C∃.
+    constant_universe_ = spec_->SpecConstants();
+    for (const FormulaPtr& c : instantiated) {
+      std::set<SymbolId> cs = c->Constants();
+      constant_universe_.insert(cs.begin(), cs.end());
+    }
+    for (const auto& [var, value] : binding) {
+      constant_universe_.insert(value);
+    }
+    constant_vector_.assign(constant_universe_.begin(),
+                            constant_universe_.end());
+
+    // Dataflow analysis over the instantiated property + spec, and the
+    // candidate sets it prunes.
+    analysis_ =
+        std::make_unique<ComparisonAnalysis>(*spec_, instantiated);
+    CandidateOptions candidate_options;
+    candidate_options.heuristic1 = options_.heuristic1;
+    candidate_options.heuristic2 = options_.heuristic2;
+    candidate_options.max_candidates = options_.max_candidates;
+    instantiated_components_ = instantiated;
+    builder_ = std::make_unique<CandidateBuilder>(
+        spec_, page_domains_, analysis_.get(), &instantiated_components_,
+        constant_universe_, candidate_options);
+
+    const CandidateSet& core_candidates = builder_->CoreCandidates();
+    if (core_candidates.overflow) {
+      abort_reason_ = "core candidate set overflow (" +
+                      std::to_string(core_candidates.approx_tuple_count) +
+                      " candidate tuples); Heuristic 1 " +
+                      (options_.heuristic1 ? "insufficient" : "disabled");
+      return SearchStatus::kAbort;
+    }
+
+    // Enumerate cores(C) with the bitmap counter of Section 4.
+    DynamicBitset core_bitmap(
+        static_cast<int>(core_candidates.tuples.size()));
+    while (true) {
+      ++result_->stats.num_cores;
+      core_.clear();
+      for (int b = 0; b < core_bitmap.size(); ++b) {
+        if (core_bitmap.Test(b)) core_.push_back(core_candidates.tuples[b]);
+      }
+      SearchStatus status = RunCore();
+      if (status != SearchStatus::kContinue) return status;
+      if (!core_bitmap.Increment()) break;
+    }
+    return SearchStatus::kContinue;
+  }
+
+  // --- one independent search per core ---------------------------------------
+  SearchStatus RunCore() {
+    trie_ = std::make_unique<VisitedTrie>();
+    stick_stack_.clear();
+    candy_stack_.clear();
+
+    // Start pseudoconfigurations: home page, database = core ∪ extension.
+    Configuration skeleton;
+    skeleton.page = spec_->home_page();
+    skeleton.data = Instance(&spec_->catalog());
+    skeleton.previous = Instance(&spec_->catalog());
+    for (const auto& [relation, tuple] : core_) {
+      skeleton.data.relation(relation).Insert(tuple);
+    }
+    SearchStatus status = ForEachCompletion(
+        skeleton, /*prev_page=*/-1, [this](const Configuration& c0) {
+          return Stick(automaton_.start, c0, 1);
+        });
+    result_->stats.max_trie_size =
+        std::max(result_->stats.max_trie_size, trie_->size());
+    return status;
+  }
+
+  /// Enumerates extensions and input choices completing `skeleton` (whose
+  /// page/state/previous are set and whose database holds exactly the
+  /// core), invoking `fn` for each completed configuration.
+  template <typename Fn>
+  SearchStatus ForEachCompletion(const Configuration& skeleton, int prev_page,
+                                 const Fn& fn) {
+    const CandidateSet& ext_candidates =
+        builder_->ExtensionCandidates(skeleton.page, prev_page);
+    if (ext_candidates.overflow) {
+      abort_reason_ =
+          "extension candidate overflow at page " +
+          spec_->page(skeleton.page).name + " (" +
+          std::to_string(ext_candidates.approx_tuple_count) +
+          " candidate tuples); Heuristic 2 " +
+          (options_.heuristic2 ? "insufficient" : "disabled");
+      return SearchStatus::kAbort;
+    }
+    DynamicBitset ext_bitmap(static_cast<int>(ext_candidates.tuples.size()));
+    while (true) {
+      Configuration with_ext = skeleton;
+      for (int b = 0; b < ext_bitmap.size(); ++b) {
+        if (ext_bitmap.Test(b)) {
+          const auto& [relation, tuple] = ext_candidates.tuples[b];
+          with_ext.data.relation(relation).Insert(tuple);
+        }
+      }
+      std::vector<SymbolId> domain = WindowDomain(with_ext);
+      InputOptions options = prepared_->ComputeOptions(with_ext, domain);
+      std::vector<InputChoice> choices =
+          EnumerateChoices(with_ext.page, options);
+      for (const InputChoice& choice : choices) {
+        Configuration complete = with_ext;
+        prepared_->ApplyInput(choice, domain, &complete);
+        FilterToUniverse(&complete.data, RelationKind::kAction);
+        ++result_->stats.num_successors;
+        SearchStatus status = fn(complete);
+        if (status != SearchStatus::kContinue) return status;
+      }
+      if (!ext_bitmap.Increment()) break;
+    }
+    return SearchStatus::kContinue;
+  }
+
+  /// succP (Section 3.1): keep the core, recompute page/state/previous,
+  /// re-choose the extension and input.
+  template <typename Fn>
+  SearchStatus ForEachSuccessor(const Configuration& config, const Fn& fn) {
+    std::vector<SymbolId> domain = WindowDomain(config);
+    Configuration skeleton = prepared_->Advance(config, domain);
+    // States are kept only over C (other tuples cannot affect the
+    // input-bounded property or rules).
+    FilterToUniverse(&skeleton.data, RelationKind::kState);
+    PruneIrrelevant(&skeleton);
+    // The previous extension is discarded: reset the database to the core.
+    for (RelationId id = 0; id < spec_->catalog().size(); ++id) {
+      if (spec_->catalog().schema(id).kind == RelationKind::kDatabase) {
+        skeleton.data.relation(id).Clear();
+      }
+    }
+    for (const auto& [relation, tuple] : core_) {
+      skeleton.data.relation(relation).Insert(tuple);
+    }
+    return ForEachCompletion(skeleton, config.page, fn);
+  }
+
+  // --- the nested depth-first search ------------------------------------------
+  SearchStatus Stick(int state, const Configuration& config, int depth) {
+    if (SearchStatus status = CheckBudgets(); status != SearchStatus::kContinue) {
+      return status;
+    }
+    if (!trie_->Insert(EncodeVisitedKey(0, state, config))) {
+      return SearchStatus::kContinue;
+    }
+    ++result_->stats.num_expansions;
+    result_->stats.max_pseudorun_length =
+        std::max(result_->stats.max_pseudorun_length, depth);
+    stick_stack_.push_back({state, config});
+
+    std::vector<bool> assignment = EvalComponents(config);
+    for (const BuchiTransition& t : automaton_.adj[state]) {
+      if (!GuardSatisfied(t.guard, assignment)) continue;
+      SearchStatus status = ForEachSuccessor(
+          config, [&](const Configuration& next) -> SearchStatus {
+            if (!trie_->Contains(EncodeVisitedKey(0, t.to, next))) {
+              SearchStatus s = Stick(t.to, next, depth + 1);
+              if (s != SearchStatus::kContinue) return s;
+            }
+            if (automaton_.accepting[t.to]) {
+              base_state_ = t.to;
+              base_config_ = next;
+              candy_stack_.clear();
+              SearchStatus s = Candy(t.to, next, depth + 1);
+              if (s != SearchStatus::kContinue) return s;
+            }
+            return SearchStatus::kContinue;
+          });
+      if (status != SearchStatus::kContinue) return status;
+    }
+    stick_stack_.pop_back();
+    return SearchStatus::kContinue;
+  }
+
+  SearchStatus Candy(int state, const Configuration& config, int depth) {
+    if (SearchStatus status = CheckBudgets(); status != SearchStatus::kContinue) {
+      return status;
+    }
+    if (!trie_->Insert(EncodeVisitedKey(1, state, config))) {
+      return SearchStatus::kContinue;
+    }
+    ++result_->stats.num_expansions;
+    result_->stats.max_pseudorun_length =
+        std::max(result_->stats.max_pseudorun_length, depth);
+    candy_stack_.push_back({state, config});
+
+    std::vector<bool> assignment = EvalComponents(config);
+    for (const BuchiTransition& t : automaton_.adj[state]) {
+      if (!GuardSatisfied(t.guard, assignment)) continue;
+      SearchStatus status = ForEachSuccessor(
+          config, [&](const Configuration& next) -> SearchStatus {
+            if (t.to == base_state_ && next == base_config_) {
+              // Lollipop closed: candidate counterexample. The filter (if
+              // any) may discard it — paper Section 7: "If it does not
+              // [correspond to a genuine run], the ndfs search is
+              // reactivated".
+              if (options_.candidate_filter != nullptr &&
+                  !options_.candidate_filter(stick_stack_, candy_stack_,
+                                             current_binding_)) {
+                ++result_->stats.num_rejected_candidates;
+                return SearchStatus::kContinue;
+              }
+              result_->stick = stick_stack_;
+              result_->candy = candy_stack_;
+              result_->witness_binding = current_binding_;
+              return SearchStatus::kFound;
+            }
+            if (!trie_->Contains(EncodeVisitedKey(1, t.to, next))) {
+              return Candy(t.to, next, depth + 1);
+            }
+            return SearchStatus::kContinue;
+          });
+      if (status != SearchStatus::kContinue) return status;
+    }
+    candy_stack_.pop_back();
+    return SearchStatus::kContinue;
+  }
+
+  // --- evaluation helpers -----------------------------------------------------
+  std::vector<bool> EvalComponents(const Configuration& config) {
+    ConfigurationAdapter view(&config);
+    std::vector<SymbolId> domain = WindowDomain(config);
+    std::vector<bool> assignment(components_.size());
+    for (size_t i = 0; i < components_.size(); ++i) {
+      std::vector<SymbolId> regs = components_[i].MakeRegisters();
+      assignment[i] = components_[i].EvalClosed(view, domain, &regs);
+    }
+    return assignment;
+  }
+
+  std::vector<SymbolId> WindowDomain(const Configuration& config) const {
+    std::vector<SymbolId> domain = constant_vector_;
+    std::vector<SymbolId> active = config.data.ActiveDomain();
+    domain.insert(domain.end(), active.begin(), active.end());
+    std::vector<SymbolId> prev = config.previous.ActiveDomain();
+    domain.insert(domain.end(), prev.begin(), prev.end());
+    const PageDomain& pd = page_domains_->Get(config.page);
+    domain.insert(domain.end(), pd.all_values.begin(), pd.all_values.end());
+    std::sort(domain.begin(), domain.end());
+    domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+    return domain;
+  }
+
+  /// Removes tuples with any value outside C from relations of `kind`.
+  void FilterToUniverse(Instance* instance, RelationKind kind) {
+    for (RelationId id = 0; id < spec_->catalog().size(); ++id) {
+      if (spec_->catalog().schema(id).kind != kind) continue;
+      Relation& r = instance->relation(id);
+      Relation filtered(r.arity());
+      for (const Tuple& t : r.tuples()) {
+        bool in_universe = true;
+        for (SymbolId v : t) {
+          if (constant_universe_.count(v) == 0) {
+            in_universe = false;
+            break;
+          }
+        }
+        if (in_universe) filtered.Insert(t);
+      }
+      r = std::move(filtered);
+    }
+  }
+
+  std::vector<InputChoice> EnumerateChoices(int page,
+                                            const InputOptions& options) {
+    const PageSchema& schema = spec_->page(page);
+    const PageDomain& pd = page_domains_->Get(page);
+    // Alternatives per input: "no choice" plus each offered tuple; input
+    // constants take a fresh page value or a constant they are compared to.
+    std::vector<std::pair<RelationId, std::vector<Tuple>>> alternatives;
+    for (RelationId input : schema.inputs) {
+      std::vector<Tuple> tuples;
+      if (!relevant_[input]) {
+        // Nothing reads this input anywhere: the choice cannot matter.
+        alternatives.emplace_back(input, std::move(tuples));
+        continue;
+      }
+      if (spec_->catalog().schema(input).kind ==
+          RelationKind::kInputConstant) {
+        auto it = pd.input_values.find({input, 0});
+        if (it != pd.input_values.end()) tuples.push_back({it->second});
+        for (SymbolId c : analysis_->constants({input, 0})) {
+          if (constant_universe_.count(c) > 0) tuples.push_back({c});
+        }
+      } else {
+        auto it = options.find(input);
+        if (it != options.end()) tuples = it->second;
+      }
+      alternatives.emplace_back(input, std::move(tuples));
+    }
+    std::vector<InputChoice> out = {{}};
+    for (const auto& [input, tuples] : alternatives) {
+      std::vector<InputChoice> expanded;
+      for (const InputChoice& base : out) {
+        expanded.push_back(base);  // "no choice" for this input
+        for (const Tuple& t : tuples) {
+          InputChoice with = base;
+          with[input] = t;
+          expanded.push_back(std::move(with));
+        }
+      }
+      out = std::move(expanded);
+    }
+    return out;
+  }
+
+  SearchStatus CheckBudgets() {
+    if (watch_.ElapsedSeconds() > options_.timeout_seconds) {
+      abort_reason_ = "timeout after " +
+                      std::to_string(options_.timeout_seconds) + "s";
+      return SearchStatus::kAbort;
+    }
+    if (options_.max_expansions >= 0 &&
+        result_->stats.num_expansions >= options_.max_expansions) {
+      abort_reason_ = "expansion budget exhausted (" +
+                      std::to_string(options_.max_expansions) + ")";
+      return SearchStatus::kAbort;
+    }
+    return SearchStatus::kContinue;
+  }
+
+  WebAppSpec* spec_;
+  const PreparedSpec* prepared_;
+  PageDomains* page_domains_;
+  const Property& property_;
+  VerifyOptions options_;
+  VerifyResult* result_;
+
+  Stopwatch watch_;
+  BuchiAutomaton automaton_;
+  std::vector<FormulaPtr> raw_components_;
+  std::vector<std::string> free_vars_;
+  std::vector<SymbolId> fresh_values_;
+  std::vector<std::vector<SymbolId>> var_candidates_;
+
+  // Relevance sets (see ComputeRelevance).
+  std::vector<bool> relevant_;
+  std::vector<std::set<RelationId>> prev_read_by_page_;
+  std::set<RelationId> property_prev_reads_;
+  bool property_reads_prev_ = false;
+
+  // Per-assignment state.
+  std::map<std::string, SymbolId> current_binding_;
+  std::vector<PreparedFormula> components_;
+  std::vector<FormulaPtr> instantiated_components_;
+  std::set<SymbolId> constant_universe_;
+  std::vector<SymbolId> constant_vector_;
+  std::unique_ptr<ComparisonAnalysis> analysis_;
+  std::unique_ptr<CandidateBuilder> builder_;
+
+  // Per-core state.
+  std::vector<std::pair<RelationId, Tuple>> core_;
+  std::unique_ptr<VisitedTrie> trie_;
+  std::vector<CounterexampleStep> stick_stack_;
+  std::vector<CounterexampleStep> candy_stack_;
+  int base_state_ = -1;
+  Configuration base_config_;
+
+  std::string abort_reason_;
+};
+
+}  // namespace
+
+Verifier::Verifier(WebAppSpec* spec)
+    : spec_(spec), prepared_(spec), page_domains_(spec) {
+  std::vector<std::string> issues = spec->Validate();
+  WAVE_CHECK_MSG(issues.empty(),
+                 "spec does not validate: " << issues.front() << " (and "
+                                            << issues.size() - 1 << " more)");
+}
+
+VerifyResult Verifier::Verify(const Property& property,
+                              const VerifyOptions& options) {
+  VerifyResult result;
+  Stopwatch watch;
+  Search search(spec_, &prepared_, &page_domains_, property, options,
+                &result);
+  search.Run();
+  result.stats.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+std::string VerifyResult::CounterexampleString(const WebAppSpec& spec) const {
+  if (verdict != Verdict::kViolated) return "(no counterexample)";
+  std::string out;
+  auto render = [&](const CounterexampleStep& step, const char* phase,
+                    int index) {
+    out += std::string(phase) + "[" + std::to_string(index) + "] page " +
+           spec.page(step.config.page).name + ", automaton state " +
+           std::to_string(step.buchi_state) + "\n";
+    std::string data = step.config.data.ToString(spec.symbols());
+    out += data;
+    std::string prev = step.config.previous.ToString(spec.symbols());
+    if (!prev.empty()) out += "previous inputs:\n" + prev;
+  };
+  for (size_t i = 0; i < stick.size(); ++i) {
+    render(stick[i], "stick", static_cast<int>(i));
+  }
+  for (size_t i = 0; i < candy.size(); ++i) {
+    render(candy[i], "candy", static_cast<int>(i));
+  }
+  out += "(cycle loops back to candy[0])\n";
+  return out;
+}
+
+}  // namespace wave

@@ -1,0 +1,129 @@
+// WAVE's verification engine: the `ndfs-pseudo` algorithm of Section 3.1
+// with the pruning heuristics of Section 3.2.
+//
+// Given a Web application spec W and an LTL-FO property ϕ0, checks that
+// every run of W satisfies ϕ0 by searching for a pseudorun satisfying
+// ϕ = ¬ϕ0:
+//   1. abstract ϕ's FO components into propositions (phi_aux),
+//   2. translate phi_aux to a Büchi automaton (GPVW),
+//   3. enumerate assignments C∃ for ϕ's free variables, database cores
+//      over C = CW ∪ C∃, and run a nested depth-first search over
+//      (automaton state, pseudoconfiguration) pairs looking for a lollipop
+//      path; pseudoconfiguration successors are produced by `succP`
+//      (core kept, extension re-chosen, options computed, input picked).
+#ifndef WAVE_VERIFIER_VERIFIER_H_
+#define WAVE_VERIFIER_VERIFIER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/candidates.h"
+#include "buchi/buchi.h"
+#include "ltl/ltl_formula.h"
+#include "spec/prepared_spec.h"
+#include "spec/runtime.h"
+#include "spec/web_app.h"
+
+namespace wave {
+
+/// Tuning knobs for one verification call.
+struct VerifyOptions {
+  bool heuristic1 = true;  // core pruning (Section 3.2)
+  bool heuristic2 = true;  // extension pruning (Section 3.2)
+  /// Also enumerate equality patterns among the fresh C∃ values (variable i
+  /// may reuse the fresh value of any variable j <= i). Off by default: the
+  /// dataflow-guided assignment with pairwise-distinct fresh values covers
+  /// the cases arising in practice at a fraction of the cost.
+  bool exhaustive_existential = false;
+  /// Candidate-tuple budget per core/extension set; exceeding it aborts
+  /// with Verdict::kUnknown instead of enumerating 2^n subsets.
+  int max_candidates = 20;
+  /// Wall-clock budget; exceeding it yields Verdict::kUnknown.
+  double timeout_seconds = 120.0;
+  /// Budget on stick+candy expansions (-1 = unlimited).
+  int64_t max_expansions = -1;
+
+  /// Invoked on every candidate counterexample before it is reported.
+  /// Return true to accept it (the verdict becomes kViolated); false to
+  /// discard it and resume the search — the paper's Section 7
+  /// incomplete-verifier loop, typically wired to counterexample
+  /// validation (see verifier/validate.h). Null accepts everything.
+  std::function<bool(const std::vector<struct CounterexampleStep>& stick,
+                     const std::vector<struct CounterexampleStep>& candy,
+                     const std::map<std::string, SymbolId>& binding)>
+      candidate_filter;
+};
+
+enum class Verdict {
+  kHolds,     // every run satisfies the property
+  kViolated,  // a counterexample pseudorun was found
+  kUnknown,   // budget/timeout/overflow; see failure_reason
+};
+
+/// One product-state of a counterexample pseudorun.
+struct CounterexampleStep {
+  int buchi_state = 0;
+  Configuration config;
+};
+
+/// Search statistics (the paper's measured columns).
+struct VerifyStats {
+  double seconds = 0;
+  int max_pseudorun_length = 0;  // max length of a generated pseudorun
+  int max_trie_size = 0;         // max #pseudoconfigurations in the trie
+  int buchi_states = 0;          // property automaton size
+  int64_t num_assignments = 0;   // C∃ choices tried
+  int64_t num_cores = 0;         // cores enumerated
+  int64_t num_expansions = 0;    // stick+candy invocations
+  int64_t num_successors = 0;    // pseudoconfigurations produced by succP
+  int64_t num_rejected_candidates = 0;  // discarded by candidate_filter
+};
+
+/// Outcome of `Verifier::Verify`.
+struct VerifyResult {
+  Verdict verdict = Verdict::kUnknown;
+  std::string failure_reason;  // non-empty when kUnknown
+
+  /// Counterexample (when kViolated): `stick` is the lollipop prefix,
+  /// `candy` the cycle; the last candy step loops back to `candy.front()`.
+  std::vector<CounterexampleStep> stick;
+  std::vector<CounterexampleStep> candy;
+
+  /// The C∃ assignment (property forall-variable -> witness constant)
+  /// under which the counterexample was found.
+  std::map<std::string, SymbolId> witness_binding;
+
+  VerifyStats stats;
+
+  bool holds() const { return verdict == Verdict::kHolds; }
+
+  /// Human-readable rendering of the counterexample pseudorun.
+  std::string CounterexampleString(const WebAppSpec& spec) const;
+};
+
+/// The verifier. Reusable across properties of one spec; mints fresh
+/// symbols (page domains, C∃ witnesses) into the spec's symbol table.
+class Verifier {
+ public:
+  /// `spec` must outlive the verifier and validate cleanly
+  /// (`WAVE_CHECK`ed).
+  explicit Verifier(WebAppSpec* spec);
+
+  /// Checks that all runs satisfy `property`.
+  VerifyResult Verify(const Property& property,
+                      const VerifyOptions& options = {});
+
+  const PreparedSpec& prepared() const { return prepared_; }
+
+ private:
+  WebAppSpec* spec_;
+  PreparedSpec prepared_;
+  PageDomains page_domains_;
+};
+
+}  // namespace wave
+
+#endif  // WAVE_VERIFIER_VERIFIER_H_

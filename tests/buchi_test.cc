@@ -1,0 +1,172 @@
+// Büchi construction tests: Figure 1's automaton shape, hand-picked
+// formulas, and a randomized differential test of the GPVW translation
+// against the reference lasso-word LTL evaluator.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "buchi/gpvw.h"
+#include "buchi/lasso.h"
+#include "buchi/prop_ltl.h"
+
+namespace wave {
+namespace {
+
+LassoWord MakeLasso(const std::vector<std::vector<bool>>& prefix,
+                    const std::vector<std::vector<bool>>& cycle) {
+  LassoWord w;
+  w.prefix = prefix;
+  w.cycle = cycle;
+  return w;
+}
+
+TEST(GpvwTest, Figure1UntilAutomatonShape) {
+  // Figure 1 of the paper: the automaton for P1 U P2 has two states — a
+  // start state with a P1 self-loop and a P2 edge to an accepting state
+  // with a true self-loop.
+  PropArena arena;
+  PropId f = arena.U(arena.Prop(0), arena.Prop(1));
+  BuchiAutomaton a = LtlToBuchi(&arena, f, 2);
+  EXPECT_EQ(a.NumStates(), 2);
+  int accepting_count = 0;
+  for (int s = 0; s < a.NumStates(); ++s) {
+    if (a.accepting[s]) ++accepting_count;
+  }
+  EXPECT_EQ(accepting_count, 1);
+  EXPECT_FALSE(a.accepting[a.start]);
+  // Start: P1 self-loop + P2 edge to the accepting state.
+  ASSERT_EQ(a.adj[a.start].size(), 2u);
+  // Accepting: unguarded self-loop.
+  int acc = a.accepting[0] ? 0 : 1;
+  ASSERT_EQ(a.adj[acc].size(), 1u);
+  EXPECT_EQ(a.adj[acc][0].to, acc);
+  EXPECT_TRUE(a.adj[acc][0].guard.empty());
+}
+
+TEST(GpvwTest, UntilAcceptsOnlyMatchingWords) {
+  PropArena arena;
+  PropId f = arena.U(arena.Prop(0), arena.Prop(1));
+  BuchiAutomaton a = LtlToBuchi(&arena, f, 2);
+  // P1 P1 P2 then anything: accepted.
+  EXPECT_TRUE(AcceptsLasso(
+      a, MakeLasso({{true, false}, {true, false}, {false, true}},
+                   {{false, false}})));
+  // P1 forever, P2 never: rejected.
+  EXPECT_FALSE(AcceptsLasso(a, MakeLasso({}, {{true, false}})));
+  // P1 gap before P2: rejected.
+  EXPECT_FALSE(AcceptsLasso(
+      a, MakeLasso({{false, false}}, {{false, true}})));
+}
+
+TEST(GpvwTest, GloballyAutomaton) {
+  PropArena arena;
+  PropId f = arena.G(arena.Prop(0));
+  BuchiAutomaton a = LtlToBuchi(&arena, f, 1);
+  EXPECT_TRUE(AcceptsLasso(a, MakeLasso({}, {{true}})));
+  EXPECT_FALSE(AcceptsLasso(a, MakeLasso({{true}}, {{false}})));
+  EXPECT_FALSE(AcceptsLasso(a, MakeLasso({{false}}, {{true}})));
+}
+
+TEST(GpvwTest, FalseHasEmptyLanguage) {
+  PropArena arena;
+  BuchiAutomaton a = LtlToBuchi(&arena, arena.False(), 1);
+  EXPECT_TRUE(a.IsEmptyLanguage());
+  // G p & F !p is also unsatisfiable.
+  PropId f = arena.And(arena.G(arena.Prop(0)),
+                       arena.F(arena.Not(arena.Prop(0))));
+  BuchiAutomaton b = LtlToBuchi(&arena, f, 1);
+  EXPECT_TRUE(b.IsEmptyLanguage());
+}
+
+TEST(GpvwTest, BeforeOperatorSemantics) {
+  // p B q: q never holds, or p holds strictly before the first q.
+  PropArena arena;
+  PropId f = arena.B(arena.Prop(0), arena.Prop(1));
+  BuchiAutomaton a = LtlToBuchi(&arena, f, 2);
+  // q never: accepted.
+  EXPECT_TRUE(AcceptsLasso(a, MakeLasso({}, {{false, false}})));
+  // p at 0, q at 1: accepted.
+  EXPECT_TRUE(AcceptsLasso(
+      a, MakeLasso({{true, false}, {false, true}}, {{false, false}})));
+  // q at 0 with no earlier p: rejected.
+  EXPECT_FALSE(AcceptsLasso(
+      a, MakeLasso({{false, true}}, {{false, false}})));
+  // p and q simultaneously at 0 (p not strictly before): rejected.
+  EXPECT_FALSE(AcceptsLasso(a, MakeLasso({{true, true}}, {{false, false}})));
+}
+
+// --- randomized differential test -------------------------------------------
+
+/// Builds a random LTL formula over `num_props` propositions.
+PropId RandomFormula(PropArena* arena, std::mt19937* rng, int depth,
+                     int num_props) {
+  std::uniform_int_distribution<int> kind_dist(0, depth <= 0 ? 2 : 10);
+  std::uniform_int_distribution<int> prop_dist(0, num_props - 1);
+  switch (kind_dist(*rng)) {
+    case 0:
+      return arena->Prop(prop_dist(*rng));
+    case 1:
+      return arena->True();
+    case 2:
+      return arena->Not(arena->Prop(prop_dist(*rng)));
+    case 3:
+      return arena->Not(RandomFormula(arena, rng, depth - 1, num_props));
+    case 4:
+      return arena->And(RandomFormula(arena, rng, depth - 1, num_props),
+                        RandomFormula(arena, rng, depth - 1, num_props));
+    case 5:
+      return arena->Or(RandomFormula(arena, rng, depth - 1, num_props),
+                       RandomFormula(arena, rng, depth - 1, num_props));
+    case 6:
+      return arena->X(RandomFormula(arena, rng, depth - 1, num_props));
+    case 7:
+      return arena->U(RandomFormula(arena, rng, depth - 1, num_props),
+                      RandomFormula(arena, rng, depth - 1, num_props));
+    case 8:
+      return arena->G(RandomFormula(arena, rng, depth - 1, num_props));
+    case 9:
+      return arena->F(RandomFormula(arena, rng, depth - 1, num_props));
+    default:
+      return arena->B(RandomFormula(arena, rng, depth - 1, num_props),
+                      RandomFormula(arena, rng, depth - 1, num_props));
+  }
+}
+
+std::vector<bool> RandomLetter(std::mt19937* rng, int num_props) {
+  std::vector<bool> letter(num_props);
+  for (int p = 0; p < num_props; ++p) letter[p] = (*rng)() & 1;
+  return letter;
+}
+
+class GpvwDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpvwDifferentialTest, MatchesReferenceSemanticsOnRandomLassos) {
+  std::mt19937 rng(GetParam());
+  constexpr int kNumProps = 2;
+  PropArena arena;
+  PropId f = RandomFormula(&arena, &rng, 3, kNumProps);
+  BuchiAutomaton a = LtlToBuchi(&arena, f, kNumProps);
+  std::uniform_int_distribution<int> len_dist(0, 3);
+  std::uniform_int_distribution<int> cycle_dist(1, 3);
+  for (int w = 0; w < 40; ++w) {
+    LassoWord word;
+    int prefix_len = len_dist(rng), cycle_len = cycle_dist(rng);
+    for (int i = 0; i < prefix_len; ++i) {
+      word.prefix.push_back(RandomLetter(&rng, kNumProps));
+    }
+    for (int i = 0; i < cycle_len; ++i) {
+      word.cycle.push_back(RandomLetter(&rng, kNumProps));
+    }
+    bool semantic = EvalLtlOnLasso(&arena, f, word);
+    bool automaton = AcceptsLasso(a, word);
+    ASSERT_EQ(semantic, automaton)
+        << "formula: " << arena.ToString(f, nullptr) << " word prefix "
+        << prefix_len << " cycle " << cycle_len << " trial " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpvwDifferentialTest,
+                         ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace wave

@@ -1,0 +1,119 @@
+// Randomized end-to-end differential test: generate small random
+// input-bounded specs and random LTL-FO properties, verify with WAVE's
+// pseudorun search, and cross-check the verdict against the explicit
+// first-cut baseline (which enumerates every database over its bounded
+// domain). A disagreement would expose a soundness or completeness bug in
+// the pseudorun machinery (Theorems 3.2 / 3.3 / 3.8).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "baseline/firstcut.h"
+#include "parser/parser.h"
+#include "verifier/verifier.h"
+
+namespace wave {
+namespace {
+
+/// Builds a random two-page spec from safe rule templates. All generated
+/// specs parse, validate and are input bounded.
+std::string RandomSpecText(std::mt19937* rng) {
+  auto coin = [&]() { return ((*rng)() & 1) != 0; };
+  // Only a unary database relation: the explicit baseline enumerates
+  // 2^(|dom|^arity) databases per relation, so binary relations make the
+  // cross-check infeasible.
+  std::string spec = R"(
+app random
+database r1(a)
+database marked(a)
+state s0()
+state s1(a)
+input pick(x)
+input btn(x)
+home A
+)";
+  // Page A.
+  spec += "page A {\n  input pick\n  input btn\n";
+  spec += coin() ? "  rule pick(x) <- r1(x)\n"
+                 : "  rule pick(x) <- r1(x) & marked(x)\n";
+  spec += "  rule btn(x) <- x = \"go\" | x = \"stay\"\n";
+  if (coin()) spec += "  state +s1(x) <- pick(x) & btn(\"go\")\n";
+  if (coin()) spec += "  state +s0() <- exists x: pick(x)\n";
+  if (coin()) spec += "  state -s1(x) <- s1(x) & btn(\"stay\")\n";
+  spec += coin() ? "  target B <- (exists x: pick(x)) & btn(\"go\")\n"
+                 : "  target B <- btn(\"go\")\n";
+  if (coin()) spec += "  target A <- btn(\"stay\")\n";
+  spec += "}\n";
+  // Page B.
+  spec += "page B {\n  input btn\n";
+  spec += "  rule btn(x) <- x = \"back\" | x = \"go\"\n";
+  if (coin()) spec += "  state -s0() <- btn(\"go\")\n";
+  if (coin()) spec += "  state +s1(x) <- prev pick(x) & btn(\"back\")\n";
+  spec += "  target A <- btn(\"back\")\n";
+  spec += "}\n";
+  return spec;
+}
+
+/// One random property from a pool of parametric templates.
+std::string RandomPropertyText(std::mt19937* rng) {
+  static const char* kTemplates[] = {
+      "property p expect false { F [at B] }",
+      "property p expect false { G [!(at B)] }",
+      "property p expect false { F [s0()] }",
+      "property p expect false { G (F [at A]) }",
+      "property p expect false { F (G [at A]) }",
+      "property p expect false { forall v: F [s1(v)] -> F [at B] }",
+      "property p expect false { forall v: F [pick(v)] -> F [s1(v)] }",
+      "property p expect false { [at A & btn(\"go\")] B [at B] }",
+      "property p expect false { G ([s0()] -> X [s0()]) }",
+      "property p expect false { forall v: G ([s1(v)] -> F [!s1(v)]) }",
+      "property p expect false { G ([at A] -> X ([at A] | [at B])) }",
+      "property p expect false { forall v: [pick(v)] B [s1(v)] }",
+  };
+  return kTemplates[(*rng)() % (sizeof(kTemplates) / sizeof(kTemplates[0]))];
+}
+
+class RandomDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDifferentialTest, WaveAgreesWithExplicitBaseline) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 2; ++trial) {
+    std::string spec_text = RandomSpecText(&rng);
+    std::string property_text = RandomPropertyText(&rng);
+    ParseResult parsed = ParseSpec(spec_text + property_text);
+    ASSERT_TRUE(parsed.ok()) << parsed.ErrorText() << "\n" << spec_text;
+    ASSERT_TRUE(parsed.spec->CheckInputBoundedness().empty()) << spec_text;
+
+    Verifier wave_verifier(parsed.spec.get());
+    VerifyOptions wave_options;
+    wave_options.timeout_seconds = 60;
+    VerifyResult wave_result =
+        wave_verifier.Verify(parsed.properties[0].property, wave_options);
+    ASSERT_NE(wave_result.verdict, Verdict::kUnknown)
+        << wave_result.failure_reason << "\n" << spec_text << property_text;
+
+    FirstCutVerifier baseline(parsed.spec.get());
+    FirstCutOptions baseline_options;
+    baseline_options.extra_domain_values = 1;
+    baseline_options.timeout_seconds = 120;
+    FirstCutResult baseline_result =
+        baseline.Verify(parsed.properties[0].property, baseline_options);
+    ASSERT_NE(baseline_result.verdict, Verdict::kUnknown)
+        << baseline_result.failure_reason << "\n" << spec_text;
+
+    // The baseline enumerates databases over a *bounded* domain, so it can
+    // miss violations that need more fresh values — but with one extra
+    // value beyond the property constants the templates above are all
+    // decidable either way, and WAVE must agree exactly.
+    EXPECT_EQ(wave_result.verdict, baseline_result.verdict)
+        << "seed " << GetParam() << " trial " << trial << "\n"
+        << spec_text << property_text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDifferentialTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace wave

@@ -1,0 +1,131 @@
+// Unit tests for the relational substrate: schemas, relations, instances
+// and the two table-store backends.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "relational/instance.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "relational/table_store.h"
+
+namespace wave {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  catalog.Declare({"user", 2, RelationKind::kDatabase, {}});
+  catalog.Declare({"cart", 2, RelationKind::kState, {}});
+  catalog.Declare({"button", 1, RelationKind::kInput, {}});
+  catalog.Declare({"uname", 1, RelationKind::kInputConstant, {}});
+  catalog.Declare({"conf", 3, RelationKind::kAction, {}});
+  catalog.Declare({"flag", 0, RelationKind::kState, {}});
+  return catalog;
+}
+
+TEST(CatalogTest, DeclareAndFind) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_EQ(catalog.size(), 6);
+  RelationId user = catalog.Find("user");
+  ASSERT_NE(user, kInvalidRelation);
+  EXPECT_EQ(catalog.schema(user).arity, 2);
+  EXPECT_EQ(catalog.Find("nosuch"), kInvalidRelation);
+  EXPECT_EQ(catalog.IdsOfKind(RelationKind::kState).size(), 2u);
+}
+
+TEST(RelationTest, SetSemantics) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_FALSE(r.Insert({1, 2})) << "duplicate insert must be a no-op";
+  EXPECT_TRUE(r.Insert({0, 9}));
+  EXPECT_EQ(r.size(), 2);
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Contains({2, 1}));
+  EXPECT_TRUE(r.Erase({1, 2}));
+  EXPECT_FALSE(r.Erase({1, 2}));
+  EXPECT_EQ(r.size(), 1);
+}
+
+TEST(RelationTest, TuplesAreSortedDeterministically) {
+  Relation r(1);
+  r.Insert({5});
+  r.Insert({1});
+  r.Insert({3});
+  ASSERT_EQ(r.size(), 3);
+  EXPECT_EQ(r.tuples()[0][0], 1);
+  EXPECT_EQ(r.tuples()[2][0], 5);
+}
+
+TEST(RelationTest, UnionAndDifference) {
+  Relation a(1), b(1);
+  a.Insert({1});
+  a.Insert({2});
+  b.Insert({2});
+  b.Insert({3});
+  Relation u = a;
+  u.UnionWith(b);
+  EXPECT_EQ(u.size(), 3);
+  Relation d = a;
+  d.DifferenceWith(b);
+  EXPECT_EQ(d.size(), 1);
+  EXPECT_TRUE(d.Contains({1}));
+}
+
+TEST(RelationTest, NullaryRelation) {
+  Relation r(0);
+  EXPECT_FALSE(r.Contains({}));
+  EXPECT_TRUE(r.Insert({}));
+  EXPECT_TRUE(r.Contains({}));
+  EXPECT_FALSE(r.Insert({}));
+  EXPECT_EQ(r.size(), 1);
+}
+
+TEST(InstanceTest, ActiveDomainAndEquality) {
+  Catalog catalog = MakeCatalog();
+  Instance a(&catalog), b(&catalog);
+  EXPECT_EQ(a, b);
+  a.relation("user").Insert({7, 8});
+  a.relation("cart").Insert({8, 9});
+  EXPECT_NE(a, b);
+  std::vector<SymbolId> domain = a.ActiveDomain();
+  EXPECT_EQ(domain, (std::vector<SymbolId>{7, 8, 9}));
+  EXPECT_EQ(a.TupleCount(), 2);
+  a.Clear();
+  EXPECT_EQ(a, b);
+}
+
+TEST(TableStoreTest, MemoryStoreRoundTrip) {
+  Catalog catalog = MakeCatalog();
+  MemoryTableStore store(&catalog);
+  RelationId user = catalog.Find("user");
+  EXPECT_TRUE(store.Insert(user, {1, 2}));
+  EXPECT_FALSE(store.Insert(user, {1, 2}));
+  EXPECT_EQ(store.Scan(user).size(), 1);
+  EXPECT_TRUE(store.Delete(user, {1, 2}));
+  EXPECT_FALSE(store.Delete(user, {1, 2}));
+  store.Insert(user, {3, 4});
+  store.Clear();
+  EXPECT_EQ(store.Scan(user).size(), 0);
+}
+
+TEST(TableStoreTest, DurableStoreMatchesMemorySemantics) {
+  Catalog catalog = MakeCatalog();
+  std::string log = ::testing::TempDir() + "/wave_store_test.log";
+  DurableTableStore durable(&catalog, log, /*sync_every_op=*/false);
+  MemoryTableStore memory(&catalog);
+  RelationId user = catalog.Find("user");
+  RelationId conf = catalog.Find("conf");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(durable.Insert(user, {i, i + 1}), memory.Insert(user, {i, i + 1}));
+    EXPECT_EQ(durable.Insert(conf, {i, i, i}), memory.Insert(conf, {i, i, i}));
+  }
+  for (int i = 0; i < 10; i += 2) {
+    EXPECT_EQ(durable.Delete(user, {i, i + 1}), memory.Delete(user, {i, i + 1}));
+  }
+  EXPECT_EQ(durable.Scan(user), memory.Scan(user));
+  EXPECT_EQ(durable.Scan(conf), memory.Scan(conf));
+  std::remove(log.c_str());
+}
+
+}  // namespace
+}  // namespace wave

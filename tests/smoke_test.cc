@@ -1,0 +1,129 @@
+// End-to-end smoke tests: parse a tiny spec, verify properties with known
+// verdicts, inspect counterexamples.
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "verifier/verifier.h"
+
+namespace wave {
+namespace {
+
+// A two-page toy site: the user may log in with a name; after login the
+// site moves to the member page and records the session; logout returns
+// home. The `welcome` action fires on successful login.
+constexpr char kTinySpec[] = R"(
+app tiny
+
+database user(name)
+state session(name)
+input button(x)
+inputconst uname
+action welcome(name)
+
+home HP
+
+page HP {
+  input button
+  input uname
+  rule button(x) <- x = "login" | x = "stay"
+  state +session(n) <- uname(n) & user(n) & button("login")
+  action welcome(n) <- uname(n) & user(n) & button("login")
+  target MP <- exists n: uname(n) & user(n) & button("login")
+  target HP <- button("stay")
+}
+
+page MP {
+  input button
+  rule button(x) <- x = "logout"
+  state -session(n) <- session(n) & button("logout")
+  target HP <- button("logout")
+}
+
+property p_home_start type T9 expect true {
+  F [at HP]
+}
+
+property p_welcome_registered type T10 expect true {
+  forall n:
+  G [welcome(n) -> user(n)]
+}
+
+property p_session_after_welcome type T1 expect true {
+  forall n:
+  [welcome(n)] B [at MP & session(n)]
+}
+
+property p_never_member expect false {
+  G [!(at MP)]
+}
+
+property p_welcome_never expect false {
+  forall n:
+  G [!welcome(n)]
+}
+)";
+
+class TinySpecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    result_ = ParseSpec(kTinySpec);
+    ASSERT_TRUE(result_.ok()) << result_.ErrorText();
+    ASSERT_EQ(result_.properties.size(), 5u);
+    verifier_ = std::make_unique<Verifier>(result_.spec.get());
+  }
+
+  const Property& property(const std::string& name) {
+    for (const ParsedProperty& p : result_.properties) {
+      if (p.property.name == name) return p.property;
+    }
+    ADD_FAILURE() << "no property " << name;
+    static Property dummy;
+    return dummy;
+  }
+
+  ParseResult result_;
+  std::unique_ptr<Verifier> verifier_;
+};
+
+TEST_F(TinySpecTest, SpecParsesAndValidates) {
+  EXPECT_EQ(result_.spec->num_pages(), 2);
+  EXPECT_TRUE(result_.spec->CheckInputBoundedness().empty());
+}
+
+TEST_F(TinySpecTest, HomeIsReachedInitially) {
+  VerifyResult r = verifier_->Verify(property("p_home_start"));
+  EXPECT_EQ(r.verdict, Verdict::kHolds) << r.failure_reason;
+}
+
+TEST_F(TinySpecTest, WelcomeOnlyForRegisteredUsers) {
+  VerifyResult r = verifier_->Verify(property("p_welcome_registered"));
+  EXPECT_EQ(r.verdict, Verdict::kHolds) << r.failure_reason;
+}
+
+TEST_F(TinySpecTest, MemberPageIsReachable) {
+  VerifyResult r = verifier_->Verify(property("p_never_member"));
+  ASSERT_EQ(r.verdict, Verdict::kViolated) << r.failure_reason;
+  // The counterexample must actually enter MP somewhere.
+  bool enters_mp = false;
+  int mp = result_.spec->PageIndex("MP");
+  for (const CounterexampleStep& s : r.stick) {
+    if (s.config.page == mp) enters_mp = true;
+  }
+  for (const CounterexampleStep& s : r.candy) {
+    if (s.config.page == mp) enters_mp = true;
+  }
+  EXPECT_TRUE(enters_mp) << r.CounterexampleString(*result_.spec);
+}
+
+TEST_F(TinySpecTest, WelcomeCanFire) {
+  VerifyResult r = verifier_->Verify(property("p_welcome_never"));
+  EXPECT_EQ(r.verdict, Verdict::kViolated) << r.failure_reason;
+}
+
+TEST_F(TinySpecTest, SessionRecordedBeforeMemberPage) {
+  VerifyResult r = verifier_->Verify(property("p_session_after_welcome"));
+  EXPECT_EQ(r.verdict, Verdict::kHolds) << r.failure_reason;
+}
+
+}  // namespace
+}  // namespace wave

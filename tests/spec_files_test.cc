@@ -1,0 +1,47 @@
+// Keeps the on-disk `.spec` sources (specs/*.spec, the ones users run
+// through examples/spec_doctor) byte-identical to the embedded app
+// sources so the two can never drift apart.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "apps/apps.h"
+
+namespace wave {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "<unreadable: " + path + ">";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct SpecFile {
+  const char* path;
+  const char* (*text)();
+};
+
+class SpecFilesTest : public ::testing::TestWithParam<SpecFile> {};
+
+TEST_P(SpecFilesTest, FileMatchesEmbeddedSource) {
+  // The test runs from the build tree; the sources live at the repo root.
+  std::string repo_root = std::string(WAVE_REPO_ROOT);
+  EXPECT_EQ(ReadFile(repo_root + "/" + GetParam().path), GetParam().text());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpecs, SpecFilesTest,
+    ::testing::Values(SpecFile{"specs/e1_shopping.spec", E1SpecText},
+                      SpecFile{"specs/e2_motogp.spec", E2SpecText},
+                      SpecFile{"specs/e3_airline.spec", E3SpecText},
+                      SpecFile{"specs/e4_bookstore.spec", E4SpecText}),
+    [](const ::testing::TestParamInfo<SpecFile>& info) {
+      std::string name = info.param.path;
+      return name.substr(6, name.find('.') - 6);  // "e1_shopping"
+    });
+
+}  // namespace
+}  // namespace wave

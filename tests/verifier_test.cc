@@ -1,0 +1,334 @@
+// Verifier-core tests: the visited trie, the encodings, heuristic on/off
+// agreement, counterexample sanity, and a differential test of the
+// pseudorun verifier against the explicit first-cut baseline on small
+// specs.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baseline/firstcut.h"
+#include "parser/parser.h"
+#include "verifier/encode.h"
+#include "verifier/trie.h"
+#include "verifier/verifier.h"
+
+namespace wave {
+namespace {
+
+// --- trie -------------------------------------------------------------------
+
+TEST(TrieTest, InsertAndContains) {
+  VisitedTrie trie;
+  EXPECT_TRUE(trie.Insert({1, 2, 3}));
+  EXPECT_FALSE(trie.Insert({1, 2, 3}));
+  EXPECT_TRUE(trie.Contains({1, 2, 3}));
+  EXPECT_FALSE(trie.Contains({1, 2}));
+  EXPECT_TRUE(trie.Insert({1, 2}));  // prefix of an existing key
+  EXPECT_TRUE(trie.Contains({1, 2}));
+  EXPECT_EQ(trie.size(), 2);
+  trie.Clear();
+  EXPECT_EQ(trie.size(), 0);
+  EXPECT_FALSE(trie.Contains({1, 2, 3}));
+}
+
+TEST(TrieTest, EmptyKeyIsAKey) {
+  VisitedTrie trie;
+  EXPECT_FALSE(trie.Contains({}));
+  EXPECT_TRUE(trie.Insert({}));
+  EXPECT_FALSE(trie.Insert({}));
+  EXPECT_EQ(trie.size(), 1);
+}
+
+TEST(TrieTest, AgreesWithStdSetOnRandomKeys) {
+  std::mt19937 rng(7);
+  VisitedTrie trie;
+  std::set<std::vector<uint8_t>> reference;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<uint8_t> key(rng() % 12);
+    for (uint8_t& b : key) b = static_cast<uint8_t>(rng() % 4);
+    bool inserted_ref = reference.insert(key).second;
+    if (rng() % 2 == 0) {
+      EXPECT_EQ(trie.Insert(key), inserted_ref);
+    } else {
+      EXPECT_EQ(trie.Contains(key), !inserted_ref);
+      if (inserted_ref) trie.Insert(key);
+    }
+    EXPECT_EQ(trie.size(), static_cast<int>(reference.size()));
+  }
+}
+
+// --- rank-based tuple indexing (paper Section 4) --------------------------------
+
+TEST(TupleIndexerTest, RoundTripsAllTuples) {
+  TupleIndexer indexer({{10, 20}, {30, 40, 50}, {60}});
+  EXPECT_EQ(indexer.NumTuples(), 6);
+  std::set<int64_t> seen;
+  for (SymbolId a : {10, 20}) {
+    for (SymbolId b : {30, 40, 50}) {
+      Tuple t = {a, b, 60};
+      int64_t index = indexer.Index(t);
+      ASSERT_GE(index, 0);
+      ASSERT_LT(index, 6);
+      EXPECT_TRUE(seen.insert(index).second) << "index collision";
+      EXPECT_EQ(indexer.Decode(index), t);
+    }
+  }
+}
+
+TEST(TupleIndexerTest, FollowsPaperFormula) {
+  // j = r_k + n_k * (r_{k-1} + n_{k-1} * (... n_2 * r_1))
+  TupleIndexer indexer({{0, 1}, {10, 11, 12}});
+  // tuple (1, 12): r1 = 1, r2 = 2, n2 = 3 -> j = 2 + 3*1 = 5.
+  EXPECT_EQ(indexer.Index({1, 12}), 5);
+}
+
+TEST(TupleIndexerTest, UnknownValueYieldsMinusOne) {
+  TupleIndexer indexer({{1, 2}});
+  EXPECT_EQ(indexer.Index({3}), -1);
+}
+
+// --- visited-key encoding ----------------------------------------------------
+
+TEST(EncodeTest, DistinctConfigurationsGetDistinctKeys) {
+  Catalog catalog;
+  catalog.Declare({"R", 1, RelationKind::kDatabase, {}});
+  catalog.Declare({"I", 1, RelationKind::kInput, {}});
+  Configuration a;
+  a.page = 0;
+  a.data = Instance(&catalog);
+  a.previous = Instance(&catalog);
+  Configuration b = a;
+  EXPECT_EQ(EncodeVisitedKey(0, 0, a), EncodeVisitedKey(0, 0, b));
+  EXPECT_NE(EncodeVisitedKey(1, 0, a), EncodeVisitedKey(0, 0, a));
+  EXPECT_NE(EncodeVisitedKey(0, 1, a), EncodeVisitedKey(0, 0, a));
+  b.page = 1;
+  EXPECT_NE(EncodeVisitedKey(0, 0, a), EncodeVisitedKey(0, 0, b));
+  b = a;
+  b.data.relation("R").Insert({5});
+  EXPECT_NE(EncodeVisitedKey(0, 0, a), EncodeVisitedKey(0, 0, b));
+  // Current vs previous input must be distinguished.
+  Configuration c = a, d = a;
+  c.data.relation("I").Insert({5});
+  d.previous.relation("I").Insert({5});
+  EXPECT_NE(EncodeVisitedKey(0, 0, c), EncodeVisitedKey(0, 0, d));
+}
+
+// --- heuristics preserve verdicts ----------------------------------------------
+
+constexpr char kSmallSpec[] = R"(
+app small
+
+database item(id, price)
+database member(name)
+state basket(id, price)
+state active()
+input pickitem(id, price)
+input button(x)
+inputconst who
+
+home HP
+
+page HP {
+  input button
+  input who
+  rule button(x) <- x = "enter" | x = "stay"
+  state +active() <- exists n: who(n) & member(n) & button("enter")
+  target SHOP <- exists n: who(n) & member(n) & button("enter")
+  target HP <- button("stay")
+}
+
+page SHOP {
+  input button
+  input pickitem
+  rule button(x) <- x = "add" | x = "leave" | x = "drop"
+  rule pickitem(i, p) <- item(i, p)
+  state +basket(i, p) <- pickitem(i, p) & button("add")
+  state -basket(i, p) <- pickitem(i, p) & button("drop")
+  target HP <- button("leave")
+}
+
+property holds_reach type T9 expect true { F [at HP] }
+property holds_basket type T3 expect true {
+  forall i, p: F [basket(i, p)] -> F [pickitem(i, p)]
+}
+property fails_shop type T10 expect false { G [!(at SHOP)] }
+property fails_active type T9 expect false { F [active()] }
+property holds_active type T1 expect true {
+  [at HP & button("enter")] B [active()]
+}
+property fails_drop type T4 expect false {
+  forall i, p: G ([basket(i, p)] -> F [!basket(i, p)])
+}
+)";
+
+// A micro spec whose unpruned search spaces stay enumerable: one unary
+// database relation and three constants, so the first-cut baseline faces
+// only 2^(domain) representative databases.
+constexpr char kMicroSpec[] = R"(
+app micro
+database reg(x)
+state flag()
+state seen(x)
+input pick(x)
+input button(b)
+home A
+page A {
+  input button
+  input pick
+  rule button(b) <- b = "go" | b = "stay"
+  rule pick(x) <- reg(x)
+  state +seen(x) <- pick(x) & button("go")
+  state +flag() <- exists x: pick(x) & button("go")
+  target B <- (exists x: pick(x)) & button("go")
+}
+page B {
+  input button
+  rule button(b) <- b = "back"
+  state -flag() <- button("back")
+  target A <- button("back")
+}
+property m1 type T9 expect true { F [at A] }
+property m2 type T10 expect false { G [!(at B)] }
+property m3 type T3 expect true { forall x: F [seen(x)] -> F [pick(x)] }
+property m4 type T9 expect false { F [flag()] }
+property m5 type T1 expect true { [at A & button("go")] B [at B] }
+property m6 type T8 expect false { G ([flag()] -> X [flag()]) }
+)";
+
+class MicroSpecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    result_ = ParseSpec(kMicroSpec);
+    ASSERT_TRUE(result_.ok()) << result_.ErrorText();
+    ASSERT_TRUE(result_.spec->CheckInputBoundedness().empty());
+  }
+  ParseResult result_;
+};
+
+class SmallSpecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    result_ = ParseSpec(kSmallSpec);
+    ASSERT_TRUE(result_.ok()) << result_.ErrorText();
+    ASSERT_TRUE(result_.spec->CheckInputBoundedness().empty());
+  }
+  ParseResult result_;
+};
+
+TEST_F(SmallSpecTest, AllVerdictsMatch) {
+  Verifier verifier(result_.spec.get());
+  for (const ParsedProperty& p : result_.properties) {
+    VerifyResult r = verifier.Verify(p.property);
+    EXPECT_NE(r.verdict, Verdict::kUnknown)
+        << p.property.name << ": " << r.failure_reason;
+    EXPECT_EQ(r.verdict == Verdict::kHolds, p.expected) << p.property.name;
+  }
+}
+
+TEST_F(MicroSpecTest, HeuristicsPreserveVerdicts) {
+  // Theorem 3.8: pruning with Heuristics 1 and 2 keeps the algorithm sound
+  // and complete. Cross-check verdicts with core pruning disabled (the
+  // micro spec keeps the unpruned core space enumerable).
+  Verifier verifier(result_.spec.get());
+  for (const ParsedProperty& p : result_.properties) {
+    VerifyOptions with;
+    VerifyResult expected = verifier.Verify(p.property, with);
+    VerifyOptions without;
+    without.heuristic1 = false;
+    without.max_candidates = 16;
+    without.timeout_seconds = 300;
+    VerifyResult actual = verifier.Verify(p.property, without);
+    ASSERT_NE(actual.verdict, Verdict::kUnknown)
+        << p.property.name << ": " << actual.failure_reason;
+    EXPECT_EQ(actual.verdict, expected.verdict) << p.property.name;
+  }
+}
+
+TEST_F(SmallSpecTest, CounterexampleEndsInACycleAndReachesShop) {
+  Verifier verifier(result_.spec.get());
+  const ParsedProperty* shop = nullptr;
+  for (const ParsedProperty& p : result_.properties) {
+    if (p.property.name == "fails_shop") shop = &p;
+  }
+  ASSERT_NE(shop, nullptr);
+  VerifyResult r = verifier.Verify(shop->property);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  ASSERT_FALSE(r.candy.empty()) << "lollipop must have a cycle";
+  int shop_page = result_.spec->PageIndex("SHOP");
+  bool visits_shop = false;
+  for (const CounterexampleStep& s : r.stick) {
+    if (s.config.page == shop_page) visits_shop = true;
+  }
+  for (const CounterexampleStep& s : r.candy) {
+    if (s.config.page == shop_page) visits_shop = true;
+  }
+  EXPECT_TRUE(visits_shop) << r.CounterexampleString(*result_.spec);
+}
+
+TEST_F(SmallSpecTest, StatsArePopulated) {
+  Verifier verifier(result_.spec.get());
+  VerifyResult r = verifier.Verify(result_.properties[0].property);
+  EXPECT_GT(r.stats.buchi_states, 0);
+  EXPECT_GT(r.stats.num_expansions, 0);
+  EXPECT_GT(r.stats.max_trie_size, 0);
+  EXPECT_GE(r.stats.seconds, 0);
+}
+
+TEST_F(SmallSpecTest, TimeoutYieldsUnknown) {
+  Verifier verifier(result_.spec.get());
+  VerifyOptions options;
+  options.timeout_seconds = 0.0;
+  VerifyResult r = verifier.Verify(result_.properties[0].property, options);
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  EXPECT_NE(r.failure_reason.find("timeout"), std::string::npos);
+}
+
+// --- differential test: pseudorun verifier vs explicit baseline ------------------
+
+TEST_F(MicroSpecTest, AgreesWithFirstCutBaseline) {
+  // On a small spec the explicit first-cut verifier can enumerate all
+  // databases over its bounded domain. Its verdicts must agree with the
+  // pseudorun search: a violation it finds is genuine (soundness), and a
+  // violation WAVE finds within the bounded domain must exist there too.
+  Verifier wave_verifier(result_.spec.get());
+  FirstCutVerifier baseline(result_.spec.get());
+  for (const ParsedProperty& p : result_.properties) {
+    VerifyResult wave_result = wave_verifier.Verify(p.property);
+    FirstCutOptions options;
+    options.extra_domain_values = 1;
+    options.timeout_seconds = 120;
+    FirstCutResult baseline_result = baseline.Verify(p.property, options);
+    ASSERT_NE(baseline_result.verdict, Verdict::kUnknown)
+        << p.property.name << ": " << baseline_result.failure_reason;
+    EXPECT_EQ(baseline_result.verdict, wave_result.verdict)
+        << p.property.name;
+  }
+}
+
+TEST_F(MicroSpecTest, ExhaustiveExistentialAgrees) {
+  // The default C∃ enumeration uses pairwise-distinct fresh values; the
+  // exhaustive mode adds equality patterns among them. On input-bounded
+  // specs both must yield identical verdicts (the paper's completeness
+  // needs only representative assignments).
+  Verifier verifier(result_.spec.get());
+  for (const ParsedProperty& p : result_.properties) {
+    VerifyResult fast = verifier.Verify(p.property);
+    VerifyOptions options;
+    options.exhaustive_existential = true;
+    VerifyResult slow = verifier.Verify(p.property, options);
+    EXPECT_EQ(fast.verdict, slow.verdict) << p.property.name;
+    EXPECT_GE(slow.stats.num_assignments, fast.stats.num_assignments);
+  }
+}
+
+TEST_F(MicroSpecTest, ExpansionBudgetYieldsUnknown) {
+  Verifier verifier(result_.spec.get());
+  VerifyOptions options;
+  options.max_expansions = 1;
+  VerifyResult r = verifier.Verify(result_.properties[0].property, options);
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  EXPECT_NE(r.failure_reason.find("budget"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wave
