@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_summary.dir/bench_e3_summary.cc.o"
+  "CMakeFiles/bench_e3_summary.dir/bench_e3_summary.cc.o.d"
+  "bench_e3_summary"
+  "bench_e3_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1_buchi.dir/bench_figure1_buchi.cc.o"
+  "CMakeFiles/bench_figure1_buchi.dir/bench_figure1_buchi.cc.o.d"
+  "bench_figure1_buchi"
+  "bench_figure1_buchi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_buchi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

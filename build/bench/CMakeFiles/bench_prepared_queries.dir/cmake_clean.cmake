@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prepared_queries.dir/bench_prepared_queries.cc.o"
+  "CMakeFiles/bench_prepared_queries.dir/bench_prepared_queries.cc.o.d"
+  "bench_prepared_queries"
+  "bench_prepared_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prepared_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_property_automata.dir/bench_property_automata.cc.o"
+  "CMakeFiles/bench_property_automata.dir/bench_property_automata.cc.o.d"
+  "bench_property_automata"
+  "bench_property_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_property_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

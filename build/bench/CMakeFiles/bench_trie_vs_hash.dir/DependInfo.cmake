@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_trie_vs_hash.cc" "bench/CMakeFiles/bench_trie_vs_hash.dir/bench_trie_vs_hash.cc.o" "gcc" "bench/CMakeFiles/bench_trie_vs_hash.dir/bench_trie_vs_hash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/wave_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/wave_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/wave_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/wave_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/wave_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ltl/CMakeFiles/wave_ltl.dir/DependInfo.cmake"
+  "/root/repo/build/src/buchi/CMakeFiles/wave_buchi.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/wave_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/fo/CMakeFiles/wave_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/wave_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wave_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

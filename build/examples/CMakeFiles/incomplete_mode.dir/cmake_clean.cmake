@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incomplete_mode.dir/incomplete_mode.cpp.o"
+  "CMakeFiles/incomplete_mode.dir/incomplete_mode.cpp.o.d"
+  "incomplete_mode"
+  "incomplete_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incomplete_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

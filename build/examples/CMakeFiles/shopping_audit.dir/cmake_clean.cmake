@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shopping_audit.dir/shopping_audit.cpp.o"
+  "CMakeFiles/shopping_audit.dir/shopping_audit.cpp.o.d"
+  "shopping_audit"
+  "shopping_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shopping_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

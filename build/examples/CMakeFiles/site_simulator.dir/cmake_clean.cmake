@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_simulator.dir/site_simulator.cpp.o"
+  "CMakeFiles/site_simulator.dir/site_simulator.cpp.o.d"
+  "site_simulator"
+  "site_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

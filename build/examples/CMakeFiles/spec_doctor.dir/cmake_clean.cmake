@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_doctor.dir/spec_doctor.cpp.o"
+  "CMakeFiles/spec_doctor.dir/spec_doctor.cpp.o.d"
+  "spec_doctor"
+  "spec_doctor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_doctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/candidates.cc" "src/analysis/CMakeFiles/wave_analysis.dir/candidates.cc.o" "gcc" "src/analysis/CMakeFiles/wave_analysis.dir/candidates.cc.o.d"
+  "/root/repo/src/analysis/dataflow.cc" "src/analysis/CMakeFiles/wave_analysis.dir/dataflow.cc.o" "gcc" "src/analysis/CMakeFiles/wave_analysis.dir/dataflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/wave_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/fo/CMakeFiles/wave_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/wave_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wave_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_analysis.dir/candidates.cc.o"
+  "CMakeFiles/wave_analysis.dir/candidates.cc.o.d"
+  "CMakeFiles/wave_analysis.dir/dataflow.cc.o"
+  "CMakeFiles/wave_analysis.dir/dataflow.cc.o.d"
+  "libwave_analysis.a"
+  "libwave_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

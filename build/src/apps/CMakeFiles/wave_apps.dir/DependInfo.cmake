@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_util.cc" "src/apps/CMakeFiles/wave_apps.dir/app_util.cc.o" "gcc" "src/apps/CMakeFiles/wave_apps.dir/app_util.cc.o.d"
+  "/root/repo/src/apps/e1_shopping.cc" "src/apps/CMakeFiles/wave_apps.dir/e1_shopping.cc.o" "gcc" "src/apps/CMakeFiles/wave_apps.dir/e1_shopping.cc.o.d"
+  "/root/repo/src/apps/e2_motogp.cc" "src/apps/CMakeFiles/wave_apps.dir/e2_motogp.cc.o" "gcc" "src/apps/CMakeFiles/wave_apps.dir/e2_motogp.cc.o.d"
+  "/root/repo/src/apps/e3_airline.cc" "src/apps/CMakeFiles/wave_apps.dir/e3_airline.cc.o" "gcc" "src/apps/CMakeFiles/wave_apps.dir/e3_airline.cc.o.d"
+  "/root/repo/src/apps/e4_bookstore.cc" "src/apps/CMakeFiles/wave_apps.dir/e4_bookstore.cc.o" "gcc" "src/apps/CMakeFiles/wave_apps.dir/e4_bookstore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parser/CMakeFiles/wave_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/wave_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ltl/CMakeFiles/wave_ltl.dir/DependInfo.cmake"
+  "/root/repo/build/src/fo/CMakeFiles/wave_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/wave_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/buchi/CMakeFiles/wave_buchi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wave_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_apps.dir/app_util.cc.o"
+  "CMakeFiles/wave_apps.dir/app_util.cc.o.d"
+  "CMakeFiles/wave_apps.dir/e1_shopping.cc.o"
+  "CMakeFiles/wave_apps.dir/e1_shopping.cc.o.d"
+  "CMakeFiles/wave_apps.dir/e2_motogp.cc.o"
+  "CMakeFiles/wave_apps.dir/e2_motogp.cc.o.d"
+  "CMakeFiles/wave_apps.dir/e3_airline.cc.o"
+  "CMakeFiles/wave_apps.dir/e3_airline.cc.o.d"
+  "CMakeFiles/wave_apps.dir/e4_bookstore.cc.o"
+  "CMakeFiles/wave_apps.dir/e4_bookstore.cc.o.d"
+  "libwave_apps.a"
+  "libwave_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_baseline.dir/firstcut.cc.o"
+  "CMakeFiles/wave_baseline.dir/firstcut.cc.o.d"
+  "libwave_baseline.a"
+  "libwave_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

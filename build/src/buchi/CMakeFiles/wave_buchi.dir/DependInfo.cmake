@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buchi/buchi.cc" "src/buchi/CMakeFiles/wave_buchi.dir/buchi.cc.o" "gcc" "src/buchi/CMakeFiles/wave_buchi.dir/buchi.cc.o.d"
+  "/root/repo/src/buchi/gpvw.cc" "src/buchi/CMakeFiles/wave_buchi.dir/gpvw.cc.o" "gcc" "src/buchi/CMakeFiles/wave_buchi.dir/gpvw.cc.o.d"
+  "/root/repo/src/buchi/lasso.cc" "src/buchi/CMakeFiles/wave_buchi.dir/lasso.cc.o" "gcc" "src/buchi/CMakeFiles/wave_buchi.dir/lasso.cc.o.d"
+  "/root/repo/src/buchi/prop_ltl.cc" "src/buchi/CMakeFiles/wave_buchi.dir/prop_ltl.cc.o" "gcc" "src/buchi/CMakeFiles/wave_buchi.dir/prop_ltl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wave_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_buchi.dir/buchi.cc.o"
+  "CMakeFiles/wave_buchi.dir/buchi.cc.o.d"
+  "CMakeFiles/wave_buchi.dir/gpvw.cc.o"
+  "CMakeFiles/wave_buchi.dir/gpvw.cc.o.d"
+  "CMakeFiles/wave_buchi.dir/lasso.cc.o"
+  "CMakeFiles/wave_buchi.dir/lasso.cc.o.d"
+  "CMakeFiles/wave_buchi.dir/prop_ltl.cc.o"
+  "CMakeFiles/wave_buchi.dir/prop_ltl.cc.o.d"
+  "libwave_buchi.a"
+  "libwave_buchi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_buchi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

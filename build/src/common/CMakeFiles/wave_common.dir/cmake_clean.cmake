@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_common.dir/bitset.cc.o"
+  "CMakeFiles/wave_common.dir/bitset.cc.o.d"
+  "CMakeFiles/wave_common.dir/strings.cc.o"
+  "CMakeFiles/wave_common.dir/strings.cc.o.d"
+  "CMakeFiles/wave_common.dir/symbol_table.cc.o"
+  "CMakeFiles/wave_common.dir/symbol_table.cc.o.d"
+  "libwave_common.a"
+  "libwave_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fo/formula.cc" "src/fo/CMakeFiles/wave_fo.dir/formula.cc.o" "gcc" "src/fo/CMakeFiles/wave_fo.dir/formula.cc.o.d"
+  "/root/repo/src/fo/input_bounded.cc" "src/fo/CMakeFiles/wave_fo.dir/input_bounded.cc.o" "gcc" "src/fo/CMakeFiles/wave_fo.dir/input_bounded.cc.o.d"
+  "/root/repo/src/fo/nnf.cc" "src/fo/CMakeFiles/wave_fo.dir/nnf.cc.o" "gcc" "src/fo/CMakeFiles/wave_fo.dir/nnf.cc.o.d"
+  "/root/repo/src/fo/prepared.cc" "src/fo/CMakeFiles/wave_fo.dir/prepared.cc.o" "gcc" "src/fo/CMakeFiles/wave_fo.dir/prepared.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wave_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/wave_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

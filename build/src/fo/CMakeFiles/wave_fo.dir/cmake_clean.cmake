@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_fo.dir/formula.cc.o"
+  "CMakeFiles/wave_fo.dir/formula.cc.o.d"
+  "CMakeFiles/wave_fo.dir/input_bounded.cc.o"
+  "CMakeFiles/wave_fo.dir/input_bounded.cc.o.d"
+  "CMakeFiles/wave_fo.dir/nnf.cc.o"
+  "CMakeFiles/wave_fo.dir/nnf.cc.o.d"
+  "CMakeFiles/wave_fo.dir/prepared.cc.o"
+  "CMakeFiles/wave_fo.dir/prepared.cc.o.d"
+  "libwave_fo.a"
+  "libwave_fo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_fo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ltl/abstraction.cc" "src/ltl/CMakeFiles/wave_ltl.dir/abstraction.cc.o" "gcc" "src/ltl/CMakeFiles/wave_ltl.dir/abstraction.cc.o.d"
+  "/root/repo/src/ltl/ltl_formula.cc" "src/ltl/CMakeFiles/wave_ltl.dir/ltl_formula.cc.o" "gcc" "src/ltl/CMakeFiles/wave_ltl.dir/ltl_formula.cc.o.d"
+  "/root/repo/src/ltl/patterns.cc" "src/ltl/CMakeFiles/wave_ltl.dir/patterns.cc.o" "gcc" "src/ltl/CMakeFiles/wave_ltl.dir/patterns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fo/CMakeFiles/wave_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/buchi/CMakeFiles/wave_buchi.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/wave_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wave_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_ltl.dir/abstraction.cc.o"
+  "CMakeFiles/wave_ltl.dir/abstraction.cc.o.d"
+  "CMakeFiles/wave_ltl.dir/ltl_formula.cc.o"
+  "CMakeFiles/wave_ltl.dir/ltl_formula.cc.o.d"
+  "CMakeFiles/wave_ltl.dir/patterns.cc.o"
+  "CMakeFiles/wave_ltl.dir/patterns.cc.o.d"
+  "libwave_ltl.a"
+  "libwave_ltl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_ltl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_parser.dir/lexer.cc.o"
+  "CMakeFiles/wave_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/wave_parser.dir/parser.cc.o"
+  "CMakeFiles/wave_parser.dir/parser.cc.o.d"
+  "libwave_parser.a"
+  "libwave_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wave_parser.
+# This may be replaced when dependencies are built.

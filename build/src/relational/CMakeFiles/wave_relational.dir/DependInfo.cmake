@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/instance.cc" "src/relational/CMakeFiles/wave_relational.dir/instance.cc.o" "gcc" "src/relational/CMakeFiles/wave_relational.dir/instance.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/relational/CMakeFiles/wave_relational.dir/relation.cc.o" "gcc" "src/relational/CMakeFiles/wave_relational.dir/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/wave_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/wave_relational.dir/schema.cc.o.d"
+  "/root/repo/src/relational/table_store.cc" "src/relational/CMakeFiles/wave_relational.dir/table_store.cc.o" "gcc" "src/relational/CMakeFiles/wave_relational.dir/table_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wave_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

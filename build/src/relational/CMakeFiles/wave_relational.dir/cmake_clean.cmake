@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_relational.dir/instance.cc.o"
+  "CMakeFiles/wave_relational.dir/instance.cc.o.d"
+  "CMakeFiles/wave_relational.dir/relation.cc.o"
+  "CMakeFiles/wave_relational.dir/relation.cc.o.d"
+  "CMakeFiles/wave_relational.dir/schema.cc.o"
+  "CMakeFiles/wave_relational.dir/schema.cc.o.d"
+  "CMakeFiles/wave_relational.dir/table_store.cc.o"
+  "CMakeFiles/wave_relational.dir/table_store.cc.o.d"
+  "libwave_relational.a"
+  "libwave_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/graph.cc" "src/spec/CMakeFiles/wave_spec.dir/graph.cc.o" "gcc" "src/spec/CMakeFiles/wave_spec.dir/graph.cc.o.d"
+  "/root/repo/src/spec/prepared_spec.cc" "src/spec/CMakeFiles/wave_spec.dir/prepared_spec.cc.o" "gcc" "src/spec/CMakeFiles/wave_spec.dir/prepared_spec.cc.o.d"
+  "/root/repo/src/spec/web_app.cc" "src/spec/CMakeFiles/wave_spec.dir/web_app.cc.o" "gcc" "src/spec/CMakeFiles/wave_spec.dir/web_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fo/CMakeFiles/wave_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/wave_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wave_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

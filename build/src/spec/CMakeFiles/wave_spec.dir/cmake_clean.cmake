@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_spec.dir/graph.cc.o"
+  "CMakeFiles/wave_spec.dir/graph.cc.o.d"
+  "CMakeFiles/wave_spec.dir/prepared_spec.cc.o"
+  "CMakeFiles/wave_spec.dir/prepared_spec.cc.o.d"
+  "CMakeFiles/wave_spec.dir/web_app.cc.o"
+  "CMakeFiles/wave_spec.dir/web_app.cc.o.d"
+  "libwave_spec.a"
+  "libwave_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwave_spec.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verifier/encode.cc" "src/verifier/CMakeFiles/wave_verifier.dir/encode.cc.o" "gcc" "src/verifier/CMakeFiles/wave_verifier.dir/encode.cc.o.d"
+  "/root/repo/src/verifier/trie.cc" "src/verifier/CMakeFiles/wave_verifier.dir/trie.cc.o" "gcc" "src/verifier/CMakeFiles/wave_verifier.dir/trie.cc.o.d"
+  "/root/repo/src/verifier/validate.cc" "src/verifier/CMakeFiles/wave_verifier.dir/validate.cc.o" "gcc" "src/verifier/CMakeFiles/wave_verifier.dir/validate.cc.o.d"
+  "/root/repo/src/verifier/verifier.cc" "src/verifier/CMakeFiles/wave_verifier.dir/verifier.cc.o" "gcc" "src/verifier/CMakeFiles/wave_verifier.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/wave_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/buchi/CMakeFiles/wave_buchi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ltl/CMakeFiles/wave_ltl.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/wave_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/fo/CMakeFiles/wave_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/wave_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wave_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

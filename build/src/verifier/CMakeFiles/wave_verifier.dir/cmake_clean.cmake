@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_verifier.dir/encode.cc.o"
+  "CMakeFiles/wave_verifier.dir/encode.cc.o.d"
+  "CMakeFiles/wave_verifier.dir/trie.cc.o"
+  "CMakeFiles/wave_verifier.dir/trie.cc.o.d"
+  "CMakeFiles/wave_verifier.dir/validate.cc.o"
+  "CMakeFiles/wave_verifier.dir/validate.cc.o.d"
+  "CMakeFiles/wave_verifier.dir/verifier.cc.o"
+  "CMakeFiles/wave_verifier.dir/verifier.cc.o.d"
+  "libwave_verifier.a"
+  "libwave_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buchi_test.dir/buchi_test.cc.o"
+  "CMakeFiles/buchi_test.dir/buchi_test.cc.o.d"
+  "buchi_test"
+  "buchi_test.pdb"
+  "buchi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buchi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
