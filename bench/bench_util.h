@@ -2,13 +2,82 @@
 #ifndef WAVE_BENCH_BENCH_UTIL_H_
 #define WAVE_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "apps/apps.h"
+#include "obs/json.h"
 #include "verifier/verifier.h"
 
 namespace wave::bench {
+
+// --- JSON-lines perf records (ISSUE 1) ---------------------------------------
+// Every bench binary can persist its measurements machine-readably next to
+// its text output: one `BENCH_<name>.json` file per binary, one JSON object
+// per line. This is the perf-trajectory format future PRs diff against.
+
+/// `"e1 table"` → `"e1_table"` (safe file-name component).
+inline std::string SanitizeBenchName(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Builds the canonical timing record: {"name": ..., "params": ...,
+/// "n", "median_s", "p90_s", "min_s", "max_s", "counters": ...}.
+/// `times_seconds` may hold a single sample (median == the sample).
+inline obs::Json TimingRecord(const std::string& name, obs::Json params,
+                              std::vector<double> times_seconds,
+                              obs::Json counters) {
+  std::sort(times_seconds.begin(), times_seconds.end());
+  auto quantile = [&](double q) -> double {
+    if (times_seconds.empty()) return 0;
+    double pos = q * (times_seconds.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, times_seconds.size() - 1);
+    double frac = pos - lo;
+    return times_seconds[lo] * (1 - frac) + times_seconds[hi] * frac;
+  };
+  obs::Json record = obs::Json::Object();
+  record.Set("name", obs::Json::Str(name));
+  record.Set("params", std::move(params));
+  record.Set("n", obs::Json::Int(static_cast<int64_t>(times_seconds.size())));
+  record.Set("median_s", obs::Json::Number(quantile(0.5)));
+  record.Set("p90_s", obs::Json::Number(quantile(0.9)));
+  record.Set("min_s",
+             obs::Json::Number(times_seconds.empty() ? 0 : times_seconds.front()));
+  record.Set("max_s",
+             obs::Json::Number(times_seconds.empty() ? 0 : times_seconds.back()));
+  record.Set("counters", std::move(counters));
+  return record;
+}
+
+/// Appends compact JSON records, one per line, to `BENCH_<name>.json` in
+/// the working directory (truncated per construction, i.e. per bench run).
+class JsonLinesEmitter {
+ public:
+  explicit JsonLinesEmitter(const std::string& bench_name)
+      : out_("BENCH_" + SanitizeBenchName(bench_name) + ".json",
+             std::ios::trunc) {}
+
+  void Emit(const obs::Json& record) {
+    if (!out_) return;  // unwritable directory: benches still print text
+    out_ << record.Dump() << "\n";
+    out_.flush();
+  }
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+};
 
 /// Verifies every property of `bundle` and prints the paper's table
 /// columns: property, type, verdict, time, max pseudorun length, max trie
@@ -21,6 +90,7 @@ inline int RunSuite(const char* title, AppBundle* bundle,
               "verdict (expected)", "time[s]", "max run len", "trie max",
               "buchi");
   Verifier verifier(bundle->spec.get());
+  JsonLinesEmitter emitter(title);
   int mismatches = 0;
   double min_time = 1e9, max_time = 0;
   int min_len = 1 << 30, max_len = 0, min_trie = 1 << 30, max_trie = 0;
@@ -47,6 +117,17 @@ inline int RunSuite(const char* title, AppBundle* bundle,
     max_len = std::max(max_len, r.stats.max_pseudorun_length);
     min_trie = std::min(min_trie, r.stats.max_trie_size);
     max_trie = std::max(max_trie, r.stats.max_trie_size);
+
+    obs::Json params = obs::Json::Object();
+    params.Set("suite", obs::Json::Str(title));
+    params.Set("type", obs::Json::Str(p.property.type_code));
+    params.Set("verdict", obs::Json::Str(r.verdict == Verdict::kHolds
+                                             ? "holds"
+                                             : r.verdict == Verdict::kViolated
+                                                   ? "violated"
+                                                   : "unknown"));
+    emitter.Emit(TimingRecord(p.property.name, std::move(params),
+                              {r.stats.seconds}, r.stats.ToJson()));
   }
   std::printf(
       "\nsummary: %zu properties; times %.3f-%.3f s; pseudorun lengths "

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Build + test under a sanitizer (ISSUE 1 satellite).
+#
+# Usage:
+#   scripts/check.sh             # address sanitizer (default)
+#   scripts/check.sh undefined   # UBSan
+#   scripts/check.sh ""          # plain build, no sanitizer
+#
+# Uses a separate build tree per sanitizer so the regular build/ stays
+# untouched.
+set -eu
+
+SANITIZER="${1-address}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ -n "$SANITIZER" ]; then
+  BUILD_DIR="$ROOT/build-$SANITIZER"
+else
+  BUILD_DIR="$ROOT/build-plain"
+fi
+
+echo "== configure (WAVE_SANITIZE='$SANITIZER') -> $BUILD_DIR"
+cmake -B "$BUILD_DIR" -S "$ROOT" -DWAVE_SANITIZE="$SANITIZER" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== build"
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)"
+
+echo "== test"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+
+echo "== OK (sanitizer: ${SANITIZER:-none})"

@@ -272,7 +272,15 @@ BuchiAutomaton LtlToBuchi(PropArena* arena, PropId f, int num_props,
     }
   }
 
+  if (options.stats != nullptr) {
+    options.stats->tableau_nodes = static_cast<int>(nodes.size());
+    options.stats->until_subformulas = k;
+    options.stats->states_before_simplify = out.NumStates();
+  }
   if (options.simplify) out.Simplify();
+  if (options.stats != nullptr) {
+    options.stats->states_after_simplify = out.NumStates();
+  }
   return out;
 }
 

@@ -12,11 +12,22 @@
 
 namespace wave {
 
+/// Translation statistics (ISSUE 1 observability): how big the tableau
+/// grew and how much degeneralization/simplification changed the automaton.
+struct GpvwStats {
+  int tableau_nodes = 0;          // registered GPVW tableau nodes
+  int until_subformulas = 0;      // generalized acceptance sets (k)
+  int states_before_simplify = 0; // after degeneralization
+  int states_after_simplify = 0;  // final automaton size
+};
+
 /// Options for `LtlToBuchi`.
 struct GpvwOptions {
   /// Run the post-translation simplification passes (default on; turn off
   /// to inspect the raw tableau, e.g. in ablation benchmarks).
   bool simplify = true;
+  /// When non-null, filled with translation statistics.
+  GpvwStats* stats = nullptr;
 };
 
 /// Translates the propositional LTL formula `f` (any connectives; NNF is

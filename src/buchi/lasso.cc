@@ -34,7 +34,10 @@ class LassoEvaluator {
     auto it = memo_.find(f);
     if (it != memo_.end()) return it->second;
     std::vector<bool> val(pos_.total(), false);
-    const PropArena::Node& n = arena_->node(f);
+    // By value: recursive Eval calls below (kG/kF/kB rewrite through the
+    // arena) can Intern new nodes and reallocate the arena's node vector,
+    // which would invalidate a reference taken here.
+    const PropArena::Node n = arena_->node(f);
     switch (n.kind) {
       case PropArena::Kind::kTrue:
         val.assign(pos_.total(), true);

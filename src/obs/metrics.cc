@@ -1,0 +1,135 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wave::obs {
+
+void Histogram::Record(double v) {
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+  if (samples_.size() < kMaxSamples) samples_.push_back(v);
+}
+
+double Histogram::Quantile(double q) const {
+  if (samples_.empty()) return 0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  double pos = q * (sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - lo;
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+namespace {
+
+template <typename Map, typename Key>
+auto* FindOrCreate(Map* map, const Key& name) {
+  auto it = map->find(name);
+  if (it == map->end()) {
+    it = map->emplace(std::string(name),
+                      std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  return FindOrCreate(&counters_, name);
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  return FindOrCreate(&gauges_, name);
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  return FindOrCreate(&histograms_, name);
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (double v : other.samples_) {
+    if (samples_.size() >= kMaxSamples) break;
+    samples_.push_back(v);
+  }
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name)->Add(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    Gauge* mine = gauge(name);
+    mine->Set(g->max());    // first raise the running max...
+    mine->Set(g->value());  // ...then land on the latest value
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name)->MergeFrom(*h);
+  }
+}
+
+Json MetricsRegistry::ToJson() const {
+  Json out = Json::Object();
+  Json counters = Json::Object();
+  for (const auto& [name, c] : counters_) {
+    counters.Set(name, Json::Int(c->value()));
+  }
+  out.Set("counters", std::move(counters));
+  Json gauges = Json::Object();
+  for (const auto& [name, g] : gauges_) {
+    Json entry = Json::Object();
+    entry.Set("value", Json::Number(g->value()));
+    entry.Set("max", Json::Number(g->max()));
+    gauges.Set(name, std::move(entry));
+  }
+  out.Set("gauges", std::move(gauges));
+  Json histograms = Json::Object();
+  for (const auto& [name, h] : histograms_) {
+    Json entry = Json::Object();
+    entry.Set("count", Json::Int(h->count()));
+    entry.Set("sum", Json::Number(h->sum()));
+    entry.Set("min", Json::Number(h->min()));
+    entry.Set("max", Json::Number(h->max()));
+    entry.Set("mean", Json::Number(h->mean()));
+    entry.Set("p50", Json::Number(h->Quantile(0.5)));
+    entry.Set("p90", Json::Number(h->Quantile(0.9)));
+    entry.Set("p99", Json::Number(h->Quantile(0.99)));
+    histograms.Set(name, std::move(entry));
+  }
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+std::string MetricsRegistry::Summary() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(line, sizeof(line), "%-44s %14lld\n", name.c_str(),
+                  static_cast<long long>(c->value()));
+    out += line;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(line, sizeof(line), "%-44s %14.3f (max %.3f)\n",
+                  name.c_str(), g->value(), g->max());
+    out += line;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(line, sizeof(line),
+                  "%-44s n=%lld mean=%.3f p50=%.3f p90=%.3f max=%.3f\n",
+                  name.c_str(), static_cast<long long>(h->count()), h->mean(),
+                  h->Quantile(0.5), h->Quantile(0.9), h->max());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace wave::obs

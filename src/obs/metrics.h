@@ -1,0 +1,115 @@
+// Named counters, gauges and histograms for the verifier pipeline.
+//
+// Design goals (ISSUE 1):
+//   * hot-path friendly — callers hoist `Counter*` handles out of loops,
+//     so the per-event cost is one add on a cached pointer;
+//   * zero setup — instruments are created on first use;
+//   * machine-readable — `ToJson()` snapshots everything for stats files,
+//     `Summary()` renders the human-readable table.
+//
+// A registry is single-threaded by design (the verifier's search is); use
+// one registry per concurrent verification.
+#ifndef WAVE_OBS_METRICS_H_
+#define WAVE_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace wave::obs {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Last-written value plus the running maximum (for peaks like trie size).
+class Gauge {
+ public:
+  void Set(double v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  double value() const { return value_; }
+  double max() const { return max_; }
+
+ private:
+  double value_ = 0;
+  double max_ = 0;
+};
+
+/// Distribution of recorded samples: count/sum/min/max plus quantile
+/// estimates from a bounded reservoir (the first `kMaxSamples` values —
+/// adequate for phase-duration distributions, which is what we record).
+class Histogram {
+ public:
+  void Record(double v);
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0; }
+  double max() const { return count_ > 0 ? max_ : 0; }
+  double mean() const { return count_ > 0 ? sum_ / count_ : 0; }
+  /// Quantile estimate, q in [0,1]; 0 when no samples were recorded.
+  double Quantile(double q) const;
+  /// Folds `other`'s samples into this histogram (reservoir permitting).
+  void MergeFrom(const Histogram& other);
+
+ private:
+  static constexpr size_t kMaxSamples = 4096;
+  int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::vector<double> samples_;
+};
+
+/// Instrument namespace. Instruments live as long as the registry and keep
+/// stable addresses (callers cache the returned pointers).
+class MetricsRegistry {
+ public:
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Convenience write-throughs (lookup by name; prefer cached pointers on
+  /// hot paths).
+  void Add(std::string_view name, int64_t delta = 1) { counter(name)->Add(delta); }
+  void Set(std::string_view name, double v) { gauge(name)->Set(v); }
+  void Record(std::string_view name, double v) { histogram(name)->Record(v); }
+
+  /// Folds `other` into this registry: counters add, gauges re-`Set` (so
+  /// the running max survives), histograms merge their reservoirs.
+  void MergeFrom(const MetricsRegistry& other);
+
+  /// Snapshot: {"counters": {...}, "gauges": {name: {value,max}},
+  /// "histograms": {name: {count,sum,min,max,mean,p50,p90,p99}}}.
+  Json ToJson() const;
+
+  /// Human-readable dump, one instrument per line, sorted by name.
+  std::string Summary() const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+ private:
+  // std::map keeps iteration sorted (deterministic export) and never
+  // invalidates the unique_ptr-held instrument addresses.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace wave::obs
+
+#endif  // WAVE_OBS_METRICS_H_

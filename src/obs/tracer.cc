@@ -1,0 +1,135 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace wave::obs {
+
+double Tracer::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::BeginSpan(std::string_view name) {
+  open_.push_back({std::string(name), NowMicros()});
+}
+
+void Tracer::EndSpan() {
+  if (open_.empty()) return;  // unbalanced End: ignore rather than crash
+  OpenSpan span = std::move(open_.back());
+  open_.pop_back();
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  TraceEvent e;
+  e.name = std::move(span.name);
+  e.phase = TraceEvent::Phase::kSpan;
+  e.ts_us = span.start_us;
+  e.dur_us = NowMicros() - span.start_us;
+  e.depth = static_cast<int>(open_.size());
+  events_.push_back(std::move(e));
+}
+
+void Tracer::Instant(std::string_view name) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  TraceEvent e;
+  e.name = std::string(name);
+  e.phase = TraceEvent::Phase::kInstant;
+  e.ts_us = NowMicros();
+  e.depth = static_cast<int>(open_.size());
+  events_.push_back(std::move(e));
+}
+
+void Tracer::Counter(std::string_view name, double value) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  TraceEvent e;
+  e.name = std::string(name);
+  e.phase = TraceEvent::Phase::kCounter;
+  e.ts_us = NowMicros();
+  e.value = value;
+  events_.push_back(std::move(e));
+}
+
+Json Tracer::ChromeTraceJson() const {
+  Json doc = Json::Object();
+  Json trace_events = Json::Array();
+  for (const TraceEvent& e : events_) {
+    Json ev = Json::Object();
+    ev.Set("name", Json::Str(e.name));
+    ev.Set("cat", Json::Str("wave"));
+    ev.Set("pid", Json::Int(1));
+    ev.Set("tid", Json::Int(1));
+    ev.Set("ts", Json::Number(e.ts_us));
+    switch (e.phase) {
+      case TraceEvent::Phase::kSpan:
+        ev.Set("ph", Json::Str("X"));
+        ev.Set("dur", Json::Number(e.dur_us));
+        break;
+      case TraceEvent::Phase::kInstant:
+        ev.Set("ph", Json::Str("i"));
+        ev.Set("s", Json::Str("t"));  // thread-scoped instant
+        break;
+      case TraceEvent::Phase::kCounter: {
+        ev.Set("ph", Json::Str("C"));
+        Json args = Json::Object();
+        args.Set("value", Json::Number(e.value));
+        ev.Set("args", std::move(args));
+        break;
+      }
+    }
+    trace_events.Append(std::move(ev));
+  }
+  doc.Set("traceEvents", std::move(trace_events));
+  doc.Set("displayTimeUnit", Json::Str("ms"));
+  if (dropped_ > 0) doc.Set("droppedEvents", Json::Int(dropped_));
+  return doc;
+}
+
+std::string Tracer::PhaseSummary() const {
+  struct Agg {
+    int64_t count = 0;
+    double total_us = 0;
+    double max_us = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const TraceEvent& e : events_) {
+    if (e.phase != TraceEvent::Phase::kSpan) continue;
+    Agg& a = by_name[e.name];
+    ++a.count;
+    a.total_us += e.dur_us;
+    a.max_us = std::max(a.max_us, e.dur_us);
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-28s %10s %12s %12s %12s\n", "phase",
+                "count", "total[ms]", "mean[ms]", "max[ms]");
+  out += line;
+  for (const auto& [name, a] : rows) {
+    std::snprintf(line, sizeof(line), "%-28s %10lld %12.3f %12.3f %12.3f\n",
+                  name.c_str(), static_cast<long long>(a.count),
+                  a.total_us / 1e3, a.total_us / 1e3 / a.count,
+                  a.max_us / 1e3);
+    out += line;
+  }
+  if (dropped_ > 0) {
+    std::snprintf(line, sizeof(line), "(%lld events dropped at cap)\n",
+                  static_cast<long long>(dropped_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace wave::obs

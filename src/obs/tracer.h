@@ -1,0 +1,111 @@
+// Scoped-span tracer for the verifier pipeline.
+//
+// Usage:
+//   Tracer tracer;
+//   {
+//     ScopedSpan span(&tracer, "search");   // nullptr tracer = no-op
+//     ... nested ScopedSpans, tracer.Instant(...), tracer.Counter(...) ...
+//   }
+//   WriteFile(trace_path, tracer.ToChromeTraceJson());
+//
+// The null-sink fast path is the *pointer*: instrumented code holds a
+// `Tracer*` that is null when tracing is off, so a disabled span costs one
+// branch and no allocation. The exported JSON is the Chrome trace-event
+// format (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// loadable in `chrome://tracing` and https://ui.perfetto.dev; counters
+// render as tracks, instants as markers.
+//
+// Single-threaded by design, like the search it instruments.
+#ifndef WAVE_OBS_TRACER_H_
+#define WAVE_OBS_TRACER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace wave::obs {
+
+/// One recorded trace event (complete span, instant, or counter sample).
+struct TraceEvent {
+  enum class Phase { kSpan, kInstant, kCounter };
+  std::string name;
+  Phase phase = Phase::kSpan;
+  double ts_us = 0;     // start, microseconds since tracer construction
+  double dur_us = 0;    // spans only
+  double value = 0;     // counters only
+  int depth = 0;        // span nesting depth at record time (0 = root)
+};
+
+class Tracer {
+ public:
+  /// `max_events` bounds memory: once reached, further events are counted
+  /// in `dropped_events()` but not stored (span nesting stays balanced).
+  explicit Tracer(size_t max_events = 1 << 20) : max_events_(max_events) {}
+
+  // Span protocol — prefer the ScopedSpan RAII wrapper below.
+  void BeginSpan(std::string_view name);
+  void EndSpan();
+
+  /// Point-in-time marker (renders as an instant in Perfetto).
+  void Instant(std::string_view name);
+
+  /// Sample of a named numeric series (renders as a counter track).
+  void Counter(std::string_view name, double value);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  int64_t dropped_events() const { return dropped_; }
+  /// Microseconds since construction (the trace clock).
+  double NowMicros() const;
+
+  /// The full trace as a Chrome trace-event document.
+  Json ChromeTraceJson() const;
+  std::string ToChromeTraceJson() const { return ChromeTraceJson().Dump(1); }
+
+  /// Aggregated wall time per span name, sorted by total descending:
+  ///   name   count   total[ms]   mean[ms]   max[ms]
+  std::string PhaseSummary() const;
+
+ private:
+  struct OpenSpan {
+    std::string name;
+    double start_us;
+  };
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point epoch_ = Clock::now();
+  size_t max_events_;
+  int64_t dropped_ = 0;
+  std::vector<OpenSpan> open_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span. A null tracer makes every operation a branch-and-return.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string_view name) : tracer_(tracer) {
+    if (tracer_ != nullptr) tracer_->BeginSpan(name);
+  }
+  ~ScopedSpan() { End(); }
+
+  /// Ends the span early (idempotent).
+  void End() {
+    if (tracer_ != nullptr) {
+      tracer_->EndSpan();
+      tracer_ = nullptr;
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+};
+
+}  // namespace wave::obs
+
+#endif  // WAVE_OBS_TRACER_H_

@@ -93,12 +93,15 @@ PreparedSpec::PreparedSpec(const WebAppSpec* spec) : spec_(spec) {
 
 InputOptions PreparedSpec::ComputeOptions(
     const Configuration& config, const std::vector<SymbolId>& domain) const {
+  ++exec_stats_.compute_options_calls;
   ConfigurationAdapter view(&config);
   InputOptions options;
   const PreparedPage& page = pages_[config.page];
   for (const PreparedRule& rule : page.input_rules) {
     std::vector<Tuple> tuples;
     rule.Derive(view, domain, &tuples);
+    ++exec_stats_.rule_evaluations;
+    exec_stats_.derived_tuples += static_cast<int64_t>(tuples.size());
     std::sort(tuples.begin(), tuples.end());
     tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
     options[rule.relation] = std::move(tuples);
@@ -109,6 +112,7 @@ InputOptions PreparedSpec::ComputeOptions(
 void PreparedSpec::ApplyInput(const InputChoice& choice,
                               const std::vector<SymbolId>& domain,
                               Configuration* config) const {
+  ++exec_stats_.apply_input_calls;
   // Clear all input and action relations, then install the choice.
   const Catalog& catalog = spec_->catalog();
   for (RelationId id = 0; id < catalog.size(); ++id) {
@@ -129,6 +133,8 @@ void PreparedSpec::ApplyInput(const InputChoice& choice,
   for (const PreparedRule& rule : page.action_rules) {
     std::vector<Tuple> tuples;
     rule.Derive(view, domain, &tuples);
+    ++exec_stats_.rule_evaluations;
+    exec_stats_.derived_tuples += static_cast<int64_t>(tuples.size());
     for (Tuple& t : tuples) derived.emplace_back(rule.relation, std::move(t));
   }
   for (const auto& [relation, tuple] : derived) {
@@ -138,6 +144,7 @@ void PreparedSpec::ApplyInput(const InputChoice& choice,
 
 Configuration PreparedSpec::Advance(const Configuration& config,
                                     const std::vector<SymbolId>& domain) const {
+  ++exec_stats_.advance_calls;
   ConfigurationAdapter view(&config);
   const PreparedPage& page = pages_[config.page];
   const Catalog& catalog = spec_->catalog();
@@ -169,11 +176,15 @@ Configuration PreparedSpec::Advance(const Configuration& config,
   for (const PreparedRule& rule : page.state_inserts) {
     std::vector<Tuple> tuples;
     rule.Derive(view, domain, &tuples);
+    ++exec_stats_.rule_evaluations;
+    exec_stats_.derived_tuples += static_cast<int64_t>(tuples.size());
     for (Tuple& t : tuples) inserts.emplace(rule.relation, std::move(t));
   }
   for (const PreparedRule& rule : page.state_deletes) {
     std::vector<Tuple> tuples;
     rule.Derive(view, domain, &tuples);
+    ++exec_stats_.rule_evaluations;
+    exec_stats_.derived_tuples += static_cast<int64_t>(tuples.size());
     for (Tuple& t : tuples) deletes.emplace(rule.relation, std::move(t));
   }
   for (const auto& entry : deletes) {

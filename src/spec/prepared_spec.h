@@ -47,6 +47,18 @@ struct PreparedPage {
   std::vector<PreparedTarget> targets;
 };
 
+/// Cumulative execution counters for one `PreparedSpec` (ISSUE 1
+/// observability) — the prepared-query analogue of a DBMS's statement
+/// counters. Monotone; snapshot before/after a region and subtract to
+/// attribute work to it.
+struct PreparedExecStats {
+  int64_t compute_options_calls = 0;
+  int64_t apply_input_calls = 0;
+  int64_t advance_calls = 0;
+  int64_t rule_evaluations = 0;  // prepared rule bodies executed
+  int64_t derived_tuples = 0;    // head tuples produced by those bodies
+};
+
 /// Compiled spec + the step semantics used by runs and pseudoruns.
 class PreparedSpec {
  public:
@@ -87,10 +99,16 @@ class PreparedSpec {
       const Configuration& config,
       const std::vector<SymbolId>& extra = {}) const;
 
+  /// Cumulative counters since construction (or the last `ResetExecStats`).
+  const PreparedExecStats& exec_stats() const { return exec_stats_; }
+  void ResetExecStats() const { exec_stats_ = {}; }
+
  private:
   const WebAppSpec* spec_;
   std::vector<PreparedPage> pages_;
   std::vector<SymbolId> spec_constants_;
+  // Mutable: ComputeOptions/ApplyInput/Advance are logically const queries.
+  mutable PreparedExecStats exec_stats_;
 };
 
 }  // namespace wave

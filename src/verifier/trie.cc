@@ -18,6 +18,12 @@ int VisitedTrie::Node::FindChild(uint8_t label) const {
 // mismatch in the middle of an edge splits the node.
 
 bool VisitedTrie::Insert(const std::vector<uint8_t>& key) {
+  bool added = InsertImpl(key);
+  ++(added ? stats_.misses : stats_.hits);
+  return added;
+}
+
+bool VisitedTrie::InsertImpl(const std::vector<uint8_t>& key) {
   int node = 0;
   size_t pos = 0;
   while (true) {
@@ -85,15 +91,20 @@ bool VisitedTrie::Contains(const std::vector<uint8_t>& key) const {
   size_t pos = 0;
   while (pos < key.size()) {
     int child = nodes_[node].FindChild(key[pos]);
-    if (child == -1) return false;
+    if (child == -1) {
+      ++stats_.misses;
+      return false;
+    }
     const Node& c = nodes_[child];
-    if (pos + c.edge.size() > key.size()) return false;
-    if (!std::equal(c.edge.begin(), c.edge.end(), key.begin() + pos)) {
+    if (pos + c.edge.size() > key.size() ||
+        !std::equal(c.edge.begin(), c.edge.end(), key.begin() + pos)) {
+      ++stats_.misses;
       return false;
     }
     pos += c.edge.size();
     node = child;
   }
+  ++(nodes_[node].terminal ? stats_.hits : stats_.misses);
   return nodes_[node].terminal;
 }
 

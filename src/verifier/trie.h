@@ -14,6 +14,15 @@
 
 namespace wave {
 
+/// Lookup counters (ISSUE 1 observability): every `Insert`/`Contains` is
+/// one lookup; a *hit* found the key already stored, a *miss* did not.
+/// The hit rate is the fraction of search revisits pruned by the trie.
+struct TrieStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t lookups() const { return hits + misses; }
+};
+
 /// Set of byte-string keys backed by a trie.
 class VisitedTrie {
  public:
@@ -31,10 +40,14 @@ class VisitedTrie {
   /// Number of trie nodes (memory footprint proxy).
   int node_count() const { return static_cast<int>(nodes_.size()); }
 
+  /// Cumulative lookup counters (reset by `Clear`).
+  const TrieStats& stats() const { return stats_; }
+
   void Clear() {
     nodes_.clear();
     nodes_.emplace_back();
     num_keys_ = 0;
+    stats_ = {};
   }
 
  private:
@@ -50,11 +63,13 @@ class VisitedTrie {
     int FindChild(uint8_t label) const;
   };
 
+  bool InsertImpl(const std::vector<uint8_t>& key);
   int NewNode();
   void AddChild(int parent, uint8_t label, int child);
 
   std::vector<Node> nodes_;
   int num_keys_ = 0;
+  mutable TrieStats stats_;  // mutable: `Contains` is logically const
 };
 
 }  // namespace wave

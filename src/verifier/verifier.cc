@@ -8,6 +8,8 @@
 #include "common/stopwatch.h"
 #include "buchi/gpvw.h"
 #include "ltl/abstraction.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "verifier/encode.h"
 #include "verifier/trie.h"
 
@@ -74,22 +76,97 @@ class Search {
         page_domains_(page_domains),
         property_(property),
         options_(options),
-        result_(result) {}
+        result_(result),
+        tracer_(options.tracer),
+        heartbeat_enabled_(options.heartbeat != nullptr ||
+                           options.tracer != nullptr) {}
 
   void Run() {
+    bool undecided;
+    {
+      obs::ScopedSpan span(tracer_, "prepare");
+      Stopwatch prepare_watch;
+      undecided = Prepare();
+      prepare_us_ = prepare_watch.ElapsedMicros();
+    }
+    if (!undecided) return;
+
+    obs::ScopedSpan span(tracer_, "search");
+    Stopwatch search_watch;
+    std::map<std::string, SymbolId> binding;
+    SearchStatus status = EnumerateAssignments(0, &binding);
+    search_us_ = search_watch.ElapsedMicros();
+    if (status == SearchStatus::kFound) {
+      result_->verdict = Verdict::kViolated;
+    } else if (status == SearchStatus::kAbort) {
+      result_->verdict = Verdict::kUnknown;
+      result_->failure_reason = abort_reason_;
+    } else {
+      result_->verdict = Verdict::kHolds;
+    }
+  }
+
+  /// Publishes phase timings and counters into `metrics` (the caller's
+  /// registry or a scratch one) and copies the canonical values back into
+  /// `result_->stats` — the metrics layer is the single source of truth
+  /// for the per-phase columns.
+  void Finalize(obs::MetricsRegistry* metrics) {
+    VerifyStats& stats = result_->stats;
+    metrics->Add("verify.prepare_us", static_cast<int64_t>(prepare_us_));
+    metrics->Add("verify.dataflow_us", static_cast<int64_t>(dataflow_us_));
+    double net_search_us =
+        std::max(0.0, search_us_ - dataflow_us_ - validate_us_);
+    metrics->Add("verify.search_us", static_cast<int64_t>(net_search_us));
+    metrics->Add("verify.validate_us", static_cast<int64_t>(validate_us_));
+    metrics->Add("verify.assignments", stats.num_assignments);
+    metrics->Add("verify.cores", stats.num_cores);
+    metrics->Add("verify.expansions", stats.num_expansions);
+    metrics->Add("verify.successors", stats.num_successors);
+    metrics->Add("verify.rejected_candidates",
+                 stats.num_rejected_candidates);
+    metrics->Add("verify.heartbeats", heartbeats_);
+    metrics->Add("trie.hits", stats.trie_hits);
+    metrics->Add("trie.misses", stats.trie_misses);
+    metrics->Set("trie.max_size", stats.max_trie_size);
+    metrics->Set("buchi.states", stats.buchi_states);
+    metrics->Add("gpvw.tableau_nodes", gpvw_stats_.tableau_nodes);
+    metrics->Add("gpvw.until_subformulas", gpvw_stats_.until_subformulas);
+    metrics->Set("gpvw.states_before_simplify",
+                 gpvw_stats_.states_before_simplify);
+    metrics->histogram("verify.assignment_us")->MergeFrom(assignment_us_);
+
+    stats.prepare_seconds = metrics->counter("verify.prepare_us")->value() / 1e6;
+    stats.dataflow_seconds =
+        metrics->counter("verify.dataflow_us")->value() / 1e6;
+    stats.search_seconds = metrics->counter("verify.search_us")->value() / 1e6;
+    stats.validate_seconds =
+        metrics->counter("verify.validate_us")->value() / 1e6;
+    stats.heartbeats = metrics->counter("verify.heartbeats")->value();
+  }
+
+ private:
+  /// Builds automaton, candidate sets and relevance info. Returns false
+  /// when the verdict is already decided (negation unsatisfiable).
+  bool Prepare() {
     // ϕ := ¬ϕ0 — search for a pseudorun satisfying the negation.
     LtlPtr negated = LtlFormula::Not(property_.body);
     Abstraction abstraction = AbstractLtl(negated, spec_->symbols());
     raw_components_ = abstraction.components;
-    automaton_ =
-        LtlToBuchi(&abstraction.arena, abstraction.root,
-                   static_cast<int>(abstraction.components.size()));
+    {
+      obs::ScopedSpan span(tracer_, "gpvw");
+      GpvwOptions gpvw_options;
+      gpvw_options.stats = &gpvw_stats_;
+      automaton_ =
+          LtlToBuchi(&abstraction.arena, abstraction.root,
+                     static_cast<int>(abstraction.components.size()),
+                     gpvw_options);
+    }
     result_->stats.buchi_states = automaton_.NumStates();
     if (automaton_.IsEmptyLanguage()) {
       // The negation is unsatisfiable over infinite words: ϕ0 holds on all
       // runs of any system.
       result_->verdict = Verdict::kHolds;
-      return;
+      return false;
     }
 
     // Free variables: the property's outermost universal block. Every free
@@ -129,20 +206,9 @@ class Search {
     }
 
     ComputeRelevance();
-
-    std::map<std::string, SymbolId> binding;
-    SearchStatus status = EnumerateAssignments(0, &binding);
-    if (status == SearchStatus::kFound) {
-      result_->verdict = Verdict::kViolated;
-    } else if (status == SearchStatus::kAbort) {
-      result_->verdict = Verdict::kUnknown;
-      result_->failure_reason = abort_reason_;
-    } else {
-      result_->verdict = Verdict::kHolds;
-    }
+    return true;
   }
 
- private:
   // --- relevance analysis ----------------------------------------------------
   // The paper: "a dataflow analysis to prune the partial configurations
   // with tuples that are irrelevant to the rules and property". A state
@@ -238,7 +304,10 @@ class Search {
                                     std::map<std::string, SymbolId>* binding) {
     if (i == free_vars_.size()) {
       ++result_->stats.num_assignments;
-      return RunAssignment(*binding);
+      Stopwatch assignment_watch;
+      SearchStatus status = RunAssignment(*binding);
+      assignment_us_.Record(assignment_watch.ElapsedMicros());
+      return status;
     }
     std::vector<SymbolId> values = var_candidates_[i];
     values.push_back(fresh_values_[i]);
@@ -257,6 +326,7 @@ class Search {
   }
 
   SearchStatus RunAssignment(const std::map<std::string, SymbolId>& binding) {
+    obs::ScopedSpan assignment_span(tracer_, "assignment");
     current_binding_ = binding;
     // Instantiate and prepare ϕ's FO components as sentences.
     components_.clear();
@@ -285,6 +355,8 @@ class Search {
 
     // Dataflow analysis over the instantiated property + spec, and the
     // candidate sets it prunes.
+    obs::ScopedSpan dataflow_span(tracer_, "dataflow");
+    Stopwatch dataflow_watch;
     analysis_ =
         std::make_unique<ComparisonAnalysis>(*spec_, instantiated);
     CandidateOptions candidate_options;
@@ -297,6 +369,8 @@ class Search {
         constant_universe_, candidate_options);
 
     const CandidateSet& core_candidates = builder_->CoreCandidates();
+    dataflow_span.End();
+    dataflow_us_ += dataflow_watch.ElapsedMicros();
     if (core_candidates.overflow) {
       abort_reason_ = "core candidate set overflow (" +
                       std::to_string(core_candidates.approx_tuple_count) +
@@ -323,6 +397,7 @@ class Search {
 
   // --- one independent search per core ---------------------------------------
   SearchStatus RunCore() {
+    obs::ScopedSpan span(tracer_, "core");
     trie_ = std::make_unique<VisitedTrie>();
     stick_stack_.clear();
     candy_stack_.clear();
@@ -341,6 +416,8 @@ class Search {
         });
     result_->stats.max_trie_size =
         std::max(result_->stats.max_trie_size, trie_->size());
+    result_->stats.trie_hits += trie_->stats().hits;
+    result_->stats.trie_misses += trie_->stats().misses;
     return status;
   }
 
@@ -468,11 +545,16 @@ class Search {
               // any) may discard it — paper Section 7: "If it does not
               // [correspond to a genuine run], the ndfs search is
               // reactivated".
-              if (options_.candidate_filter != nullptr &&
-                  !options_.candidate_filter(stick_stack_, candy_stack_,
-                                             current_binding_)) {
-                ++result_->stats.num_rejected_candidates;
-                return SearchStatus::kContinue;
+              if (options_.candidate_filter != nullptr) {
+                obs::ScopedSpan validate_span(tracer_, "validate");
+                Stopwatch validate_watch;
+                bool accepted = options_.candidate_filter(
+                    stick_stack_, candy_stack_, current_binding_);
+                validate_us_ += validate_watch.ElapsedMicros();
+                if (!accepted) {
+                  ++result_->stats.num_rejected_candidates;
+                  return SearchStatus::kContinue;
+                }
               }
               result_->stick = stick_stack_;
               result_->candy = candy_stack_;
@@ -579,7 +661,8 @@ class Search {
   }
 
   SearchStatus CheckBudgets() {
-    if (watch_.ElapsedSeconds() > options_.timeout_seconds) {
+    double elapsed = watch_.ElapsedSeconds();
+    if (elapsed > options_.timeout_seconds) {
       abort_reason_ = "timeout after " +
                       std::to_string(options_.timeout_seconds) + "s";
       return SearchStatus::kAbort;
@@ -590,7 +673,40 @@ class Search {
                       std::to_string(options_.max_expansions) + ")";
       return SearchStatus::kAbort;
     }
+    if (heartbeat_enabled_) MaybeHeartbeat(elapsed);
     return SearchStatus::kContinue;
+  }
+
+  /// Fires the progress heartbeat (and trace counter tracks) when the
+  /// configured interval has elapsed. Called from the hot budget-check
+  /// path, so everything beyond the interval comparison is rate-limited.
+  void MaybeHeartbeat(double elapsed) {
+    if (elapsed - last_heartbeat_seconds_ <
+        options_.heartbeat_interval_seconds) {
+      return;
+    }
+    last_heartbeat_seconds_ = elapsed;
+    ++heartbeats_;
+    const VerifyStats& stats = result_->stats;
+    int trie_size = trie_ != nullptr ? trie_->size() : 0;
+    if (options_.heartbeat != nullptr) {
+      HeartbeatSnapshot snapshot;
+      snapshot.elapsed_seconds = elapsed;
+      snapshot.num_assignments = stats.num_assignments;
+      snapshot.num_cores = stats.num_cores;
+      snapshot.num_expansions = stats.num_expansions;
+      snapshot.num_successors = stats.num_successors;
+      snapshot.trie_size = trie_size;
+      snapshot.max_trie_size = std::max(stats.max_trie_size, trie_size);
+      snapshot.buchi_states = stats.buchi_states;
+      options_.heartbeat(snapshot);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Counter("expansions", static_cast<double>(stats.num_expansions));
+      tracer_->Counter("successors", static_cast<double>(stats.num_successors));
+      tracer_->Counter("trie_size", static_cast<double>(trie_size));
+      tracer_->Counter("cores", static_cast<double>(stats.num_cores));
+    }
   }
 
   WebAppSpec* spec_;
@@ -599,6 +715,20 @@ class Search {
   const Property& property_;
   VerifyOptions options_;
   VerifyResult* result_;
+
+  // Observability (ISSUE 1). Phase accumulators are microseconds; the
+  // metrics registry is only touched at phase boundaries, never per
+  // expansion, so disabled observability costs one null check per site.
+  obs::Tracer* tracer_;
+  bool heartbeat_enabled_;
+  GpvwStats gpvw_stats_;
+  double prepare_us_ = 0;
+  double dataflow_us_ = 0;
+  double search_us_ = 0;
+  double validate_us_ = 0;
+  double last_heartbeat_seconds_ = 0;
+  int64_t heartbeats_ = 0;
+  obs::Histogram assignment_us_;
 
   Stopwatch watch_;
   BuchiAutomaton automaton_;
@@ -647,11 +777,57 @@ VerifyResult Verifier::Verify(const Property& property,
                               const VerifyOptions& options) {
   VerifyResult result;
   Stopwatch watch;
+  PreparedExecStats exec_before = prepared_.exec_stats();
+  obs::ScopedSpan verify_span(options.tracer, "verify");
   Search search(spec_, &prepared_, &page_domains_, property, options,
                 &result);
   search.Run();
+  {
+    // Result validation/finalization; with a candidate_filter installed
+    // the per-candidate "validate" spans inside the search carry the bulk
+    // of this phase.
+    obs::ScopedSpan validate_span(options.tracer, "validate");
+    // Per-call registry: stats come from it, then it merges into the
+    // caller's (possibly shared, accumulating) registry.
+    obs::MetricsRegistry call_metrics;
+    search.Finalize(&call_metrics);
+    const PreparedExecStats& exec = prepared_.exec_stats();
+    call_metrics.Add(
+        "prepared.compute_options_calls",
+        exec.compute_options_calls - exec_before.compute_options_calls);
+    call_metrics.Add("prepared.apply_input_calls",
+                     exec.apply_input_calls - exec_before.apply_input_calls);
+    call_metrics.Add("prepared.advance_calls",
+                     exec.advance_calls - exec_before.advance_calls);
+    call_metrics.Add("prepared.rule_evaluations",
+                     exec.rule_evaluations - exec_before.rule_evaluations);
+    call_metrics.Add("prepared.derived_tuples",
+                     exec.derived_tuples - exec_before.derived_tuples);
+    if (options.metrics != nullptr) options.metrics->MergeFrom(call_metrics);
+  }
   result.stats.seconds = watch.ElapsedSeconds();
   return result;
+}
+
+obs::Json VerifyStats::ToJson() const {
+  obs::Json j = obs::Json::Object();
+  j.Set("seconds", obs::Json::Number(seconds));
+  j.Set("prepare_seconds", obs::Json::Number(prepare_seconds));
+  j.Set("dataflow_seconds", obs::Json::Number(dataflow_seconds));
+  j.Set("search_seconds", obs::Json::Number(search_seconds));
+  j.Set("validate_seconds", obs::Json::Number(validate_seconds));
+  j.Set("max_pseudorun_length", obs::Json::Int(max_pseudorun_length));
+  j.Set("max_trie_size", obs::Json::Int(max_trie_size));
+  j.Set("buchi_states", obs::Json::Int(buchi_states));
+  j.Set("num_assignments", obs::Json::Int(num_assignments));
+  j.Set("num_cores", obs::Json::Int(num_cores));
+  j.Set("num_expansions", obs::Json::Int(num_expansions));
+  j.Set("num_successors", obs::Json::Int(num_successors));
+  j.Set("num_rejected_candidates", obs::Json::Int(num_rejected_candidates));
+  j.Set("trie_hits", obs::Json::Int(trie_hits));
+  j.Set("trie_misses", obs::Json::Int(trie_misses));
+  j.Set("heartbeats", obs::Json::Int(heartbeats));
+  return j;
 }
 
 std::string VerifyResult::CounterexampleString(const WebAppSpec& spec) const {

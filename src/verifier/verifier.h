@@ -23,11 +23,29 @@
 #include "analysis/candidates.h"
 #include "buchi/buchi.h"
 #include "ltl/ltl_formula.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "spec/prepared_spec.h"
 #include "spec/runtime.h"
 #include "spec/web_app.h"
 
 namespace wave {
+
+/// Periodic progress snapshot delivered by `VerifyOptions::heartbeat` so
+/// long-running verifications are observable before they finish or time
+/// out. All counters are cumulative for the current `Verify` call;
+/// `trie_size` is the size of the current core's visited trie.
+struct HeartbeatSnapshot {
+  double elapsed_seconds = 0;
+  int64_t num_assignments = 0;
+  int64_t num_cores = 0;
+  int64_t num_expansions = 0;
+  int64_t num_successors = 0;
+  int trie_size = 0;
+  int max_trie_size = 0;
+  int buchi_states = 0;
+};
 
 /// Tuning knobs for one verification call.
 struct VerifyOptions {
@@ -55,6 +73,22 @@ struct VerifyOptions {
                      const std::vector<struct CounterexampleStep>& candy,
                      const std::map<std::string, SymbolId>& binding)>
       candidate_filter;
+
+  // --- observability (src/obs) -----------------------------------------------
+  /// Tracing sink for phase/assignment/core spans and progress counter
+  /// tracks. Null (the default) disables tracing entirely — instrumented
+  /// code pays one pointer compare per span site.
+  obs::Tracer* tracer = nullptr;
+  /// When non-null, the verifier publishes its counters/gauges/histograms
+  /// here (verify.*, trie.*, gpvw.*, prepared.*) in addition to filling
+  /// `VerifyStats`. The registry may be shared across Verify calls;
+  /// counters accumulate.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Invoked from within the search at most once per
+  /// `heartbeat_interval_seconds` (synchronously, on the search thread).
+  /// An interval of 0 fires on every budget check — useful in tests.
+  std::function<void(const HeartbeatSnapshot&)> heartbeat;
+  double heartbeat_interval_seconds = 1.0;
 };
 
 enum class Verdict {
@@ -80,6 +114,25 @@ struct VerifyStats {
   int64_t num_expansions = 0;    // stick+candy invocations
   int64_t num_successors = 0;    // pseudoconfigurations produced by succP
   int64_t num_rejected_candidates = 0;  // discarded by candidate_filter
+
+  // Per-phase wall time, populated from the metrics layer (src/obs):
+  //   prepare  — property negation, abstraction, Büchi translation;
+  //   dataflow — per-assignment comparison analysis + candidate building
+  //              (the Section 3.2 heuristics);
+  //   search   — core enumeration + nested DFS, net of the other phases;
+  //   validate — time inside candidate_filter + result finalization.
+  double prepare_seconds = 0;
+  double dataflow_seconds = 0;
+  double search_seconds = 0;
+  double validate_seconds = 0;
+
+  int64_t trie_hits = 0;    // visited-set lookups that found the key
+  int64_t trie_misses = 0;  // lookups that did not
+  int64_t heartbeats = 0;   // progress heartbeats fired
+
+  /// Every field as a JSON object with stable snake_case keys (the
+  /// `wave_verify --stats-json` payload).
+  obs::Json ToJson() const;
 };
 
 /// Outcome of `Verifier::Verify`.

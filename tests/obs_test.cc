@@ -1,0 +1,253 @@
+// Observability layer tests (ISSUE 1): JSON round-trips, metric
+// aggregation, span nesting/ordering, and the disabled-tracer fast path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace wave::obs {
+namespace {
+
+// --- Json --------------------------------------------------------------------
+
+TEST(JsonTest, DumpsScalars) {
+  EXPECT_EQ(Json::Null().Dump(), "null");
+  EXPECT_EQ(Json::Bool(true).Dump(), "true");
+  EXPECT_EQ(Json::Bool(false).Dump(), "false");
+  EXPECT_EQ(Json::Int(42).Dump(), "42");
+  EXPECT_EQ(Json::Int(-7).Dump(), "-7");
+  EXPECT_EQ(Json::Str("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, EscapesStrings) {
+  EXPECT_EQ(Json::Str("a\"b\\c\n\t").Dump(), "\"a\\\"b\\\\c\\n\\t\"");
+  EXPECT_EQ(Json::Str(std::string("\x01", 1)).Dump(), "\"\\u0001\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndReplaces) {
+  Json obj = Json::Object();
+  obj.Set("z", Json::Int(1));
+  obj.Set("a", Json::Int(2));
+  obj.Set("z", Json::Int(3));  // replace, not append
+  EXPECT_EQ(obj.Dump(), "{\"z\":3,\"a\":2}");
+  ASSERT_NE(obj.Find("z"), nullptr);
+  EXPECT_EQ(obj.Find("z")->AsInt(), 3);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, RoundTripsNestedDocument) {
+  Json doc = Json::Object();
+  doc.Set("name", Json::Str("wave"));
+  doc.Set("pi", Json::Number(3.25));
+  doc.Set("big", Json::Int(1234567890123456789LL));
+  doc.Set("flag", Json::Bool(true));
+  doc.Set("nothing", Json::Null());
+  Json arr = Json::Array();
+  arr.Append(Json::Int(1));
+  Json inner = Json::Object();
+  inner.Set("k", Json::Str("v\nwith\tescapes\""));
+  arr.Append(std::move(inner));
+  doc.Set("items", std::move(arr));
+
+  for (int indent : {-1, 2}) {
+    std::string text = doc.Dump(indent);
+    std::string error;
+    std::optional<Json> parsed = Json::Parse(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error << " in: " << text;
+    EXPECT_EQ(parsed->Dump(), doc.Dump());
+    EXPECT_EQ(parsed->Find("big")->AsInt(), 1234567890123456789LL);
+    EXPECT_DOUBLE_EQ(parsed->Find("pi")->AsDouble(), 3.25);
+    EXPECT_TRUE(parsed->Find("nothing")->is_null());
+    EXPECT_EQ(parsed->Find("items")->items()[1].Find("k")->AsString(),
+              "v\nwith\tescapes\"");
+  }
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\" 1}", "[1 2]", "nul"}) {
+    std::string error;
+    EXPECT_FALSE(Json::Parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonTest, ParseHandlesWhitespaceAndUnicodeEscapes) {
+  std::optional<Json> v = Json::Parse("  { \"a\" : [ 1 , \"\\u0041\" ] } ");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->Find("a")->items()[1].AsString(), "A");
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+TEST(MetricsTest, CountersAggregate) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("verify.expansions");
+  c->Add();
+  c->Add(41);
+  registry.Add("verify.expansions");  // same instrument by name
+  EXPECT_EQ(registry.counter("verify.expansions")->value(), 43);
+  EXPECT_EQ(registry.counter("untouched")->value(), 0);
+}
+
+TEST(MetricsTest, GaugeTracksMax) {
+  MetricsRegistry registry;
+  registry.Set("trie.size", 10);
+  registry.Set("trie.size", 4);
+  EXPECT_EQ(registry.gauge("trie.size")->value(), 4);
+  EXPECT_EQ(registry.gauge("trie.size")->max(), 10);
+}
+
+TEST(MetricsTest, HistogramQuantiles) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("lat");
+  for (int i = 1; i <= 100; ++i) h->Record(i);
+  EXPECT_EQ(h->count(), 100);
+  EXPECT_DOUBLE_EQ(h->sum(), 5050);
+  EXPECT_DOUBLE_EQ(h->min(), 1);
+  EXPECT_DOUBLE_EQ(h->max(), 100);
+  EXPECT_NEAR(h->Quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(h->Quantile(0.9), 90.1, 1e-9);
+  EXPECT_NEAR(h->Quantile(0.0), 1, 1e-9);
+  EXPECT_NEAR(h->Quantile(1.0), 100, 1e-9);
+}
+
+TEST(MetricsTest, MergeFromFoldsAllInstruments) {
+  MetricsRegistry a, b;
+  a.Add("c", 1);
+  b.Add("c", 2);
+  b.Add("only_b", 5);
+  a.Set("g", 10);
+  b.Set("g", 3);
+  a.Record("h", 1);
+  b.Record("h", 3);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.counter("c")->value(), 3);
+  EXPECT_EQ(a.counter("only_b")->value(), 5);
+  EXPECT_EQ(a.gauge("g")->value(), 3);
+  EXPECT_EQ(a.gauge("g")->max(), 10);
+  EXPECT_EQ(a.histogram("h")->count(), 2);
+  EXPECT_DOUBLE_EQ(a.histogram("h")->sum(), 4);
+}
+
+TEST(MetricsTest, ToJsonSnapshotsEverything) {
+  MetricsRegistry registry;
+  registry.Add("n", 7);
+  registry.Set("g", 2.5);
+  registry.Record("h", 1.5);
+  Json snapshot = registry.ToJson();
+  std::optional<Json> reparsed = Json::Parse(snapshot.Dump(2));
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->Find("counters")->Find("n")->AsInt(), 7);
+  EXPECT_DOUBLE_EQ(reparsed->Find("gauges")->Find("g")->Find("value")->AsDouble(),
+                   2.5);
+  EXPECT_EQ(reparsed->Find("histograms")->Find("h")->Find("count")->AsInt(), 1);
+  EXPECT_FALSE(registry.Summary().empty());
+}
+
+// --- Tracer ------------------------------------------------------------------
+
+TEST(TracerTest, RecordsNestedSpansWithContainment) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "outer");
+    { ScopedSpan inner(&tracer, "inner"); }
+    { ScopedSpan inner2(&tracer, "inner2"); }
+  }
+  ASSERT_EQ(tracer.events().size(), 3u);
+  // Children complete (and are recorded) before their parent.
+  const TraceEvent& inner = tracer.events()[0];
+  const TraceEvent& inner2 = tracer.events()[1];
+  const TraceEvent& outer = tracer.events()[2];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner2.name, "inner2");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(inner2.depth, 1);
+  // Temporal containment and ordering.
+  EXPECT_LE(outer.ts_us, inner.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us + 1e-6);
+  EXPECT_LE(inner.ts_us + inner.dur_us, inner2.ts_us + 1e-6);
+}
+
+TEST(TracerTest, NullTracerSpansAreNoOps) {
+  // The disabled fast path: instrumented code holds a null Tracer*.
+  ScopedSpan span(nullptr, "ignored");
+  span.End();  // idempotent, still fine
+}
+
+TEST(TracerTest, EarlyEndIsIdempotent) {
+  Tracer tracer;
+  ScopedSpan span(&tracer, "s");
+  span.End();
+  span.End();  // second End must not pop anything else
+  EXPECT_EQ(tracer.events().size(), 1u);
+}
+
+TEST(TracerTest, EventCapDropsButStaysBalanced) {
+  Tracer tracer(/*max_events=*/1);
+  {
+    ScopedSpan a(&tracer, "a");
+    { ScopedSpan b(&tracer, "b"); }  // recorded (1 slot)
+  }                                  // dropped
+  tracer.Instant("also dropped");
+  EXPECT_EQ(tracer.events().size(), 1u);
+  EXPECT_EQ(tracer.dropped_events(), 2);
+  std::optional<Json> doc = Json::Parse(tracer.ToChromeTraceJson());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Find("droppedEvents")->AsInt(), 2);
+}
+
+TEST(TracerTest, ChromeTraceJsonRoundTripsWithRequiredFields) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "verify");
+    { ScopedSpan inner(&tracer, "prepare"); }
+    tracer.Instant("marker");
+    tracer.Counter("expansions", 17);
+  }
+  std::string text = tracer.ToChromeTraceJson();
+  std::string error;
+  std::optional<Json> doc = Json::Parse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const Json* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->size(), 4u);
+  bool saw_span = false, saw_instant = false, saw_counter = false;
+  for (const Json& e : events->items()) {
+    ASSERT_TRUE(e.Find("name") && e.Find("ph") && e.Find("ts") &&
+                e.Find("pid") && e.Find("tid"));
+    const std::string& ph = e.Find("ph")->AsString();
+    if (ph == "X") {
+      saw_span = true;
+      EXPECT_NE(e.Find("dur"), nullptr);
+    } else if (ph == "i") {
+      saw_instant = true;
+    } else if (ph == "C") {
+      saw_counter = true;
+      EXPECT_DOUBLE_EQ(e.Find("args")->Find("value")->AsDouble(), 17);
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(TracerTest, PhaseSummaryAggregatesByName) {
+  Tracer tracer;
+  for (int i = 0; i < 3; ++i) ScopedSpan span(&tracer, "phase_a");
+  { ScopedSpan span(&tracer, "phase_b"); }
+  std::string summary = tracer.PhaseSummary();
+  EXPECT_NE(summary.find("phase_a"), std::string::npos);
+  EXPECT_NE(summary.find("phase_b"), std::string::npos);
+  EXPECT_NE(summary.find("3"), std::string::npos);  // phase_a count
+}
+
+}  // namespace
+}  // namespace wave::obs

@@ -6,7 +6,11 @@
 
 #include <random>
 
+#include "apps/apps.h"
 #include "baseline/firstcut.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "parser/parser.h"
 #include "verifier/encode.h"
 #include "verifier/trie.h"
@@ -37,6 +41,20 @@ TEST(TrieTest, EmptyKeyIsAKey) {
   EXPECT_TRUE(trie.Insert({}));
   EXPECT_FALSE(trie.Insert({}));
   EXPECT_EQ(trie.size(), 1);
+}
+
+TEST(TrieTest, CountsHitsAndMisses) {
+  VisitedTrie trie;
+  trie.Insert({1, 2, 3});       // miss (new)
+  trie.Insert({1, 2, 3});       // hit (already stored)
+  trie.Contains({1, 2, 3});     // hit
+  trie.Contains({9});           // miss
+  trie.Contains({1, 2});        // miss (prefix, not terminal)
+  EXPECT_EQ(trie.stats().hits, 2);
+  EXPECT_EQ(trie.stats().misses, 3);
+  EXPECT_EQ(trie.stats().lookups(), 5);
+  trie.Clear();
+  EXPECT_EQ(trie.stats().lookups(), 0);
 }
 
 TEST(TrieTest, AgreesWithStdSetOnRandomKeys) {
@@ -272,6 +290,142 @@ TEST_F(SmallSpecTest, StatsArePopulated) {
   EXPECT_GT(r.stats.num_expansions, 0);
   EXPECT_GT(r.stats.max_trie_size, 0);
   EXPECT_GE(r.stats.seconds, 0);
+}
+
+// --- observability (ISSUE 1) -------------------------------------------------
+
+TEST_F(SmallSpecTest, PhaseTimingsAndTrieCountersArePopulated) {
+  Verifier verifier(result_.spec.get());
+  VerifyResult r = verifier.Verify(result_.properties[0].property);
+  // Phase wall-times are filled in from the metrics layer and bounded by
+  // the total.
+  EXPECT_GT(r.stats.prepare_seconds, 0);
+  EXPECT_GT(r.stats.search_seconds, 0);
+  EXPECT_GE(r.stats.dataflow_seconds, 0);
+  EXPECT_GE(r.stats.validate_seconds, 0);
+  double phase_sum = r.stats.prepare_seconds + r.stats.dataflow_seconds +
+                     r.stats.search_seconds + r.stats.validate_seconds;
+  EXPECT_LE(phase_sum, r.stats.seconds + 0.05);
+  // Every expansion inserts into the trie, so lookups happened.
+  EXPECT_GT(r.stats.trie_hits + r.stats.trie_misses, 0);
+  EXPECT_GE(r.stats.trie_misses, static_cast<int64_t>(r.stats.max_trie_size));
+}
+
+TEST_F(SmallSpecTest, MetricsRegistryReceivesVerifierCounters) {
+  Verifier verifier(result_.spec.get());
+  obs::MetricsRegistry metrics;
+  VerifyOptions options;
+  options.metrics = &metrics;
+  VerifyResult r = verifier.Verify(result_.properties[0].property, options);
+  EXPECT_EQ(metrics.counter("verify.expansions")->value(),
+            r.stats.num_expansions);
+  EXPECT_EQ(metrics.counter("trie.hits")->value(), r.stats.trie_hits);
+  EXPECT_EQ(metrics.counter("trie.misses")->value(), r.stats.trie_misses);
+  EXPECT_GT(metrics.counter("verify.prepare_us")->value(), 0);
+  EXPECT_GT(metrics.counter("prepared.rule_evaluations")->value(), 0);
+  EXPECT_GT(metrics.counter("gpvw.tableau_nodes")->value(), 0);
+  EXPECT_EQ(metrics.histogram("verify.assignment_us")->count(),
+            r.stats.num_assignments);
+
+  // A shared registry accumulates across Verify calls; per-call stats
+  // must not (regression test for double counting).
+  VerifyResult r2 = verifier.Verify(result_.properties[0].property, options);
+  EXPECT_EQ(metrics.counter("verify.expansions")->value(),
+            r.stats.num_expansions + r2.stats.num_expansions);
+  double r2_phase_sum = r2.stats.prepare_seconds + r2.stats.dataflow_seconds +
+                        r2.stats.search_seconds + r2.stats.validate_seconds;
+  EXPECT_LE(r2_phase_sum, r2.stats.seconds + 0.05);
+  EXPECT_EQ(r2.stats.trie_hits, r.stats.trie_hits);
+}
+
+TEST_F(SmallSpecTest, TracerEmitsNestedPhaseSpans) {
+  Verifier verifier(result_.spec.get());
+  obs::Tracer tracer;
+  VerifyOptions options;
+  options.tracer = &tracer;
+  verifier.Verify(result_.properties[0].property, options);
+
+  // The trace must contain verify > {prepare, search, validate}, with the
+  // children inside the root span's interval.
+  const obs::TraceEvent* root = nullptr;
+  bool saw_prepare = false, saw_search = false, saw_validate = false;
+  for (const obs::TraceEvent& e : tracer.events()) {
+    if (e.name == "verify") root = &e;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->depth, 0);
+  for (const obs::TraceEvent& e : tracer.events()) {
+    if (e.phase != obs::TraceEvent::Phase::kSpan || e.name == "verify") {
+      continue;
+    }
+    EXPECT_GE(e.ts_us, root->ts_us - 1e-6) << e.name;
+    EXPECT_LE(e.ts_us + e.dur_us, root->ts_us + root->dur_us + 1e-6)
+        << e.name;
+    if (e.name == "prepare") saw_prepare = e.depth >= 1;
+    if (e.name == "search") saw_search = e.depth >= 1;
+    if (e.name == "validate") saw_validate = e.depth >= 1;
+  }
+  EXPECT_TRUE(saw_prepare);
+  EXPECT_TRUE(saw_search);
+  EXPECT_TRUE(saw_validate);
+
+  // The exported document is valid JSON.
+  std::string error;
+  ASSERT_TRUE(obs::Json::Parse(tracer.ToChromeTraceJson(), &error).has_value())
+      << error;
+}
+
+TEST_F(SmallSpecTest, DisabledTracerProducesNoEventsAndSameVerdict) {
+  Verifier verifier(result_.spec.get());
+  // Null tracer (the default) is the fast path: no events anywhere.
+  VerifyResult plain = verifier.Verify(result_.properties[0].property);
+  obs::Tracer tracer;
+  VerifyOptions traced;
+  traced.tracer = &tracer;
+  VerifyResult with = verifier.Verify(result_.properties[0].property, traced);
+  EXPECT_EQ(plain.verdict, with.verdict);
+  EXPECT_EQ(plain.stats.num_expansions, with.stats.num_expansions);
+  EXPECT_GT(tracer.events().size(), 0u);
+  EXPECT_EQ(plain.stats.heartbeats, 0);  // no tracer, no heartbeat sink
+}
+
+TEST_F(SmallSpecTest, StatsJsonCarriesEveryField) {
+  Verifier verifier(result_.spec.get());
+  VerifyResult r = verifier.Verify(result_.properties[0].property);
+  obs::Json j = r.stats.ToJson();
+  for (const char* key :
+       {"seconds", "prepare_seconds", "dataflow_seconds", "search_seconds",
+        "validate_seconds", "max_pseudorun_length", "max_trie_size",
+        "buchi_states", "num_assignments", "num_cores", "num_expansions",
+        "num_successors", "num_rejected_candidates", "trie_hits",
+        "trie_misses", "heartbeats"}) {
+    EXPECT_TRUE(j.Has(key)) << key;
+  }
+  EXPECT_EQ(j.Find("num_expansions")->AsInt(), r.stats.num_expansions);
+}
+
+TEST(HeartbeatTest, FiresOnLongE1Property) {
+  // E1's full search is long enough that with a zero interval (fire on
+  // every budget check) heartbeats must arrive, monotonically.
+  AppBundle bundle = BuildE1();
+  Verifier verifier(bundle.spec.get());
+  VerifyOptions options;
+  options.heartbeat_interval_seconds = 0;  // every budget check
+  options.max_expansions = 400;            // keep the test fast
+  std::vector<HeartbeatSnapshot> beats;
+  options.heartbeat = [&](const HeartbeatSnapshot& hb) {
+    beats.push_back(hb);
+  };
+  VerifyResult r = verifier.Verify(bundle.properties[0].property, options);
+  ASSERT_FALSE(beats.empty());
+  EXPECT_EQ(r.stats.heartbeats, static_cast<int64_t>(beats.size()));
+  for (size_t i = 1; i < beats.size(); ++i) {
+    EXPECT_GE(beats[i].num_expansions, beats[i - 1].num_expansions);
+    EXPECT_GE(beats[i].elapsed_seconds, beats[i - 1].elapsed_seconds);
+  }
+  EXPECT_GT(beats.back().num_expansions, 0);
+  EXPECT_GT(beats.back().buchi_states, 0);
+  EXPECT_GE(beats.back().max_trie_size, beats.back().trie_size);
 }
 
 TEST_F(SmallSpecTest, TimeoutYieldsUnknown) {

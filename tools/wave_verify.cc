@@ -1,0 +1,278 @@
+// wave_verify — command-line front end for the verifier with the full
+// observability surface of src/obs wired up (ISSUE 1):
+//
+//   wave_verify specs/e1_shopping.spec --property=P1
+//       --trace=out.json --stats-json=stats.json
+//
+// emits a Chrome trace-event file (open in chrome://tracing or
+// https://ui.perfetto.dev) with nested prepare/search/validate spans, and
+// a machine-readable stats file carrying every VerifyStats field plus the
+// verify.*/trie.*/gpvw.*/prepared.* metrics. `--heartbeat=SECONDS` prints
+// periodic progress lines so long verifications are never silent.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "parser/parser.h"
+#include "verifier/validate.h"
+#include "verifier/verifier.h"
+
+namespace wave {
+namespace {
+
+constexpr char kUsage[] = R"(usage: wave_verify <spec-file> [options]
+
+Verifies LTL-FO properties of a Web application spec (see docs/DSL.md).
+Without --property, every property block of the file is verified.
+
+options:
+  --property=NAME       verify only this property (repeatable)
+  --list                list the file's properties and exit
+  --trace=PATH          write a Chrome trace-event JSON file (chrome://tracing, Perfetto)
+  --stats-json=PATH     write verdicts + VerifyStats + metrics as JSON
+  --summary             print the aggregated phase-time table after each run
+  --heartbeat=SECONDS   print progress lines every SECONDS (default off)
+  --timeout=SECONDS     wall-clock budget per property (default 120)
+  --max-expansions=N    expansion budget per property (default unlimited)
+  --max-candidates=N    candidate-tuple budget (default 20)
+  --validated           replay candidate counterexamples as genuine runs
+                        (the Section 7 incomplete-verifier loop)
+  --no-heuristic1       disable core pruning
+  --no-heuristic2       disable extension pruning
+  --exhaustive          enumerate equality patterns among fresh C-exists values
+exit status: 0 all verdicts decided, 1 usage/load error, 2 some verdict unknown
+)";
+
+struct CliOptions {
+  std::string spec_path;
+  std::vector<std::string> properties;
+  bool list = false;
+  std::string trace_path;
+  std::string stats_path;
+  bool summary = false;
+  double heartbeat_seconds = 0;
+  bool validated = false;
+  VerifyOptions verify;
+};
+
+bool ParseArgs(int argc, char** argv, CliOptions* out, std::string* error) {
+  auto value_of = [](const char* arg, const char* flag) -> const char* {
+    size_t n = std::strlen(flag);
+    if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=') return arg + n + 1;
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (arg[0] != '-') {
+      if (!out->spec_path.empty()) {
+        *error = "multiple spec files given";
+        return false;
+      }
+      out->spec_path = arg;
+    } else if ((v = value_of(arg, "--property")) != nullptr) {
+      out->properties.push_back(v);
+    } else if (std::strcmp(arg, "--list") == 0) {
+      out->list = true;
+    } else if ((v = value_of(arg, "--trace")) != nullptr) {
+      out->trace_path = v;
+    } else if ((v = value_of(arg, "--stats-json")) != nullptr) {
+      out->stats_path = v;
+    } else if (std::strcmp(arg, "--summary") == 0) {
+      out->summary = true;
+    } else if ((v = value_of(arg, "--heartbeat")) != nullptr) {
+      out->heartbeat_seconds = std::atof(v);
+    } else if ((v = value_of(arg, "--timeout")) != nullptr) {
+      out->verify.timeout_seconds = std::atof(v);
+    } else if ((v = value_of(arg, "--max-expansions")) != nullptr) {
+      out->verify.max_expansions = std::atoll(v);
+    } else if ((v = value_of(arg, "--max-candidates")) != nullptr) {
+      out->verify.max_candidates = std::atoi(v);
+    } else if (std::strcmp(arg, "--validated") == 0) {
+      out->validated = true;
+    } else if (std::strcmp(arg, "--no-heuristic1") == 0) {
+      out->verify.heuristic1 = false;
+    } else if (std::strcmp(arg, "--no-heuristic2") == 0) {
+      out->verify.heuristic2 = false;
+    } else if (std::strcmp(arg, "--exhaustive") == 0) {
+      out->verify.exhaustive_existential = true;
+    } else {
+      *error = std::string("unknown option: ") + arg;
+      return false;
+    }
+  }
+  if (out->spec_path.empty()) {
+    *error = "no spec file given";
+    return false;
+  }
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream of(path, std::ios::binary | std::ios::trunc);
+  if (!of) return false;
+  of << content;
+  return of.good();
+}
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kHolds: return "holds";
+    case Verdict::kViolated: return "violated";
+    case Verdict::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+int Main(int argc, char** argv) {
+  CliOptions cli;
+  std::string error;
+  if (!ParseArgs(argc, argv, &cli, &error)) {
+    std::fprintf(stderr, "wave_verify: %s\n%s", error.c_str(), kUsage);
+    return 1;
+  }
+
+  std::ifstream in(cli.spec_path);
+  if (!in) {
+    std::fprintf(stderr, "wave_verify: cannot read %s\n",
+                 cli.spec_path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ParseResult parsed = ParseSpec(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "wave_verify: %s does not parse:\n%s\n",
+                 cli.spec_path.c_str(), parsed.ErrorText().c_str());
+    return 1;
+  }
+
+  if (cli.list) {
+    for (const ParsedProperty& p : parsed.properties) {
+      std::printf("%-8s %-5s expect %s\n", p.property.name.c_str(),
+                  p.property.type_code.c_str(),
+                  !p.has_expected ? "?" : p.expected ? "true" : "false");
+    }
+    return 0;
+  }
+
+  std::vector<const ParsedProperty*> selected;
+  if (cli.properties.empty()) {
+    for (const ParsedProperty& p : parsed.properties) selected.push_back(&p);
+    if (selected.empty()) {
+      std::fprintf(stderr, "wave_verify: %s declares no properties\n",
+                   cli.spec_path.c_str());
+      return 1;
+    }
+  } else {
+    for (const std::string& name : cli.properties) {
+      const ParsedProperty* found = nullptr;
+      for (const ParsedProperty& p : parsed.properties) {
+        if (p.property.name == name) found = &p;
+      }
+      if (found == nullptr) {
+        std::fprintf(stderr,
+                     "wave_verify: no property '%s' in %s (try --list)\n",
+                     name.c_str(), cli.spec_path.c_str());
+        return 1;
+      }
+      selected.push_back(found);
+    }
+  }
+
+  std::optional<obs::Tracer> tracer;
+  if (!cli.trace_path.empty() || cli.summary) tracer.emplace();
+  obs::MetricsRegistry metrics;
+
+  VerifyOptions options = cli.verify;
+  options.tracer = tracer ? &*tracer : nullptr;
+  options.metrics = &metrics;
+  if (cli.heartbeat_seconds > 0) {
+    options.heartbeat_interval_seconds = cli.heartbeat_seconds;
+    options.heartbeat = [](const HeartbeatSnapshot& hb) {
+      std::fprintf(stderr,
+                   "  [%7.1fs] expansions=%lld successors=%lld cores=%lld "
+                   "assignments=%lld trie=%d\n",
+                   hb.elapsed_seconds,
+                   static_cast<long long>(hb.num_expansions),
+                   static_cast<long long>(hb.num_successors),
+                   static_cast<long long>(hb.num_cores),
+                   static_cast<long long>(hb.num_assignments), hb.trie_size);
+    };
+  }
+
+  Verifier verifier(parsed.spec.get());
+  obs::Json runs = obs::Json::Array();
+  int undecided = 0;
+  for (const ParsedProperty* p : selected) {
+    VerifyResult r =
+        cli.validated
+            ? VerifyValidated(&verifier, parsed.spec.get(), p->property,
+                              options)
+            : verifier.Verify(p->property, options);
+    if (r.verdict == Verdict::kUnknown) ++undecided;
+    std::printf("%-8s %-9s %8.3fs  expansions=%lld trie=%d buchi=%d%s%s\n",
+                p->property.name.c_str(), VerdictName(r.verdict),
+                r.stats.seconds, static_cast<long long>(r.stats.num_expansions),
+                r.stats.max_trie_size, r.stats.buchi_states,
+                r.failure_reason.empty() ? "" : "  — ",
+                r.failure_reason.c_str());
+    if (r.verdict == Verdict::kViolated) {
+      std::printf("%s", r.CounterexampleString(*parsed.spec).c_str());
+    }
+
+    obs::Json run = obs::Json::Object();
+    run.Set("property", obs::Json::Str(p->property.name));
+    run.Set("type", obs::Json::Str(p->property.type_code));
+    run.Set("verdict", obs::Json::Str(VerdictName(r.verdict)));
+    if (p->has_expected) run.Set("expected_holds", obs::Json::Bool(p->expected));
+    if (!r.failure_reason.empty()) {
+      run.Set("failure_reason", obs::Json::Str(r.failure_reason));
+    }
+    run.Set("stats", r.stats.ToJson());
+    runs.Append(std::move(run));
+  }
+
+  if (cli.summary && tracer) {
+    std::printf("\n%s", tracer->PhaseSummary().c_str());
+    std::printf("\n%s", metrics.Summary().c_str());
+  }
+
+  if (!cli.trace_path.empty()) {
+    if (!WriteFile(cli.trace_path, tracer->ToChromeTraceJson())) {
+      std::fprintf(stderr, "wave_verify: cannot write %s\n",
+                   cli.trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                 cli.trace_path.c_str(), tracer->events().size());
+  }
+
+  if (!cli.stats_path.empty()) {
+    obs::Json doc = obs::Json::Object();
+    doc.Set("spec", obs::Json::Str(cli.spec_path));
+    doc.Set("app", obs::Json::Str(parsed.spec->name));
+    doc.Set("runs", std::move(runs));
+    doc.Set("metrics", metrics.ToJson());
+    if (!WriteFile(cli.stats_path, doc.Dump(2) + "\n")) {
+      std::fprintf(stderr, "wave_verify: cannot write %s\n",
+                   cli.stats_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "stats written to %s\n", cli.stats_path.c_str());
+  }
+
+  return undecided > 0 ? 2 : 0;
+}
+
+}  // namespace
+}  // namespace wave
+
+int main(int argc, char** argv) { return wave::Main(argc, argv); }
