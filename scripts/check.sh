@@ -1,14 +1,30 @@
 #!/usr/bin/env sh
-# Build + test under a sanitizer (ISSUE 1 satellite).
+# Build + test under a sanitizer (ISSUE 1 satellite), plus a budget
+# stress mode (ISSUE 2 satellite).
 #
 # Usage:
-#   scripts/check.sh             # address sanitizer (default)
-#   scripts/check.sh undefined   # UBSan
-#   scripts/check.sh ""          # plain build, no sanitizer
+#   scripts/check.sh                     # address sanitizer (default)
+#   scripts/check.sh undefined           # UBSan
+#   scripts/check.sh ""                  # plain build, no sanitizer
+#   scripts/check.sh --stress            # tiny-budget stress run (ASan)
+#   scripts/check.sh --stress undefined  # stress under UBSan
+#
+# Stress mode drives wave_verify over every bundled spec with
+# deliberately tiny budgets (sub-second deadlines, 2-tuple candidate
+# budget, 1 MB memory ceiling, retry ladder on). Resource exhaustion
+# must surface as a verdict, never a crash: any exit status other than
+# 0 (decided) or 2 (some unknown), and any sanitizer report in the
+# output, fails the check.
 #
 # Uses a separate build tree per sanitizer so the regular build/ stays
 # untouched.
 set -eu
+
+STRESS=0
+if [ "${1-}" = "--stress" ]; then
+  STRESS=1
+  shift
+fi
 
 SANITIZER="${1-address}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -26,7 +42,55 @@ cmake -B "$BUILD_DIR" -S "$ROOT" -DWAVE_SANITIZE="$SANITIZER" \
 echo "== build"
 cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)"
 
-echo "== test"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+if [ "$STRESS" = "0" ]; then
+  echo "== test"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+  echo "== OK (sanitizer: ${SANITIZER:-none})"
+  exit 0
+fi
 
-echo "== OK (sanitizer: ${SANITIZER:-none})"
+echo "== stress (tiny budgets, sanitizer: ${SANITIZER:-none})"
+VERIFY="$BUILD_DIR/tools/wave_verify"
+LOG="$(mktemp)"
+STATS="$(mktemp)"
+trap 'rm -f "$LOG" "$STATS" "$STATS.tmp"' EXIT
+FAILED=0
+
+# Each row: a label and the flag set to run every spec under.
+run_stress() {
+  label="$1"; shift
+  for spec in "$ROOT"/specs/*.spec; do
+    name="$(basename "$spec")"
+    rc=0
+    "$VERIFY" "$spec" "$@" >"$LOG" 2>&1 || rc=$?
+    if [ "$rc" -ne 0 ] && [ "$rc" -ne 2 ]; then
+      echo "FAIL [$label] $name: exit $rc (want 0 or 2)"
+      cat "$LOG"
+      FAILED=1
+    elif grep -q -e "Sanitizer" -e "runtime error:" "$LOG"; then
+      echo "FAIL [$label] $name: sanitizer report"
+      cat "$LOG"
+      FAILED=1
+    else
+      echo "ok   [$label] $name (exit $rc)"
+    fi
+  done
+}
+
+run_stress "deadline-50ms" --keep-going --timeout=0.05
+run_stress "candidates-2" --keep-going --max-candidates=2 --timeout=5
+run_stress "expansions-100" --keep-going --max-expansions=100 --timeout=5
+run_stress "memory-1mb" --keep-going --max-memory-mb=1 --timeout=5
+run_stress "ladder-tiny" --keep-going --retry-ladder --max-candidates=2 \
+    --timeout=1
+run_stress "stats-json" --keep-going --timeout=0.05 --stats-json="$STATS"
+if [ ! -s "$STATS" ]; then
+  echo "FAIL [stats-json]: no stats file written"
+  FAILED=1
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "== STRESS FAILED"
+  exit 1
+fi
+echo "== STRESS OK (sanitizer: ${SANITIZER:-none})"

@@ -1,0 +1,68 @@
+#include "common/io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace wave {
+
+namespace {
+
+std::string ErrnoSuffix() {
+  int err = errno;
+  if (err == 0) return "";
+  return std::string(" (") + std::strerror(err) + ")";
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  errno = 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'" + ErrnoSuffix(),
+                            WAVE_LOC);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::Unavailable("error while reading '" + path + "'" +
+                                   ErrnoSuffix(),
+                               WAVE_LOC);
+  }
+  return buffer.str();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  errno = 0;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Unavailable("cannot create '" + tmp + "'" +
+                                     ErrnoSuffix(),
+                                 WAVE_LOC);
+    }
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::Unavailable("error while writing '" + tmp + "'" +
+                                     ErrnoSuffix(),
+                                 WAVE_LOC);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Unavailable("cannot rename '" + tmp + "' to '" + path +
+                                   "'" + ErrnoSuffix(),
+                               WAVE_LOC);
+  }
+  return Status::Ok();
+}
+
+}  // namespace wave

@@ -1,0 +1,28 @@
+// File I/O with Status-based error reporting (ISSUE 2). All user-facing
+// file operations (spec loading, stats/trace export) go through these so
+// an unreadable path or a full disk surfaces as a recoverable Status, and
+// output files are never observed half-written.
+#ifndef WAVE_COMMON_IO_H_
+#define WAVE_COMMON_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace wave {
+
+/// Reads the whole file at `path`. kNotFound when the file cannot be
+/// opened, kUnavailable on a mid-read failure.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `content` to `path` atomically: the bytes go to `<path>.tmp`
+/// first and the temp file is renamed over `path` only after a successful
+/// close, so a crash or SIGKILL mid-write leaves either the old file or
+/// the complete new one — never a truncated mix. The temp file is removed
+/// on failure.
+Status AtomicWriteFile(const std::string& path, std::string_view content);
+
+}  // namespace wave
+
+#endif  // WAVE_COMMON_IO_H_

@@ -1,0 +1,157 @@
+// Structured, recoverable error channel (ISSUE 2).
+//
+// WAVE distinguishes two failure families:
+//   * internal invariant violations — the verifier's own state is broken,
+//     any verdict would be untrustworthy, the process aborts (WAVE_CHECK,
+//     see common/check.h);
+//   * user-input failures — malformed spec files, unknown properties,
+//     unreadable paths, invalid options. These must never abort a
+//     long-running verification service; they travel as `wave::Status`
+//     values the caller can inspect, log and recover from.
+//
+// `Status` carries an error code, a human-readable message, and the source
+// location that created it. `StatusOr<T>` is a value-or-status union for
+// fallible producers. The `WAVE_RETURN_IF_ERROR` / `WAVE_ASSIGN_OR_RETURN`
+// macros keep call sites linear.
+#ifndef WAVE_COMMON_STATUS_H_
+#define WAVE_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace wave {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // malformed user input (spec text, property, flag)
+  kNotFound,            // missing file / unknown property name
+  kFailedPrecondition,  // operation invalid in the current state
+  kResourceExhausted,   // a governed budget was exceeded
+  kCancelled,           // cooperative cancellation
+  kDeadlineExceeded,    // wall-clock deadline passed
+  kUnavailable,         // transient environment failure (I/O)
+  kInternal,            // bug surfaced as a status (should be WAVE_CHECKed)
+};
+
+/// Stable upper-snake name ("INVALID_ARGUMENT", ...) for logs and JSON.
+const char* StatusCodeName(StatusCode code);
+
+/// `file:line` of the factory call that produced a non-OK status, captured
+/// by the WAVE_LOC macro at each factory's call site.
+struct SourceLocation {
+  const char* file = "";
+  int line = 0;
+};
+
+#define WAVE_LOC (::wave::SourceLocation{__FILE__, __LINE__})
+
+class [[nodiscard]] Status {
+ public:
+  /// OK (the default).
+  Status() = default;
+
+  Status(StatusCode code, std::string message, SourceLocation loc = {})
+      : code_(code), message_(std::move(message)), loc_(loc) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg, SourceLocation loc = {}) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg), loc);
+  }
+  static Status NotFound(std::string msg, SourceLocation loc = {}) {
+    return Status(StatusCode::kNotFound, std::move(msg), loc);
+  }
+  static Status FailedPrecondition(std::string msg, SourceLocation loc = {}) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg), loc);
+  }
+  static Status ResourceExhausted(std::string msg, SourceLocation loc = {}) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg), loc);
+  }
+  static Status Cancelled(std::string msg, SourceLocation loc = {}) {
+    return Status(StatusCode::kCancelled, std::move(msg), loc);
+  }
+  static Status DeadlineExceeded(std::string msg, SourceLocation loc = {}) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg), loc);
+  }
+  static Status Unavailable(std::string msg, SourceLocation loc = {}) {
+    return Status(StatusCode::kUnavailable, std::move(msg), loc);
+  }
+  static Status Internal(std::string msg, SourceLocation loc = {}) {
+    return Status(StatusCode::kInternal, std::move(msg), loc);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  const SourceLocation& location() const { return loc_; }
+
+  /// "INVALID_ARGUMENT: 3:7: expected ')' [at src/parser/parser.cc:97]".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  SourceLocation loc_;
+};
+
+/// A `T` or the `Status` explaining why there is none.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    WAVE_CHECK_MSG(!status_.ok(),
+                   "StatusOr constructed from OK status without a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value access; WAVE_CHECKs ok() — test first or use value_or patterns.
+  T& value() & {
+    WAVE_CHECK_MSG(ok(), "StatusOr::value() on error: " << status_.ToString());
+    return *value_;
+  }
+  const T& value() const& {
+    WAVE_CHECK_MSG(ok(), "StatusOr::value() on error: " << status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    WAVE_CHECK_MSG(ok(), "StatusOr::value() on error: " << status_.ToString());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds
+  std::optional<T> value_;
+};
+
+}  // namespace wave
+
+/// Propagates a non-OK Status to the caller.
+#define WAVE_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::wave::Status wave_status_ = (expr);          \
+    if (!wave_status_.ok()) return wave_status_;   \
+  } while (0)
+
+/// Unwraps a StatusOr into `lhs` or propagates its error. `lhs` may be a
+/// declaration ("auto x") or an existing lvalue.
+#define WAVE_ASSIGN_OR_RETURN(lhs, expr)                       \
+  WAVE_ASSIGN_OR_RETURN_IMPL_(                                 \
+      WAVE_STATUS_CONCAT_(wave_statusor_, __LINE__), lhs, expr)
+#define WAVE_STATUS_CONCAT_INNER_(a, b) a##b
+#define WAVE_STATUS_CONCAT_(a, b) WAVE_STATUS_CONCAT_INNER_(a, b)
+#define WAVE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // WAVE_COMMON_STATUS_H_

@@ -4,12 +4,18 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/io.h"
 #include "common/strings.h"
 #include "parser/lexer.h"
 
 namespace wave {
 
 std::string ParseResult::ErrorText() const { return Join(errors, "\n"); }
+
+Status ParseResult::status() const {
+  if (ok()) return Status::Ok();
+  return Status::InvalidArgument(ErrorText(), WAVE_LOC);
+}
 
 namespace {
 
@@ -36,6 +42,14 @@ class Parser {
     ResolveDeferred();
   }
 
+  /// "line:col" of the end of input — the position whole-spec diagnostics
+  /// (missing pages, unset home page) are anchored to, so every error a
+  /// ParseResult carries is positioned.
+  std::string EndPosition() const {
+    const Token& last = tokens_.back();
+    return std::to_string(last.line) + ":" + std::to_string(last.column);
+  }
+
   /// Parses `property` blocks only (pre-existing spec).
   void ParsePropertiesOnly() {
     while (!AtEnd()) {
@@ -48,6 +62,8 @@ class Parser {
       }
       if (pos_ == before) Advance();  // guarantee progress
     }
+    // The spec is complete here, so page atoms resolve immediately.
+    CheckPendingPageAtoms();
   }
 
   /// Parses a single formula (whole input).
@@ -395,8 +411,13 @@ class Parser {
     if (EatIdent("true")) return Formula::True();
     if (EatIdent("false")) return Formula::False();
     if (EatIdent("at")) {
+      // The page may be declared later in the file; record the reference
+      // and resolve it with the other deferred names at end of parse.
+      int line = Peek().line;
+      int column = Peek().column;
       std::string page = ExpectIdent("page name");
       if (page.empty()) return nullptr;
+      pending_page_atoms_.push_back({page, line, column});
       return Formula::Page(std::move(page));
     }
     if (EatIdent("prev")) {
@@ -448,6 +469,8 @@ class Parser {
   // --- properties --------------------------------------------------------------
   bool ParseProperty() {
     EatIdent("property");
+    int name_line = Peek().line;
+    int name_column = Peek().column;
     ParsedProperty parsed;
     parsed.property.name = ExpectIdent("property name");
     if (parsed.property.name.empty()) return false;
@@ -490,6 +513,21 @@ class Parser {
     parsed.property.body = ParseLtl();
     if (parsed.property.body == nullptr) return false;
     if (!Expect(TokenKind::kRBrace, "'}'")) return false;
+    // Binding check (ISSUE 2): every free variable of the body must be
+    // declared in the forall block — this used to abort inside the
+    // verifier's Prepare phase instead of being a parse error.
+    {
+      std::set<std::string> declared(parsed.property.forall_vars.begin(),
+                                     parsed.property.forall_vars.end());
+      for (const std::string& v : parsed.property.body->FreeVariables()) {
+        if (declared.count(v) == 0) {
+          errors_->push_back(std::to_string(name_line) + ":" +
+                             std::to_string(name_column) + ": property '" +
+                             parsed.property.name + "': free variable '" + v +
+                             "' not bound by the forall block");
+        }
+      }
+    }
     properties_->push_back(std::move(parsed));
     return true;
   }
@@ -585,7 +623,28 @@ class Parser {
     int line;
   };
 
+  /// An `at PAGE` atom awaiting end-of-parse resolution (pages may be
+  /// declared after the formula referencing them).
+  struct PendingPageAtom {
+    std::string page;
+    int line;
+    int column;
+  };
+
+  void CheckPendingPageAtoms() {
+    for (const PendingPageAtom& p : pending_page_atoms_) {
+      if (spec_->PageIndex(p.page) == -1) {
+        errors_->push_back(std::to_string(p.line) + ":" +
+                           std::to_string(p.column) +
+                           ": page atom 'at " + p.page +
+                           "' references unknown page '" + p.page + "'");
+      }
+    }
+    pending_page_atoms_.clear();
+  }
+
   void ResolveDeferred() {
+    CheckPendingPageAtoms();
     for (const DeferredTarget& d : deferred_targets_) {
       int target = spec_->PageIndex(d.target_name);
       if (target == -1) {
@@ -615,6 +674,7 @@ class Parser {
   std::vector<ParsedProperty>* properties_;
   std::vector<std::string>* errors_;
   std::vector<DeferredTarget> deferred_targets_;
+  std::vector<PendingPageAtom> pending_page_atoms_;
   std::string home_page_name_;
   int home_line_ = 1;
 };
@@ -627,11 +687,16 @@ ParseResult ParseSpec(std::string_view text) {
   Parser parser(text, result.spec.get(), &result.properties, &result.errors);
   parser.ParseFile();
   if (result.ok()) {
-    std::vector<std::string> validation = result.spec->Validate();
-    result.errors.insert(result.errors.end(), validation.begin(),
-                         validation.end());
+    for (const std::string& issue : result.spec->Validate()) {
+      result.errors.push_back(parser.EndPosition() + ": " + issue);
+    }
   }
   return result;
+}
+
+StatusOr<ParseResult> ParseSpecFile(const std::string& path) {
+  WAVE_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseSpec(text);
 }
 
 ParseResult ParseProperties(std::string_view text, WebAppSpec* spec) {

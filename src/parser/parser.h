@@ -41,6 +41,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "ltl/ltl_formula.h"
 #include "spec/web_app.h"
 
@@ -62,10 +63,19 @@ struct ParseResult {
   bool ok() const { return errors.empty(); }
   /// All errors joined with newlines (for test assertions / CHECK output).
   std::string ErrorText() const;
+  /// The parse outcome as a structured error: OK on success, otherwise
+  /// InvalidArgument whose message is `ErrorText()` (each error keeps its
+  /// "line:col:" prefix).
+  Status status() const;
 };
 
 /// Parses a full spec (+ optional properties) from `text`.
 ParseResult ParseSpec(std::string_view text);
+
+/// Reads and parses the spec file at `path`. A missing or unreadable file
+/// is the returned Status (kNotFound/kUnavailable); *parse* errors travel
+/// inside the ParseResult — check `result.ok()` / `result.status()`.
+StatusOr<ParseResult> ParseSpecFile(const std::string& path);
 
 /// Parses additional `property ... { ... }` blocks against an existing
 /// spec (constants intern into the spec's symbol table).

@@ -35,6 +35,48 @@ bool HasCurrentInputAtom(const FormulaPtr& f, const Catalog& catalog) {
   }
 }
 
+/// Reports atoms whose argument count disagrees with the declared arity
+/// and page atoms naming unknown pages (ISSUE 2: these used to surface as
+/// WAVE_CHECK aborts inside `PreparedFormula::Prepare` at verify time;
+/// catching them here keeps those checks genuine internal invariants).
+void CheckBodyAtoms(const WebAppSpec& spec, const FormulaPtr& f,
+                    const std::string& where,
+                    std::vector<std::string>* issues) {
+  switch (f->kind()) {
+    case Formula::Kind::kAtom: {
+      RelationId id = spec.catalog().Find(f->relation());
+      if (id == kInvalidRelation) return;  // reported separately
+      int arity = spec.catalog().schema(id).arity;
+      if (static_cast<int>(f->args().size()) != arity) {
+        issues->push_back(where + ": atom " + f->relation() + "/" +
+                          std::to_string(f->args().size()) +
+                          " does not match declared arity " +
+                          std::to_string(arity));
+      }
+      return;
+    }
+    case Formula::Kind::kPage:
+      if (spec.PageIndex(f->page()) < 0) {
+        issues->push_back(where + ": page atom 'at " + f->page() +
+                          "' references an unknown page");
+      }
+      return;
+    case Formula::Kind::kNot:
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall:
+      CheckBodyAtoms(spec, f->body(), where, issues);
+      return;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+      CheckBodyAtoms(spec, f->left(), where, issues);
+      CheckBodyAtoms(spec, f->right(), where, issues);
+      return;
+    default:
+      return;
+  }
+}
+
 /// Variables of a head tuple, first-occurrence order.
 std::vector<std::string> HeadVariables(const std::vector<Term>& head) {
   std::vector<std::string> vars;
@@ -158,6 +200,7 @@ std::vector<std::string> WebAppSpec::Validate() const {
                           "' (actions are write-only)");
       }
     }
+    CheckBodyAtoms(*this, body, where, &issues);
     (void)body_may_use_current_input;
   };
 
@@ -251,9 +294,25 @@ std::vector<std::string> WebAppSpec::Validate() const {
                              rel_name + "'");
         }
       }
+      CheckBodyAtoms(*this, r.condition,
+                     prefix + ", target condition for " +
+                         pages_[r.target_page].name,
+                     &issues);
     }
   }
   return issues;
+}
+
+Status WebAppSpec::ValidateStatus() const {
+  std::vector<std::string> issues = Validate();
+  if (issues.empty()) return Status::Ok();
+  std::string joined;
+  for (const std::string& issue : issues) {
+    if (!joined.empty()) joined += "; ";
+    joined += issue;
+  }
+  return Status::FailedPrecondition("spec does not validate: " + joined,
+                                    WAVE_LOC);
 }
 
 std::vector<std::string> WebAppSpec::CheckInputBoundedness() const {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/symbol_table.h"
 #include "fo/formula.h"
 #include "relational/schema.h"
@@ -99,9 +100,15 @@ class WebAppSpec {
   std::set<SymbolId> SpecConstants() const;
 
   /// Structural validation: arities, relation kinds, rule safety (head
-  /// variables == body free variables), sentence-ness of target rules,
-  /// home page set. Returns hard errors.
+  /// variables == body free variables), body atom arities, page atoms in
+  /// rule bodies, sentence-ness of target rules, home page set. Returns
+  /// hard errors.
   std::vector<std::string> Validate() const;
+
+  /// `Validate()` as a structured error: OK when clean, otherwise
+  /// FailedPrecondition listing every issue. The Status-returning
+  /// construction paths (`Verifier::Create`, CLI loading) use this.
+  Status ValidateStatus() const;
 
   /// Input-boundedness check of every rule (the completeness precondition;
   /// violations downgrade WAVE to a sound-but-incomplete verifier).

@@ -65,14 +65,21 @@ void AppendInstance(const Instance& instance, std::vector<uint8_t>* out) {
 
 }  // namespace
 
+void EncodeVisitedKeyInto(int flag, int buchi_state,
+                          const Configuration& config,
+                          std::vector<uint8_t>* out) {
+  out->clear();
+  out->push_back(static_cast<uint8_t>(flag));
+  AppendVarint(static_cast<uint32_t>(buchi_state), out);
+  AppendVarint(static_cast<uint32_t>(config.page), out);
+  AppendInstance(config.data, out);
+  AppendInstance(config.previous, out);
+}
+
 std::vector<uint8_t> EncodeVisitedKey(int flag, int buchi_state,
                                       const Configuration& config) {
   std::vector<uint8_t> out;
-  out.push_back(static_cast<uint8_t>(flag));
-  AppendVarint(static_cast<uint32_t>(buchi_state), &out);
-  AppendVarint(static_cast<uint32_t>(config.page), &out);
-  AppendInstance(config.data, &out);
-  AppendInstance(config.previous, &out);
+  EncodeVisitedKeyInto(flag, buchi_state, config, &out);
   return out;
 }
 

@@ -53,6 +53,14 @@ class TupleIndexer {
 std::vector<uint8_t> EncodeVisitedKey(int flag, int buchi_state,
                                       const Configuration& config);
 
+/// Buffer-reusing variant for the search hot loop: clears `out` and fills
+/// it with the key, avoiding a fresh allocation per expansion. The filled
+/// size also feeds the resource governor's memory estimate (the key length
+/// approximates the configuration's share of trie/stack memory).
+void EncodeVisitedKeyInto(int flag, int buchi_state,
+                          const Configuration& config,
+                          std::vector<uint8_t>* out);
+
 }  // namespace wave
 
 #endif  // WAVE_VERIFIER_ENCODE_H_

@@ -1,0 +1,87 @@
+#include "verifier/governor.h"
+
+namespace wave {
+
+const char* UnknownReasonName(UnknownReason reason) {
+  switch (reason) {
+    case UnknownReason::kNone: return "none";
+    case UnknownReason::kTimeout: return "timeout";
+    case UnknownReason::kMemoryLimit: return "memory_limit";
+    case UnknownReason::kCandidateBudget: return "candidate_budget";
+    case UnknownReason::kExpansionBudget: return "expansion_budget";
+    case UnknownReason::kCancelled: return "cancelled";
+    case UnknownReason::kRejectedCandidates: return "rejected_candidates";
+  }
+  return "?";
+}
+
+bool IsBudgetLimited(UnknownReason reason) {
+  return reason == UnknownReason::kCandidateBudget ||
+         reason == UnknownReason::kExpansionBudget;
+}
+
+Status UnknownReasonToStatus(UnknownReason reason,
+                             const std::string& detail) {
+  switch (reason) {
+    case UnknownReason::kNone:
+      return Status::Ok();
+    case UnknownReason::kTimeout:
+      return Status::DeadlineExceeded(detail);
+    case UnknownReason::kCancelled:
+      return Status::Cancelled(detail);
+    case UnknownReason::kMemoryLimit:
+    case UnknownReason::kCandidateBudget:
+    case UnknownReason::kExpansionBudget:
+    case UnknownReason::kRejectedCandidates:
+      return Status::ResourceExhausted(detail);
+  }
+  return Status::Internal(detail);
+}
+
+ResourceGovernor::ResourceGovernor(const GovernorLimits& limits)
+    : limits_(limits) {}
+
+double ResourceGovernor::RemainingSeconds() const {
+  double remaining = limits_.deadline_seconds - watch_.ElapsedSeconds();
+  return remaining > 0 ? remaining : 0;
+}
+
+void ResourceGovernor::Trip(UnknownReason reason, std::string message) {
+  if (tripped_ != UnknownReason::kNone) return;  // first trip wins
+  tripped_ = reason;
+  trip_message_ = std::move(message);
+}
+
+UnknownReason ResourceGovernor::Poll() {
+  if (tripped_ != UnknownReason::kNone) return tripped_;
+  ++polls_;
+  if (limits_.cancellation != nullptr && limits_.cancellation->cancelled()) {
+    Trip(UnknownReason::kCancelled,
+         "cancelled after " + std::to_string(watch_.ElapsedSeconds()) + "s");
+    return tripped_;
+  }
+  double elapsed = watch_.ElapsedSeconds();
+  if (elapsed > limits_.deadline_seconds) {
+    Trip(UnknownReason::kTimeout,
+         "timeout after " + std::to_string(limits_.deadline_seconds) + "s");
+    return tripped_;
+  }
+  if (limits_.max_memory_bytes >= 0 &&
+      memory_bytes_ > limits_.max_memory_bytes) {
+    Trip(UnknownReason::kMemoryLimit,
+         "memory limit exceeded (~" + std::to_string(memory_bytes_) +
+             " bytes used, ceiling " +
+             std::to_string(limits_.max_memory_bytes) + ")");
+    return tripped_;
+  }
+  if (expansions_ != nullptr && limits_.max_expansions >= 0 &&
+      *expansions_ >= limits_.max_expansions) {
+    Trip(UnknownReason::kExpansionBudget,
+         "expansion budget exhausted (" +
+             std::to_string(limits_.max_expansions) + ")");
+    return tripped_;
+  }
+  return UnknownReason::kNone;
+}
+
+}  // namespace wave

@@ -1,0 +1,169 @@
+// Resource governor for one verification attempt (ISSUE 2).
+//
+// Section 7 of the paper accepts that an attempt may come back
+// inconclusive; this file makes "inconclusive" a first-class, *specific*
+// outcome. A `ResourceGovernor` owns every enforced ceiling of one
+// `Verify` call — wall-clock deadline, expansion budget, approximate
+// memory ceiling (fed by the visited-trie and search-stack accounting),
+// and a thread-safe cooperative cancellation token — and the search hot
+// loops poll it once per expansion (`Tick`). Expensive sources (the
+// steady clock, the memory gauge comparison) are only consulted every
+// `kPollStride` ticks, so governance costs a counter increment and one
+// relaxed atomic load per expansion while cancellation and deadline still
+// land within milliseconds.
+//
+// The governor answers *which* limit tripped via `UnknownReason`, the
+// enum every `Verdict::kUnknown` result now carries.
+#ifndef WAVE_VERIFIER_GOVERNOR_H_
+#define WAVE_VERIFIER_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace wave {
+
+/// Why a verification attempt returned `Verdict::kUnknown`. Budget-limited
+/// reasons (`kCandidateBudget`, `kExpansionBudget`) are the ones a retry
+/// ladder can escalate away; `kTimeout`/`kMemoryLimit`/`kCancelled` end
+/// the ladder.
+enum class UnknownReason {
+  kNone = 0,            // verdict is not kUnknown
+  kTimeout,             // wall-clock deadline exceeded
+  kMemoryLimit,         // approximate memory ceiling exceeded
+  kCandidateBudget,     // candidate-tuple set overflowed max_candidates
+  kExpansionBudget,     // max_expansions exhausted
+  kCancelled,           // cooperative cancellation (signal, caller)
+  kRejectedCandidates,  // search exhausted after discarding spurious
+                        // counterexamples (incomplete-verifier mode)
+};
+
+/// Stable snake_case name ("timeout", "candidate_budget", ...) for logs,
+/// stats JSON and test assertions.
+const char* UnknownReasonName(UnknownReason reason);
+
+/// True for reasons a larger budget could cure (retry-ladder escalation).
+bool IsBudgetLimited(UnknownReason reason);
+
+/// Maps a trip reason to the equivalent Status code (kOk for kNone).
+Status UnknownReasonToStatus(UnknownReason reason, const std::string& detail);
+
+/// Thread-safe cooperative cancellation flag. `Cancel()` is callable from
+/// another thread or from a signal handler (lock-free atomic store); the
+/// search observes it at the next governor poll.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// The ceilings one governor enforces. Negative budgets mean "unlimited".
+struct GovernorLimits {
+  double deadline_seconds = 120.0;
+  int64_t max_expansions = -1;
+  int64_t max_memory_bytes = -1;
+  /// Not owned; may be null (never cancelled) or shared across attempts.
+  const CancellationToken* cancellation = nullptr;
+};
+
+/// Final readings exported into `VerifyStats` when the attempt ends.
+struct GovernorReadings {
+  double elapsed_seconds = 0;
+  int64_t polls = 0;              // full polls performed
+  int64_t memory_bytes = 0;       // last reported estimate
+  int64_t peak_memory_bytes = 0;  // high-water mark of the estimate
+};
+
+class ResourceGovernor {
+ public:
+  /// The deadline clock starts here, so construction should happen at the
+  /// top of the attempt (covering prepare/dataflow, not just the search).
+  explicit ResourceGovernor(const GovernorLimits& limits);
+
+  /// Binds the expansion counter the budget is checked against (typically
+  /// `&stats.num_expansions`). Null (the default) disables that check.
+  void WatchExpansions(const int64_t* expansions) { expansions_ = expansions; }
+
+  /// Updates the approximate memory estimate (bytes). Cheap: two stores.
+  void ReportMemory(int64_t bytes) {
+    memory_bytes_ = bytes;
+    if (bytes > peak_memory_bytes_) peak_memory_bytes_ = bytes;
+  }
+
+  /// Hot-loop probe: call once per expansion. The cheap limits (expansion
+  /// counter compare, relaxed cancellation load) are checked on every
+  /// tick; the clock and memory gauge go through the strided `Poll` (the
+  /// first tick polls, so a zero deadline trips immediately). Returns
+  /// kNone while within every limit.
+  UnknownReason Tick() {
+    if (tripped_ != UnknownReason::kNone) return tripped_;
+    if (expansions_ != nullptr && limits_.max_expansions >= 0 &&
+        *expansions_ >= limits_.max_expansions) {
+      return Poll();
+    }
+    if (limits_.cancellation != nullptr &&
+        limits_.cancellation->cancelled()) {
+      return Poll();
+    }
+    if (ticks_++ % kPollStride == 0) return Poll();
+    return UnknownReason::kNone;
+  }
+
+  /// Full check of every limit (deadline, cancellation, memory,
+  /// expansions). Called by `Tick` on stride boundaries and directly at
+  /// phase boundaries so long non-search phases stay governed.
+  UnknownReason Poll();
+
+  /// First limit that tripped (kNone while running).
+  UnknownReason trip_reason() const { return tripped_; }
+
+  /// Human-readable description of the tripped limit ("" while running).
+  const std::string& trip_message() const { return trip_message_; }
+
+  /// Seconds since construction (reads the clock).
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+
+  /// Seconds left before the deadline (never negative).
+  double RemainingSeconds() const;
+
+  const GovernorLimits& limits() const { return limits_; }
+
+  GovernorReadings readings() const {
+    GovernorReadings r;
+    r.elapsed_seconds = watch_.ElapsedSeconds();
+    r.polls = polls_;
+    r.memory_bytes = memory_bytes_;
+    r.peak_memory_bytes = peak_memory_bytes_;
+    return r;
+  }
+
+  /// Expansions between full polls. Deadline/cancellation latency is this
+  /// many expansions — microseconds-to-low-milliseconds of work.
+  static constexpr int64_t kPollStride = 16;
+
+ private:
+  void Trip(UnknownReason reason, std::string message);
+
+  GovernorLimits limits_;
+  Stopwatch watch_;
+  const int64_t* expansions_ = nullptr;
+  int64_t ticks_ = 0;
+  int64_t polls_ = 0;
+  int64_t memory_bytes_ = 0;
+  int64_t peak_memory_bytes_ = 0;
+  UnknownReason tripped_ = UnknownReason::kNone;
+  std::string trip_message_;
+};
+
+}  // namespace wave
+
+#endif  // WAVE_VERIFIER_GOVERNOR_H_

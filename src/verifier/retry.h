@@ -1,0 +1,88 @@
+// Budget-escalation retry ladder (ISSUE 2).
+//
+// The paper's verifier is a semi-decision procedure tuned by budgets: a
+// tight candidate budget or expansion cap may return "unknown" on a
+// property a slightly larger budget decides. `VerifyWithRetry` runs a
+// *ladder* of attempts — tight budgets first, then the caller's own
+// settings, then a widened configuration with `exhaustive_existential` —
+// and escalates only while the previous attempt failed for a
+// budget-limited reason (`IsBudgetLimited`): a timeout, memory trip or
+// cancellation ends the ladder, because more candidate budget will not
+// cure those. The total wall-clock budget is split across the remaining
+// rungs (remaining / rungs-left), so early cheap rungs cannot starve the
+// expensive final one.
+#ifndef WAVE_VERIFIER_RETRY_H_
+#define WAVE_VERIFIER_RETRY_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "verifier/governor.h"
+#include "verifier/verifier.h"
+
+namespace wave {
+
+/// One rung of the escalation ladder: the budgets that override the base
+/// `VerifyOptions` for this attempt (deadline is assigned separately from
+/// the total budget).
+struct RetryRung {
+  std::string name;                     // "tight", "base", "exhaustive", ...
+  int max_candidates = 20;
+  int64_t max_expansions = -1;          // -1 = unlimited
+  bool exhaustive_existential = false;
+};
+
+/// What one attempt did, for logs and `--stats-json`.
+struct AttemptRecord {
+  int rung = 0;
+  std::string rung_name;
+  double budget_seconds = 0;   // deadline assigned to this attempt
+  double elapsed_seconds = 0;  // what it actually used
+  Verdict verdict = Verdict::kUnknown;
+  UnknownReason unknown_reason = UnknownReason::kNone;
+  std::string failure_reason;
+  VerifyStats stats;
+
+  obs::Json ToJson() const;
+};
+
+struct RetryOptions {
+  /// Ladder to climb; empty uses `DefaultLadder(base)`.
+  std::vector<RetryRung> ladder;
+  /// Total wall-clock budget across every attempt; <= 0 uses the base
+  /// options' `timeout_seconds`.
+  double total_budget_seconds = -1;
+};
+
+/// Outcome of the ladder: the final (or first decided) attempt's result
+/// plus the per-attempt history.
+struct RetryResult {
+  VerifyResult result;
+  std::vector<AttemptRecord> attempts;
+  /// Index of the rung that decided (kHolds/kViolated); -1 if none did.
+  int decided_rung = -1;
+
+  /// JSON array of `AttemptRecord::ToJson` values.
+  obs::Json AttemptsJson() const;
+};
+
+/// The standard three-rung ladder derived from the caller's options:
+///   0 "tight"      — half the candidate budget, capped expansions: fails
+///                    fast on easy instances, cheap to discard on hard ones;
+///   1 "base"       — the caller's own budgets;
+///   2 "exhaustive" — double candidate budget, unlimited expansions,
+///                    exhaustive_existential on.
+/// Rungs whose budgets do not exceed the previous rung's are dropped.
+std::vector<RetryRung> DefaultLadder(const VerifyOptions& base);
+
+/// Climbs the ladder. Escalates past rung k only when attempt k returned
+/// kUnknown for a budget-limited reason; any decision, timeout, memory
+/// trip or cancellation returns immediately with the history so far.
+RetryResult VerifyWithRetry(Verifier* verifier, const Property& property,
+                            const VerifyOptions& base,
+                            const RetryOptions& retry = {});
+
+}  // namespace wave
+
+#endif  // WAVE_VERIFIER_RETRY_H_

@@ -37,6 +37,7 @@ bool VisitedTrie::InsertImpl(const std::vector<uint8_t>& key) {
       // New leaf holding the whole remaining suffix.
       int leaf = NewNode();
       nodes_[leaf].edge.assign(key.begin() + pos, key.end());
+      approx_bytes_ += static_cast<int64_t>(key.size() - pos);
       nodes_[leaf].terminal = true;
       AddChild(node, key[pos], leaf);
       ++num_keys_;
@@ -75,6 +76,7 @@ bool VisitedTrie::InsertImpl(const std::vector<uint8_t>& key) {
     }
     int leaf = NewNode();
     nodes_[leaf].edge.assign(key.begin() + pos + match, key.end());
+    approx_bytes_ += static_cast<int64_t>(key.size() - pos - match);
     nodes_[leaf].terminal = true;
     AddChild(child, key[pos + match], leaf);
     ++num_keys_;
@@ -111,6 +113,7 @@ bool VisitedTrie::Contains(const std::vector<uint8_t>& key) const {
 int VisitedTrie::NewNode() {
   int id = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
+  approx_bytes_ += static_cast<int64_t>(sizeof(Node));
   return id;
 }
 
@@ -121,6 +124,8 @@ void VisitedTrie::AddChild(int parent, uint8_t label, int child) {
   WAVE_CHECK(it == p.labels.end() || *it != label);
   p.labels.insert(p.labels.begin() + pos, label);
   p.children.insert(p.children.begin() + pos, child);
+  approx_bytes_ +=
+      static_cast<int64_t>(sizeof(uint8_t) + sizeof(int32_t));
 }
 
 }  // namespace wave

@@ -40,6 +40,12 @@ class VisitedTrie {
   /// Number of trie nodes (memory footprint proxy).
   int node_count() const { return static_cast<int>(nodes_.size()); }
 
+  /// Approximate heap footprint in bytes, maintained incrementally (node
+  /// structs + stored edge bytes + child arrays) so the resource governor
+  /// can poll it per expansion at O(1) cost. An estimate, not an exact
+  /// allocator measurement: vector capacity slack is not counted.
+  int64_t approx_bytes() const { return approx_bytes_; }
+
   /// Cumulative lookup counters (reset by `Clear`).
   const TrieStats& stats() const { return stats_; }
 
@@ -48,6 +54,7 @@ class VisitedTrie {
     nodes_.emplace_back();
     num_keys_ = 0;
     stats_ = {};
+    approx_bytes_ = static_cast<int64_t>(sizeof(Node));
   }
 
  private:
@@ -69,6 +76,7 @@ class VisitedTrie {
 
   std::vector<Node> nodes_;
   int num_keys_ = 0;
+  int64_t approx_bytes_ = static_cast<int64_t>(sizeof(Node));
   mutable TrieStats stats_;  // mutable: `Contains` is logically const
 };
 

@@ -206,6 +206,7 @@ VerifyResult VerifyValidated(Verifier* verifier, WebAppSpec* spec,
     // Spurious candidates were discarded; without input-boundedness the
     // exhausted search is not a proof.
     result.verdict = Verdict::kUnknown;
+    result.unknown_reason = UnknownReason::kRejectedCandidates;
     result.failure_reason =
         "search exhausted after rejecting " +
         std::to_string(result.stats.num_rejected_candidates) +

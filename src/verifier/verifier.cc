@@ -19,6 +19,15 @@ namespace {
 
 enum class SearchStatus { kContinue, kFound, kAbort };
 
+GovernorLimits GovernorLimitsFromOptions(const VerifyOptions& options) {
+  GovernorLimits limits;
+  limits.deadline_seconds = options.timeout_seconds;
+  limits.max_expansions = options.max_expansions;
+  limits.max_memory_bytes = options.max_memory_bytes;
+  limits.cancellation = options.cancellation;
+  return limits;
+}
+
 /// Gathers, per free variable of the property, the attribute positions it
 /// occurs at and the constants it is directly equated to.
 struct VarOccurrences {
@@ -79,7 +88,12 @@ class Search {
         result_(result),
         tracer_(options.tracer),
         heartbeat_enabled_(options.heartbeat != nullptr ||
-                           options.tracer != nullptr) {}
+                           options.tracer != nullptr),
+        governor_(GovernorLimitsFromOptions(options)) {
+    // Bind the budget check directly to the stats counter so the governor
+    // and the reported stats can never disagree on how much work happened.
+    governor_.WatchExpansions(&result->stats.num_expansions);
+  }
 
   void Run() {
     bool undecided;
@@ -90,6 +104,9 @@ class Search {
       prepare_us_ = prepare_watch.ElapsedMicros();
     }
     if (!undecided) return;
+    // Phase boundary: a cancellation or deadline that landed during the
+    // (untickled) prepare phase must not start the search.
+    if (AbortIfTripped()) return;
 
     obs::ScopedSpan span(tracer_, "search");
     Stopwatch search_watch;
@@ -133,6 +150,11 @@ class Search {
     metrics->Add("gpvw.until_subformulas", gpvw_stats_.until_subformulas);
     metrics->Set("gpvw.states_before_simplify",
                  gpvw_stats_.states_before_simplify);
+    GovernorReadings readings = governor_.readings();
+    stats.peak_memory_bytes = readings.peak_memory_bytes;
+    stats.governor_polls = readings.polls;
+    metrics->Set("governor.peak_memory_bytes", readings.peak_memory_bytes);
+    metrics->Add("governor.polls", readings.polls);
     metrics->histogram("verify.assignment_us")->MergeFrom(assignment_us_);
 
     stats.prepare_seconds = metrics->counter("verify.prepare_us")->value() / 1e6;
@@ -376,6 +398,7 @@ class Search {
                       std::to_string(core_candidates.approx_tuple_count) +
                       " candidate tuples); Heuristic 1 " +
                       (options_.heuristic1 ? "insufficient" : "disabled");
+      result_->unknown_reason = UnknownReason::kCandidateBudget;
       return SearchStatus::kAbort;
     }
 
@@ -436,6 +459,7 @@ class Search {
           std::to_string(ext_candidates.approx_tuple_count) +
           " candidate tuples); Heuristic 2 " +
           (options_.heuristic2 ? "insufficient" : "disabled");
+      result_->unknown_reason = UnknownReason::kCandidateBudget;
       return SearchStatus::kAbort;
     }
     DynamicBitset ext_bitmap(static_cast<int>(ext_candidates.tuples.size()));
@@ -491,9 +515,16 @@ class Search {
     if (SearchStatus status = CheckBudgets(); status != SearchStatus::kContinue) {
       return status;
     }
-    if (!trie_->Insert(EncodeVisitedKey(0, state, config))) {
+    EncodeVisitedKeyInto(0, state, config, &key_scratch_);
+    if (!trie_->Insert(key_scratch_)) {
       return SearchStatus::kContinue;
     }
+    // The encoded key length doubles as this frame's share of the memory
+    // estimate (the stacks hold one Configuration per frame). Early aborts
+    // skip the matching subtraction deliberately: the search is over.
+    const int64_t frame_bytes = static_cast<int64_t>(key_scratch_.size());
+    stack_bytes_ += frame_bytes;
+    governor_.ReportMemory(trie_->approx_bytes() + stack_bytes_);
     ++result_->stats.num_expansions;
     result_->stats.max_pseudorun_length =
         std::max(result_->stats.max_pseudorun_length, depth);
@@ -504,7 +535,8 @@ class Search {
       if (!GuardSatisfied(t.guard, assignment)) continue;
       SearchStatus status = ForEachSuccessor(
           config, [&](const Configuration& next) -> SearchStatus {
-            if (!trie_->Contains(EncodeVisitedKey(0, t.to, next))) {
+            EncodeVisitedKeyInto(0, t.to, next, &key_scratch_);
+            if (!trie_->Contains(key_scratch_)) {
               SearchStatus s = Stick(t.to, next, depth + 1);
               if (s != SearchStatus::kContinue) return s;
             }
@@ -520,6 +552,7 @@ class Search {
       if (status != SearchStatus::kContinue) return status;
     }
     stick_stack_.pop_back();
+    stack_bytes_ -= frame_bytes;
     return SearchStatus::kContinue;
   }
 
@@ -527,9 +560,13 @@ class Search {
     if (SearchStatus status = CheckBudgets(); status != SearchStatus::kContinue) {
       return status;
     }
-    if (!trie_->Insert(EncodeVisitedKey(1, state, config))) {
+    EncodeVisitedKeyInto(1, state, config, &key_scratch_);
+    if (!trie_->Insert(key_scratch_)) {
       return SearchStatus::kContinue;
     }
+    const int64_t frame_bytes = static_cast<int64_t>(key_scratch_.size());
+    stack_bytes_ += frame_bytes;
+    governor_.ReportMemory(trie_->approx_bytes() + stack_bytes_);
     ++result_->stats.num_expansions;
     result_->stats.max_pseudorun_length =
         std::max(result_->stats.max_pseudorun_length, depth);
@@ -561,7 +598,8 @@ class Search {
               result_->witness_binding = current_binding_;
               return SearchStatus::kFound;
             }
-            if (!trie_->Contains(EncodeVisitedKey(1, t.to, next))) {
+            EncodeVisitedKeyInto(1, t.to, next, &key_scratch_);
+            if (!trie_->Contains(key_scratch_)) {
               return Candy(t.to, next, depth + 1);
             }
             return SearchStatus::kContinue;
@@ -569,6 +607,7 @@ class Search {
       if (status != SearchStatus::kContinue) return status;
     }
     candy_stack_.pop_back();
+    stack_bytes_ -= frame_bytes;
     return SearchStatus::kContinue;
   }
 
@@ -660,21 +699,29 @@ class Search {
     return out;
   }
 
+  /// Hot-loop governance probe: one `ResourceGovernor::Tick` (a counter
+  /// compare and a relaxed atomic load on most calls; a clock/memory poll
+  /// every kPollStride-th). The heartbeat path reads the clock on every
+  /// call but only when observability is on — exactly the old cost.
   SearchStatus CheckBudgets() {
-    double elapsed = watch_.ElapsedSeconds();
-    if (elapsed > options_.timeout_seconds) {
-      abort_reason_ = "timeout after " +
-                      std::to_string(options_.timeout_seconds) + "s";
+    UnknownReason reason = governor_.Tick();
+    if (reason != UnknownReason::kNone) {
+      abort_reason_ = governor_.trip_message();
+      result_->unknown_reason = reason;
       return SearchStatus::kAbort;
     }
-    if (options_.max_expansions >= 0 &&
-        result_->stats.num_expansions >= options_.max_expansions) {
-      abort_reason_ = "expansion budget exhausted (" +
-                      std::to_string(options_.max_expansions) + ")";
-      return SearchStatus::kAbort;
-    }
-    if (heartbeat_enabled_) MaybeHeartbeat(elapsed);
+    if (heartbeat_enabled_) MaybeHeartbeat(governor_.ElapsedSeconds());
     return SearchStatus::kContinue;
+  }
+
+  /// Phase-boundary poll; fills in the kUnknown result when a limit
+  /// tripped outside the search hot loop.
+  bool AbortIfTripped() {
+    if (governor_.Poll() == UnknownReason::kNone) return false;
+    result_->verdict = Verdict::kUnknown;
+    result_->failure_reason = governor_.trip_message();
+    result_->unknown_reason = governor_.trip_reason();
+    return true;
   }
 
   /// Fires the progress heartbeat (and trace counter tracks) when the
@@ -730,7 +777,13 @@ class Search {
   int64_t heartbeats_ = 0;
   obs::Histogram assignment_us_;
 
-  Stopwatch watch_;
+  // Resource governance (ISSUE 2). `key_scratch_` is the reused encode
+  // buffer of the search hot loop; `stack_bytes_` tracks the encoded size
+  // of every frame currently on the stick/candy stacks.
+  ResourceGovernor governor_;
+  std::vector<uint8_t> key_scratch_;
+  int64_t stack_bytes_ = 0;
+
   BuchiAutomaton automaton_;
   std::vector<FormulaPtr> raw_components_;
   std::vector<std::string> free_vars_;
@@ -765,12 +818,124 @@ class Search {
 
 }  // namespace
 
+namespace {
+
+/// Collects the embedded FO formulas (the eventual "FO components") of an
+/// LTL property body, in syntactic order.
+void CollectFoComponents(const LtlPtr& f, std::vector<FormulaPtr>* out) {
+  if (f == nullptr) return;
+  if (f->kind() == LtlFormula::Kind::kFo) {
+    out->push_back(f->fo());
+    return;
+  }
+  CollectFoComponents(f->left(), out);
+  CollectFoComponents(f->right(), out);
+}
+
+/// Structural check of one FO component: page atoms name known pages,
+/// relation atoms resolve with the declared arity. Mirrors exactly the
+/// invariants `PreparedFormula::Prepare` WAVE_CHECKs at verify time, so a
+/// property passing here cannot abort the search.
+Status ValidateFoComponent(const WebAppSpec& spec,
+                           const std::string& property_name,
+                           const FormulaPtr& f) {
+  switch (f->kind()) {
+    case Formula::Kind::kPage:
+      if (spec.PageIndex(f->page()) < 0) {
+        return Status::InvalidArgument(
+            "property '" + property_name + "': unknown page '" + f->page() +
+                "' in page atom 'at " + f->page() + "'",
+            WAVE_LOC);
+      }
+      return Status::Ok();
+    case Formula::Kind::kAtom: {
+      RelationId id = spec.catalog().Find(f->relation());
+      if (id == kInvalidRelation) {
+        return Status::InvalidArgument(
+            "property '" + property_name + "': unknown relation '" +
+                f->relation() + "'",
+            WAVE_LOC);
+      }
+      int arity = spec.catalog().schema(id).arity;
+      if (static_cast<int>(f->args().size()) != arity) {
+        return Status::InvalidArgument(
+            "property '" + property_name + "': atom " + f->relation() + "/" +
+                std::to_string(f->args().size()) +
+                " does not match declared arity " + std::to_string(arity),
+            WAVE_LOC);
+      }
+      return Status::Ok();
+    }
+    case Formula::Kind::kNot:
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall:
+      return ValidateFoComponent(spec, property_name, f->body());
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+      WAVE_RETURN_IF_ERROR(
+          ValidateFoComponent(spec, property_name, f->left()));
+      return ValidateFoComponent(spec, property_name, f->right());
+    default:
+      return Status::Ok();
+  }
+}
+
+}  // namespace
+
+Status ValidatePropertyForSpec(const WebAppSpec& spec,
+                               const Property& property) {
+  if (property.body == nullptr) {
+    return Status::InvalidArgument(
+        "property '" + property.name + "' has no body", WAVE_LOC);
+  }
+  std::vector<FormulaPtr> components;
+  CollectFoComponents(property.body, &components);
+  std::set<std::string> declared(property.forall_vars.begin(),
+                                 property.forall_vars.end());
+  for (const FormulaPtr& c : components) {
+    WAVE_RETURN_IF_ERROR(ValidateFoComponent(spec, property.name, c));
+    for (const std::string& v : c->FreeVariables()) {
+      if (declared.count(v) == 0) {
+        return Status::InvalidArgument(
+            "property '" + property.name + "': free variable '" + v +
+                "' not bound by the forall block",
+            WAVE_LOC);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 Verifier::Verifier(WebAppSpec* spec)
     : spec_(spec), prepared_(spec), page_domains_(spec) {
   std::vector<std::string> issues = spec->Validate();
   WAVE_CHECK_MSG(issues.empty(),
                  "spec does not validate: " << issues.front() << " (and "
                                             << issues.size() - 1 << " more)");
+}
+
+StatusOr<std::unique_ptr<Verifier>> Verifier::Create(WebAppSpec* spec) {
+  if (spec == nullptr) {
+    return Status::InvalidArgument("spec is null", WAVE_LOC);
+  }
+  std::vector<std::string> issues = spec->Validate();
+  if (!issues.empty()) {
+    std::string joined;
+    for (const std::string& issue : issues) {
+      if (!joined.empty()) joined += "; ";
+      joined += issue;
+    }
+    return Status::FailedPrecondition("spec does not validate: " + joined,
+                                      WAVE_LOC);
+  }
+  return std::make_unique<Verifier>(spec);
+}
+
+StatusOr<VerifyResult> Verifier::TryVerify(const Property& property,
+                                           const VerifyOptions& options) {
+  WAVE_RETURN_IF_ERROR(ValidatePropertyForSpec(*spec_, property));
+  return Verify(property, options);
 }
 
 VerifyResult Verifier::Verify(const Property& property,
@@ -827,6 +992,8 @@ obs::Json VerifyStats::ToJson() const {
   j.Set("trie_hits", obs::Json::Int(trie_hits));
   j.Set("trie_misses", obs::Json::Int(trie_misses));
   j.Set("heartbeats", obs::Json::Int(heartbeats));
+  j.Set("peak_memory_bytes", obs::Json::Int(peak_memory_bytes));
+  j.Set("governor_polls", obs::Json::Int(governor_polls));
   return j;
 }
 

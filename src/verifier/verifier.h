@@ -22,6 +22,7 @@
 
 #include "analysis/candidates.h"
 #include "buchi/buchi.h"
+#include "common/status.h"
 #include "ltl/ltl_formula.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -29,6 +30,7 @@
 #include "spec/prepared_spec.h"
 #include "spec/runtime.h"
 #include "spec/web_app.h"
+#include "verifier/governor.h"
 
 namespace wave {
 
@@ -63,6 +65,18 @@ struct VerifyOptions {
   double timeout_seconds = 120.0;
   /// Budget on stick+candy expansions (-1 = unlimited).
   int64_t max_expansions = -1;
+
+  // --- resource governance (ISSUE 2) ----------------------------------------
+  /// Approximate memory ceiling in bytes for the search's dominant
+  /// structures (visited trie + search stacks); -1 = unlimited. Exceeding
+  /// it yields kUnknown with UnknownReason::kMemoryLimit. An estimate, not
+  /// an RSS measurement — see ResourceGovernor.
+  int64_t max_memory_bytes = -1;
+  /// Cooperative cancellation token (not owned; may be null). `Cancel()`
+  /// may be called from another thread or a signal handler; the search
+  /// observes it within one governor poll and returns kUnknown with
+  /// UnknownReason::kCancelled and the stats gathered so far.
+  const CancellationToken* cancellation = nullptr;
 
   /// Invoked on every candidate counterexample before it is reported.
   /// Return true to accept it (the verdict becomes kViolated); false to
@@ -130,6 +144,10 @@ struct VerifyStats {
   int64_t trie_misses = 0;  // lookups that did not
   int64_t heartbeats = 0;   // progress heartbeats fired
 
+  // Resource-governor readings (ISSUE 2):
+  int64_t peak_memory_bytes = 0;  // high-water estimate (trie + stacks)
+  int64_t governor_polls = 0;     // full limit polls performed
+
   /// Every field as a JSON object with stable snake_case keys (the
   /// `wave_verify --stats-json` payload).
   obs::Json ToJson() const;
@@ -139,6 +157,9 @@ struct VerifyStats {
 struct VerifyResult {
   Verdict verdict = Verdict::kUnknown;
   std::string failure_reason;  // non-empty when kUnknown
+  /// Which limit produced a kUnknown verdict (kNone otherwise). Budget
+  /// reasons (`IsBudgetLimited`) are the ones `VerifyWithRetry` escalates.
+  UnknownReason unknown_reason = UnknownReason::kNone;
 
   /// Counterexample (when kViolated): `stick` is the lollipop prefix,
   /// `candy` the cycle; the last candy step loops back to `candy.front()`.
@@ -157,17 +178,40 @@ struct VerifyResult {
   std::string CounterexampleString(const WebAppSpec& spec) const;
 };
 
+/// Structured pre-flight validation of a property against a spec (ISSUE
+/// 2): every page atom names a known page, every relation atom resolves in
+/// the catalog with the declared arity, and every free variable of the
+/// body is bound by the forall block. Returns kOk when the property can be
+/// verified without tripping an internal invariant; otherwise an
+/// InvalidArgument Status naming the property and the offending atom.
+/// `Verifier::TryVerify` runs this automatically.
+Status ValidatePropertyForSpec(const WebAppSpec& spec,
+                               const Property& property);
+
 /// The verifier. Reusable across properties of one spec; mints fresh
 /// symbols (page domains, C∃ witnesses) into the spec's symbol table.
 class Verifier {
  public:
   /// `spec` must outlive the verifier and validate cleanly
-  /// (`WAVE_CHECK`ed).
+  /// (`WAVE_CHECK`ed). Prefer `Create` for untrusted input: it reports
+  /// validation issues as a Status instead of aborting.
   explicit Verifier(WebAppSpec* spec);
 
-  /// Checks that all runs satisfy `property`.
+  /// Status-returning construction path: validates `spec` first and
+  /// returns FailedPrecondition (listing the issues) instead of aborting.
+  static StatusOr<std::unique_ptr<Verifier>> Create(WebAppSpec* spec);
+
+  /// Checks that all runs satisfy `property`. The property must pass
+  /// `ValidatePropertyForSpec` (aborts on internal invariants otherwise);
+  /// use `TryVerify` for untrusted properties.
   VerifyResult Verify(const Property& property,
                       const VerifyOptions& options = {});
+
+  /// Status-returning variant: pre-validates `property` against the spec
+  /// and returns InvalidArgument instead of aborting on unknown
+  /// pages/relations, arity mismatches or unbound free variables.
+  StatusOr<VerifyResult> TryVerify(const Property& property,
+                                   const VerifyOptions& options = {});
 
   const PreparedSpec& prepared() const { return prepared_; }
 

@@ -1,0 +1,742 @@
+// Robustness tests (ISSUE 2): the structured-error channel, the resource
+// governor and cooperative cancellation, the budget-escalation retry
+// ladder, and a fuzz-ish corpus of truncated/corrupted spec files that
+// must produce positioned parse errors — never a crash.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "common/io.h"
+#include "common/status.h"
+#include "parser/parser.h"
+#include "verifier/governor.h"
+#include "verifier/retry.h"
+#include "verifier/trie.h"
+#include "verifier/validate.h"
+#include "verifier/verifier.h"
+
+namespace wave {
+namespace {
+
+// --- Status / StatusOr ------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, FactoriesSetCodeMessageAndLocation) {
+  Status s = Status::InvalidArgument("bad spec", WAVE_LOC);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad spec");
+  EXPECT_GT(s.location().line, 0);
+  std::string text = s.ToString();
+  EXPECT_NE(text.find("INVALID_ARGUMENT"), std::string::npos);
+  EXPECT_NE(text.find("bad spec"), std::string::npos);
+  EXPECT_NE(text.find("robustness_test.cc"), std::string::npos);
+}
+
+TEST(StatusTest, EveryCodeHasAStableName) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "CANCELLED");
+}
+
+TEST(StatusOrTest, HoldsValueOrError) {
+  StatusOr<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(*good, 42);
+
+  StatusOr<int> bad = Status::NotFound("no such thing");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> ParsePositive(int raw) {
+  if (raw <= 0) return Status::InvalidArgument("not positive");
+  return raw;
+}
+
+Status UsePositive(int raw, int* out) {
+  WAVE_ASSIGN_OR_RETURN(int value, ParsePositive(raw));
+  WAVE_RETURN_IF_ERROR(Status::Ok());
+  *out = value;
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, MacrosPropagateErrorsAndUnwrapValues) {
+  int out = 0;
+  EXPECT_TRUE(UsePositive(7, &out).ok());
+  EXPECT_EQ(out, 7);
+  Status s = UsePositive(-1, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+// --- file I/O ---------------------------------------------------------------
+
+TEST(IoTest, ReadFileToStringReportsNotFound) {
+  StatusOr<std::string> r =
+      ReadFileToString(::testing::TempDir() + "/wave_no_such_file.spec");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(IoTest, AtomicWriteFileRoundTripsAndLeavesNoTempFile) {
+  std::string path = ::testing::TempDir() + "/wave_atomic_io_test.json";
+  ASSERT_TRUE(AtomicWriteFile(path, "{\"a\": 1}\n").ok());
+  StatusOr<std::string> back = ReadFileToString(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "{\"a\": 1}\n");
+  // The temp file must have been renamed away.
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+  // Overwriting replaces the whole content.
+  ASSERT_TRUE(AtomicWriteFile(path, "{}").ok());
+  back = ReadFileToString(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "{}");
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, AtomicWriteFileToMissingDirectoryFails) {
+  Status s = AtomicWriteFile(
+      ::testing::TempDir() + "/wave_no_such_dir/out.json", "x");
+  EXPECT_FALSE(s.ok());
+}
+
+// --- spec-file loading ------------------------------------------------------
+
+TEST(ParseSpecFileTest, MissingFileIsNotFound) {
+  StatusOr<ParseResult> r = ParseSpecFile("/nonexistent/wave.spec");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ParseSpecFileTest, LoadsABundledSpec) {
+  std::string path =
+      std::string(WAVE_REPO_ROOT) + "/specs/e1_shopping.spec";
+  StatusOr<ParseResult> r = ParseSpecFile(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->ok()) << r->ErrorText();
+  EXPECT_TRUE(r->status().ok());
+  EXPECT_GT(r->properties.size(), 0u);
+}
+
+// --- fuzz-ish parser corpus -------------------------------------------------
+//
+// Every truncation and corruption of the bundled spec files must come
+// back as a ParseResult whose errors carry a "line:col:" position — the
+// parser must never abort, hang, or crash on malformed input.
+
+const std::regex& ErrorPositionRegex() {
+  static const std::regex kRe("^[0-9]+:[0-9]+: .+");
+  return kRe;
+}
+
+void ExpectErrorsArePositioned(const ParseResult& result,
+                               const std::string& what) {
+  for (const std::string& error : result.errors) {
+    EXPECT_TRUE(std::regex_search(error, ErrorPositionRegex()))
+        << what << ": unpositioned error: " << error;
+  }
+}
+
+class SpecCorpusTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::string Load() {
+    std::string path =
+        std::string(WAVE_REPO_ROOT) + "/specs/" + GetParam();
+    StatusOr<std::string> text = ReadFileToString(path);
+    EXPECT_TRUE(text.ok()) << text.status().ToString();
+    return text.ok() ? *text : std::string();
+  }
+};
+
+TEST_P(SpecCorpusTest, TruncationsNeverCrashAndErrorsArePositioned) {
+  std::string text = Load();
+  ASSERT_FALSE(text.empty());
+  size_t step = std::max<size_t>(1, text.size() / 61);
+  for (size_t cut = 0; cut < text.size(); cut += step) {
+    std::string prefix = text.substr(0, cut);
+    ParseResult r = ParseSpec(prefix);
+    if (!r.ok()) {
+      ExpectErrorsArePositioned(
+          r, std::string(GetParam()) + " truncated at " +
+                 std::to_string(cut));
+    }
+    // The structured view must agree with the error list.
+    EXPECT_EQ(r.status().ok(), r.ok());
+  }
+}
+
+TEST_P(SpecCorpusTest, CorruptionsNeverCrashAndErrorsArePositioned) {
+  std::string text = Load();
+  ASSERT_FALSE(text.empty());
+  const char junk[] = {'\0', '}', '"', '\x7f'};
+  size_t step = std::max<size_t>(1, text.size() / 37);
+  for (size_t pos = 0; pos < text.size(); pos += step) {
+    for (char c : junk) {
+      std::string mutated = text;
+      mutated[pos] = c;
+      ParseResult r = ParseSpec(mutated);
+      if (!r.ok()) {
+        ExpectErrorsArePositioned(
+            r, std::string(GetParam()) + " corrupted at " +
+                   std::to_string(pos));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, SpecCorpusTest,
+                         ::testing::Values("e1_shopping.spec",
+                                           "e2_motogp.spec",
+                                           "e3_airline.spec",
+                                           "e4_bookstore.spec"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string name = i.param;
+                           return name.substr(0, name.find('.'));
+                         });
+
+// --- parser error quality ---------------------------------------------------
+
+constexpr char kTinySpec[] = R"(
+app tiny
+database member(name)
+state active()
+input button(x)
+home HP
+page HP {
+  input button
+  rule button(x) <- x = "go" | x = "stay"
+  state +active() <- button("go")
+  target HP <- button("stay")
+}
+)";
+
+TEST(ParserRobustnessTest, UnknownPageAtomInPropertyIsPositioned) {
+  ParseResult spec = ParseSpec(kTinySpec);
+  ASSERT_TRUE(spec.ok()) << spec.ErrorText();
+  ParseResult r = ParseProperties(
+      "property bad expect true { F [at NOWHERE] }", spec.spec.get());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.ErrorText().find("unknown page 'NOWHERE'"), std::string::npos)
+      << r.ErrorText();
+  ExpectErrorsArePositioned(r, "unknown page atom");
+}
+
+TEST(ParserRobustnessTest, PageDeclaredAfterReferenceIsAccepted) {
+  // Page atoms resolve after the whole spec is read, so forward
+  // references inside rules stay legal.
+  std::string text = std::string(kTinySpec) +
+                     "property fwd expect true { F [at HP] }\n";
+  ParseResult r = ParseSpec(text);
+  EXPECT_TRUE(r.ok()) << r.ErrorText();
+}
+
+TEST(ParserRobustnessTest, UnboundPropertyVariableIsReported) {
+  ParseResult spec = ParseSpec(kTinySpec);
+  ASSERT_TRUE(spec.ok()) << spec.ErrorText();
+  ParseResult r = ParseProperties(
+      "property loose expect true { F [member(n)] }", spec.spec.get());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.ErrorText().find("free variable 'n'"), std::string::npos)
+      << r.ErrorText();
+  ExpectErrorsArePositioned(r, "unbound property variable");
+}
+
+TEST(ParserRobustnessTest, ParseResultStatusCarriesEveryError) {
+  ParseResult r = ParseSpec("app broken\npage P {\n");
+  ASSERT_FALSE(r.ok());
+  Status s = r.status();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), r.ErrorText());
+}
+
+// --- property/spec validation (Status construction paths) -------------------
+
+TEST(ValidateSpecTest, ValidateStatusIsOkOnAGoodSpec) {
+  ParseResult r = ParseSpec(kTinySpec);
+  ASSERT_TRUE(r.ok()) << r.ErrorText();
+  EXPECT_TRUE(r.spec->ValidateStatus().ok());
+}
+
+TEST(ValidateSpecTest, VerifierCreateRejectsNullSpec) {
+  StatusOr<std::unique_ptr<Verifier>> v = Verifier::Create(nullptr);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateSpecTest, VerifierCreateAcceptsAGoodSpec) {
+  ParseResult r = ParseSpec(kTinySpec);
+  ASSERT_TRUE(r.ok()) << r.ErrorText();
+  StatusOr<std::unique_ptr<Verifier>> v = Verifier::Create(r.spec.get());
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_NE(v->get(), nullptr);
+}
+
+TEST(ValidatePropertyTest, RejectsPropertyWithNoBody) {
+  ParseResult r = ParseSpec(kTinySpec);
+  ASSERT_TRUE(r.ok()) << r.ErrorText();
+  Property empty;
+  empty.name = "empty";
+  Status s = ValidatePropertyForSpec(*r.spec, empty);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("no body"), std::string::npos);
+}
+
+TEST(ValidatePropertyTest, RejectsPropertyAgainstForeignSpec) {
+  // Parse properties against a spec where everything resolves, then
+  // validate them against a spec missing the page and the relation —
+  // the cross-spec misuse TryVerify must catch instead of aborting.
+  ParseResult home = ParseSpec(kTinySpec);
+  ASSERT_TRUE(home.ok()) << home.ErrorText();
+  ParseResult props = ParseProperties(
+      "property page_ref expect true { F [at HP] }\n"
+      "property rel_ref expect true { forall n: F [member(n)] }",
+      home.spec.get());
+  ASSERT_TRUE(props.ok()) << props.ErrorText();
+
+  constexpr char kOtherSpec[] = R"(
+app other
+database member(a, b)
+input button(x)
+home Z
+page Z {
+  input button
+  rule button(x) <- x = "z"
+  target Z <- button("z")
+}
+)";
+  ParseResult other = ParseSpec(kOtherSpec);
+  ASSERT_TRUE(other.ok()) << other.ErrorText();
+
+  Status page_status =
+      ValidatePropertyForSpec(*other.spec, props.properties[0].property);
+  ASSERT_FALSE(page_status.ok());
+  EXPECT_NE(page_status.message().find("unknown page 'HP'"),
+            std::string::npos)
+      << page_status.ToString();
+
+  // `member` exists in the other spec with arity 2, not 1.
+  Status arity_status =
+      ValidatePropertyForSpec(*other.spec, props.properties[1].property);
+  ASSERT_FALSE(arity_status.ok());
+  EXPECT_NE(arity_status.message().find("does not match declared arity"),
+            std::string::npos)
+      << arity_status.ToString();
+}
+
+TEST(ValidatePropertyTest, RejectsUnboundFreeVariable) {
+  ParseResult home = ParseSpec(kTinySpec);
+  ASSERT_TRUE(home.ok()) << home.ErrorText();
+  ParseResult props = ParseProperties(
+      "property bound expect true { forall n: F [member(n)] }",
+      home.spec.get());
+  ASSERT_TRUE(props.ok()) << props.ErrorText();
+  Property loose = props.properties[0].property;
+  loose.forall_vars.clear();
+  Status s = ValidatePropertyForSpec(*home.spec, loose);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("free variable 'n'"), std::string::npos);
+}
+
+TEST(ValidatePropertyTest, TryVerifyReturnsStatusInsteadOfAborting) {
+  ParseResult home = ParseSpec(kTinySpec);
+  ASSERT_TRUE(home.ok()) << home.ErrorText();
+  ParseResult props = ParseProperties(
+      "property ok_prop expect true { F [at HP] }", home.spec.get());
+  ASSERT_TRUE(props.ok()) << props.ErrorText();
+  Verifier verifier(home.spec.get());
+
+  StatusOr<VerifyResult> good =
+      verifier.TryVerify(props.properties[0].property);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good->verdict, Verdict::kHolds);
+
+  Property bad = props.properties[0].property;
+  bad.body = nullptr;
+  StatusOr<VerifyResult> rejected = verifier.TryVerify(bad);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- governor units ---------------------------------------------------------
+
+TEST(GovernorTest, ZeroDeadlineTripsOnFirstTick) {
+  GovernorLimits limits;
+  limits.deadline_seconds = 0;
+  ResourceGovernor governor(limits);
+  EXPECT_EQ(governor.Tick(), UnknownReason::kTimeout);
+  EXPECT_EQ(governor.trip_reason(), UnknownReason::kTimeout);
+  EXPECT_NE(governor.trip_message().find("timeout"), std::string::npos);
+  // Tripping latches: later ticks keep reporting the first reason.
+  EXPECT_EQ(governor.Tick(), UnknownReason::kTimeout);
+}
+
+TEST(GovernorTest, ExpansionBudgetChecksOnEveryTick) {
+  GovernorLimits limits;
+  limits.max_expansions = 5;
+  ResourceGovernor governor(limits);
+  int64_t expansions = 0;
+  governor.WatchExpansions(&expansions);
+  // Burn the first (polling) tick, then stay inside the budget off-stride.
+  EXPECT_EQ(governor.Tick(), UnknownReason::kNone);
+  for (expansions = 1; expansions < 5; ++expansions) {
+    EXPECT_EQ(governor.Tick(), UnknownReason::kNone) << expansions;
+  }
+  // The budget check must not wait for a stride boundary.
+  EXPECT_EQ(governor.Tick(), UnknownReason::kExpansionBudget);
+  EXPECT_NE(governor.trip_message().find("budget"), std::string::npos);
+}
+
+TEST(GovernorTest, CancellationObservedWithinOneTick) {
+  CancellationToken token;
+  GovernorLimits limits;
+  limits.cancellation = &token;
+  ResourceGovernor governor(limits);
+  EXPECT_EQ(governor.Tick(), UnknownReason::kNone);
+  token.Cancel();
+  EXPECT_EQ(governor.Tick(), UnknownReason::kCancelled);
+  token.Reset();
+  EXPECT_FALSE(token.cancelled());
+  // Already tripped — reset does not un-trip the governor.
+  EXPECT_EQ(governor.trip_reason(), UnknownReason::kCancelled);
+}
+
+TEST(GovernorTest, MemoryCeilingTripsOnPoll) {
+  GovernorLimits limits;
+  limits.max_memory_bytes = 1000;
+  ResourceGovernor governor(limits);
+  governor.ReportMemory(500);
+  EXPECT_EQ(governor.Poll(), UnknownReason::kNone);
+  governor.ReportMemory(2000);
+  governor.ReportMemory(800);  // peak stays at the high-water mark
+  EXPECT_EQ(governor.Poll(), UnknownReason::kNone)
+      << "current estimate is below the ceiling";
+  governor.ReportMemory(1500);
+  EXPECT_EQ(governor.Poll(), UnknownReason::kMemoryLimit);
+  GovernorReadings readings = governor.readings();
+  EXPECT_EQ(readings.memory_bytes, 1500);
+  EXPECT_EQ(readings.peak_memory_bytes, 2000);
+  EXPECT_GT(readings.polls, 0);
+}
+
+TEST(GovernorTest, ReasonNamesAndStatusMapping) {
+  EXPECT_STREQ(UnknownReasonName(UnknownReason::kNone), "none");
+  EXPECT_STREQ(UnknownReasonName(UnknownReason::kTimeout), "timeout");
+  EXPECT_STREQ(UnknownReasonName(UnknownReason::kMemoryLimit),
+               "memory_limit");
+  EXPECT_STREQ(UnknownReasonName(UnknownReason::kCandidateBudget),
+               "candidate_budget");
+  EXPECT_STREQ(UnknownReasonName(UnknownReason::kExpansionBudget),
+               "expansion_budget");
+  EXPECT_STREQ(UnknownReasonName(UnknownReason::kCancelled), "cancelled");
+  EXPECT_STREQ(UnknownReasonName(UnknownReason::kRejectedCandidates),
+               "rejected_candidates");
+
+  EXPECT_TRUE(IsBudgetLimited(UnknownReason::kCandidateBudget));
+  EXPECT_TRUE(IsBudgetLimited(UnknownReason::kExpansionBudget));
+  EXPECT_FALSE(IsBudgetLimited(UnknownReason::kTimeout));
+  EXPECT_FALSE(IsBudgetLimited(UnknownReason::kMemoryLimit));
+  EXPECT_FALSE(IsBudgetLimited(UnknownReason::kCancelled));
+  EXPECT_FALSE(IsBudgetLimited(UnknownReason::kNone));
+
+  EXPECT_EQ(UnknownReasonToStatus(UnknownReason::kNone, "").code(),
+            StatusCode::kOk);
+  EXPECT_EQ(UnknownReasonToStatus(UnknownReason::kTimeout, "t").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(UnknownReasonToStatus(UnknownReason::kCancelled, "c").code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(
+      UnknownReasonToStatus(UnknownReason::kCandidateBudget, "b").code(),
+      StatusCode::kResourceExhausted);
+}
+
+// --- trie memory accounting -------------------------------------------------
+
+TEST(TrieMemoryTest, ApproxBytesGrowsWithInsertsAndResetsOnClear) {
+  VisitedTrie trie;
+  int64_t baseline = trie.approx_bytes();
+  EXPECT_GT(baseline, 0);
+  int64_t previous = baseline;
+  for (uint8_t i = 0; i < 32; ++i) {
+    trie.Insert({i, static_cast<uint8_t>(i * 3), 7, i});
+    EXPECT_GE(trie.approx_bytes(), previous);
+    previous = trie.approx_bytes();
+  }
+  EXPECT_GT(trie.approx_bytes(), baseline);
+  trie.Clear();
+  EXPECT_EQ(trie.approx_bytes(), baseline);
+}
+
+// --- every UnknownReason, end to end ----------------------------------------
+
+const Property* FindProperty(const AppBundle& bundle, const char* name) {
+  for (const ParsedProperty& p : bundle.properties) {
+    if (p.property.name == name) return &p.property;
+  }
+  return nullptr;
+}
+
+TEST(UnknownReasonE2eTest, DecidedResultsCarryNoReason) {
+  AppBundle e1 = BuildE1();
+  Verifier verifier(e1.spec.get());
+  const Property* p1 = FindProperty(e1, "P1");
+  ASSERT_NE(p1, nullptr);
+  VerifyResult r = verifier.Verify(*p1);
+  ASSERT_EQ(r.verdict, Verdict::kHolds) << r.failure_reason;
+  EXPECT_EQ(r.unknown_reason, UnknownReason::kNone);
+  EXPECT_GT(r.stats.peak_memory_bytes, 0);
+  EXPECT_GT(r.stats.governor_polls, 0);
+}
+
+TEST(UnknownReasonE2eTest, TimeoutReason) {
+  AppBundle e1 = BuildE1();
+  Verifier verifier(e1.spec.get());
+  VerifyOptions options;
+  options.timeout_seconds = 0;
+  VerifyResult r =
+      verifier.Verify(e1.properties[0].property, options);
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  EXPECT_EQ(r.unknown_reason, UnknownReason::kTimeout);
+}
+
+TEST(UnknownReasonE2eTest, DeadlineGranularityIsMilliseconds) {
+  // A 50ms deadline on a property whose full (exhaustive) search runs for
+  // tens of seconds must come back within a comfortable fraction of a
+  // second: the strided governor poll may lag the deadline only by
+  // kPollStride expansions.
+  AppBundle e1 = BuildE1();
+  Verifier verifier(e1.spec.get());
+  const Property* p5 = FindProperty(e1, "P5");
+  ASSERT_NE(p5, nullptr);
+  VerifyOptions options;
+  options.exhaustive_existential = true;
+  options.timeout_seconds = 0.05;
+  auto start = std::chrono::steady_clock::now();
+  VerifyResult r = verifier.Verify(*p5, options);
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  EXPECT_EQ(r.unknown_reason, UnknownReason::kTimeout);
+  EXPECT_LT(elapsed, 1.0) << "deadline overshot: " << elapsed << "s";
+}
+
+TEST(UnknownReasonE2eTest, ExpansionBudgetReason) {
+  AppBundle e1 = BuildE1();
+  Verifier verifier(e1.spec.get());
+  VerifyOptions options;
+  options.max_expansions = 1;
+  VerifyResult r =
+      verifier.Verify(e1.properties[0].property, options);
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  EXPECT_EQ(r.unknown_reason, UnknownReason::kExpansionBudget);
+  EXPECT_NE(r.failure_reason.find("budget"), std::string::npos);
+}
+
+TEST(UnknownReasonE2eTest, CandidateBudgetReason) {
+  AppBundle e1 = BuildE1();
+  Verifier verifier(e1.spec.get());
+  const Property* p1 = FindProperty(e1, "P1");
+  ASSERT_NE(p1, nullptr);
+  VerifyOptions options;
+  options.max_candidates = 6;  // P1 needs 10 candidate tuples at page HP
+  VerifyResult r = verifier.Verify(*p1, options);
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  EXPECT_EQ(r.unknown_reason, UnknownReason::kCandidateBudget);
+}
+
+TEST(UnknownReasonE2eTest, MemoryLimitReason) {
+  AppBundle e1 = BuildE1();
+  Verifier verifier(e1.spec.get());
+  const Property* p1 = FindProperty(e1, "P1");
+  ASSERT_NE(p1, nullptr);
+  VerifyOptions options;
+  options.max_memory_bytes = 1024;  // below one search's trie footprint
+  VerifyResult r = verifier.Verify(*p1, options);
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  EXPECT_EQ(r.unknown_reason, UnknownReason::kMemoryLimit);
+  EXPECT_NE(r.failure_reason.find("memory"), std::string::npos);
+  EXPECT_GT(r.stats.peak_memory_bytes, 1024);
+}
+
+TEST(UnknownReasonE2eTest, PreCancelledTokenShortCircuits) {
+  AppBundle e1 = BuildE1();
+  Verifier verifier(e1.spec.get());
+  CancellationToken token;
+  token.Cancel();
+  VerifyOptions options;
+  options.cancellation = &token;
+  VerifyResult r =
+      verifier.Verify(e1.properties[0].property, options);
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  EXPECT_EQ(r.unknown_reason, UnknownReason::kCancelled);
+}
+
+TEST(UnknownReasonE2eTest, MidSearchCancellationKeepsPartialStats) {
+  // Cancel from inside the search (via the heartbeat callback, the same
+  // vantage point a watchdog thread or signal handler has) and check the
+  // result still carries the progress made so far.
+  AppBundle e1 = BuildE1();
+  Verifier verifier(e1.spec.get());
+  const Property* p5 = FindProperty(e1, "P5");
+  ASSERT_NE(p5, nullptr);
+  CancellationToken token;
+  VerifyOptions options;
+  options.exhaustive_existential = true;  // P5's search then runs for tens
+                                          // of seconds uncancelled
+  options.cancellation = &token;
+  options.heartbeat_interval_seconds = 0;  // fire on every budget check
+  options.heartbeat = [&token](const HeartbeatSnapshot& hb) {
+    if (hb.num_expansions >= 200) token.Cancel();
+  };
+  VerifyResult r = verifier.Verify(*p5, options);
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  EXPECT_EQ(r.unknown_reason, UnknownReason::kCancelled);
+  EXPECT_NE(r.failure_reason.find("cancelled"), std::string::npos);
+  EXPECT_GE(r.stats.num_expansions, 200);
+  EXPECT_GT(r.stats.peak_memory_bytes, 0);
+}
+
+// The non-input-bounded promo site (see tests/validate_test.cc): on
+// `shut`, every candidate counterexample the deterministic search
+// produces mixes inconsistent promo assumptions, so the validated loop
+// rejects all of them and must downgrade its exhausted search honestly.
+constexpr char kPromoSiteSpec[] = R"(
+app promo_site
+database promo(code)
+state unlocked()
+input button(x)
+home HP
+page HP {
+  input button
+  rule button(x) <- x = "enter" | x = "reload"
+  state +unlocked() <- (exists c: promo(c)) & button("enter")
+  target VP <- (exists c: promo(c)) & button("enter")
+  target HP <- button("reload")
+}
+page VP {
+  input button
+  rule button(x) <- x = "home"
+  target HP <- button("home")
+}
+property shut expect false { G [!(at VP)] }
+)";
+
+TEST(UnknownReasonE2eTest, RejectedCandidatesReason) {
+  ParseResult parsed = ParseSpec(kPromoSiteSpec);
+  ASSERT_TRUE(parsed.ok()) << parsed.ErrorText();
+  EXPECT_FALSE(parsed.spec->CheckInputBoundedness().empty())
+      << "the spec must be non-input-bounded for spurious candidates";
+  Verifier verifier(parsed.spec.get());
+  VerifyResult r = VerifyValidated(&verifier, parsed.spec.get(),
+                                   parsed.properties[0].property);
+  ASSERT_EQ(r.verdict, Verdict::kUnknown) << r.failure_reason;
+  EXPECT_EQ(r.unknown_reason, UnknownReason::kRejectedCandidates);
+  EXPECT_GT(r.stats.num_rejected_candidates, 0);
+}
+
+// --- retry ladder -----------------------------------------------------------
+
+TEST(RetryLadderTest, DefaultLadderEscalates) {
+  VerifyOptions base;
+  base.max_candidates = 20;
+  std::vector<RetryRung> ladder = DefaultLadder(base);
+  ASSERT_EQ(ladder.size(), 3u);
+  EXPECT_EQ(ladder[0].name, "tight");
+  EXPECT_EQ(ladder[1].name, "base");
+  EXPECT_EQ(ladder[2].name, "exhaustive");
+  EXPECT_LT(ladder[0].max_candidates, ladder[1].max_candidates);
+  EXPECT_LT(ladder[1].max_candidates, ladder[2].max_candidates);
+  EXPECT_GE(ladder[0].max_expansions, 0)
+      << "the tight rung must cap expansions";
+  EXPECT_EQ(ladder[2].max_expansions, -1);
+  EXPECT_FALSE(ladder[0].exhaustive_existential);
+  EXPECT_TRUE(ladder[2].exhaustive_existential);
+}
+
+TEST(RetryLadderTest, FlipsACandidateBudgetUnknownToDecided) {
+  // The ISSUE's acceptance bar: a property that is kUnknown under the
+  // base budgets must come back decided through the ladder. E1's P1
+  // overflows the candidate budget at max_candidates=6 and holds once the
+  // exhaustive rung doubles it.
+  AppBundle e1 = BuildE1();
+  Verifier verifier(e1.spec.get());
+  const Property* p1 = FindProperty(e1, "P1");
+  ASSERT_NE(p1, nullptr);
+  VerifyOptions base;
+  base.max_candidates = 6;
+
+  VerifyResult plain = verifier.Verify(*p1, base);
+  ASSERT_EQ(plain.verdict, Verdict::kUnknown);
+  ASSERT_EQ(plain.unknown_reason, UnknownReason::kCandidateBudget);
+
+  RetryResult laddered = VerifyWithRetry(&verifier, *p1, base);
+  EXPECT_EQ(laddered.result.verdict, Verdict::kHolds)
+      << laddered.result.failure_reason;
+  ASSERT_GE(laddered.decided_rung, 0);
+  ASSERT_EQ(laddered.attempts.size(),
+            static_cast<size_t>(laddered.decided_rung) + 1);
+  // Every attempt before the deciding one failed for a budget-limited
+  // reason — that is the only thing escalation is allowed to cure.
+  for (int k = 0; k < laddered.decided_rung; ++k) {
+    EXPECT_EQ(laddered.attempts[k].verdict, Verdict::kUnknown);
+    EXPECT_TRUE(IsBudgetLimited(laddered.attempts[k].unknown_reason))
+        << UnknownReasonName(laddered.attempts[k].unknown_reason);
+  }
+  const AttemptRecord& last = laddered.attempts.back();
+  EXPECT_EQ(last.verdict, Verdict::kHolds);
+  EXPECT_GT(last.budget_seconds, 0);
+  // The attempt history serialises (for --stats-json).
+  std::string json = laddered.AttemptsJson().Dump();
+  EXPECT_NE(json.find("\"rung_name\""), std::string::npos);
+}
+
+TEST(RetryLadderTest, NonBudgetReasonsEndTheLadder) {
+  AppBundle e1 = BuildE1();
+  Verifier verifier(e1.spec.get());
+  const Property* p5 = FindProperty(e1, "P5");
+  ASSERT_NE(p5, nullptr);
+  VerifyOptions base;
+  base.exhaustive_existential = true;
+  RetryOptions retry;
+  retry.total_budget_seconds = 0.1;  // every rung's slice times out
+  RetryResult r = VerifyWithRetry(&verifier, *p5, base, retry);
+  EXPECT_EQ(r.result.verdict, Verdict::kUnknown);
+  EXPECT_EQ(r.decided_rung, -1);
+  ASSERT_FALSE(r.attempts.empty());
+  EXPECT_EQ(r.attempts.back().unknown_reason, UnknownReason::kTimeout);
+  EXPECT_LT(r.attempts.size(), 3u)
+      << "a timeout must stop the ladder before the last rung";
+}
+
+TEST(RetryLadderTest, CancellationEndsTheLadder) {
+  AppBundle e1 = BuildE1();
+  Verifier verifier(e1.spec.get());
+  CancellationToken token;
+  token.Cancel();
+  VerifyOptions base;
+  base.cancellation = &token;
+  RetryResult r =
+      VerifyWithRetry(&verifier, e1.properties[0].property, base);
+  EXPECT_EQ(r.result.verdict, Verdict::kUnknown);
+  EXPECT_EQ(r.result.unknown_reason, UnknownReason::kCancelled);
+  EXPECT_EQ(r.attempts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace wave

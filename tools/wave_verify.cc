@@ -1,5 +1,6 @@
 // wave_verify — command-line front end for the verifier with the full
-// observability surface of src/obs wired up (ISSUE 1):
+// observability surface of src/obs (ISSUE 1) and the resilient runtime of
+// ISSUE 2 wired up:
 //
 //   wave_verify specs/e1_shopping.spec --property=P1
 //       --trace=out.json --stats-json=stats.json
@@ -9,18 +10,27 @@
 // a machine-readable stats file carrying every VerifyStats field plus the
 // verify.*/trie.*/gpvw.*/prepared.* metrics. `--heartbeat=SECONDS` prints
 // periodic progress lines so long verifications are never silent.
+//
+// Robustness (ISSUE 2): output files are written atomically (temp +
+// rename), SIGINT cancels the running search cooperatively and still
+// emits the partial stats JSON, `--keep-going` isolates per-property
+// failures, and `--retry-ladder` climbs the budget-escalation ladder of
+// verifier/retry.h instead of a single fixed-budget attempt.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/io.h"
+#include "common/status.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "parser/parser.h"
+#include "verifier/governor.h"
+#include "verifier/retry.h"
 #include "verifier/validate.h"
 #include "verifier/verifier.h"
 
@@ -36,18 +46,24 @@ options:
   --property=NAME       verify only this property (repeatable)
   --list                list the file's properties and exit
   --trace=PATH          write a Chrome trace-event JSON file (chrome://tracing, Perfetto)
-  --stats-json=PATH     write verdicts + VerifyStats + metrics as JSON
+  --stats-json=PATH     write verdicts + VerifyStats + metrics as JSON (atomic)
   --summary             print the aggregated phase-time table after each run
   --heartbeat=SECONDS   print progress lines every SECONDS (default off)
   --timeout=SECONDS     wall-clock budget per property (default 120)
   --max-expansions=N    expansion budget per property (default unlimited)
   --max-candidates=N    candidate-tuple budget (default 20)
+  --max-memory-mb=N     approximate memory ceiling for trie+stacks (default unlimited)
+  --keep-going          verify remaining properties after an undecided or
+                        missing one (default: stop at the first failure)
+  --retry-ladder        escalate budgets on budget-limited unknowns
+                        (tight -> base -> exhaustive; see docs/ROBUSTNESS.md)
   --validated           replay candidate counterexamples as genuine runs
                         (the Section 7 incomplete-verifier loop)
   --no-heuristic1       disable core pruning
   --no-heuristic2       disable extension pruning
   --exhaustive          enumerate equality patterns among fresh C-exists values
-exit status: 0 all verdicts decided, 1 usage/load error, 2 some verdict unknown
+exit status: 0 all verdicts decided, 1 usage/load error, 2 some verdict
+unknown, 130 interrupted (SIGINT; partial stats JSON is still written)
 )";
 
 struct CliOptions {
@@ -59,6 +75,8 @@ struct CliOptions {
   bool summary = false;
   double heartbeat_seconds = 0;
   bool validated = false;
+  bool keep_going = false;
+  bool retry_ladder = false;
   VerifyOptions verify;
 };
 
@@ -95,6 +113,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* out, std::string* error) {
       out->verify.max_expansions = std::atoll(v);
     } else if ((v = value_of(arg, "--max-candidates")) != nullptr) {
       out->verify.max_candidates = std::atoi(v);
+    } else if ((v = value_of(arg, "--max-memory-mb")) != nullptr) {
+      out->verify.max_memory_bytes = std::atoll(v) * 1024 * 1024;
+    } else if (std::strcmp(arg, "--keep-going") == 0) {
+      out->keep_going = true;
+    } else if (std::strcmp(arg, "--retry-ladder") == 0) {
+      out->retry_ladder = true;
     } else if (std::strcmp(arg, "--validated") == 0) {
       out->validated = true;
     } else if (std::strcmp(arg, "--no-heuristic1") == 0) {
@@ -112,14 +136,11 @@ bool ParseArgs(int argc, char** argv, CliOptions* out, std::string* error) {
     *error = "no spec file given";
     return false;
   }
+  if (out->retry_ladder && out->validated) {
+    *error = "--retry-ladder and --validated cannot be combined";
+    return false;
+  }
   return true;
-}
-
-bool WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream of(path, std::ios::binary | std::ios::trunc);
-  if (!of) return false;
-  of << content;
-  return of.good();
 }
 
 const char* VerdictName(Verdict v) {
@@ -131,6 +152,12 @@ const char* VerdictName(Verdict v) {
   return "?";
 }
 
+/// SIGINT lands here: a single lock-free atomic store the search observes
+/// at its next governor poll. The handler itself does no I/O.
+CancellationToken g_interrupt;
+
+extern "C" void HandleSigint(int) { g_interrupt.Cancel(); }
+
 int Main(int argc, char** argv) {
   CliOptions cli;
   std::string error;
@@ -139,15 +166,13 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
-  std::ifstream in(cli.spec_path);
-  if (!in) {
-    std::fprintf(stderr, "wave_verify: cannot read %s\n",
-                 cli.spec_path.c_str());
+  StatusOr<ParseResult> loaded = ParseSpecFile(cli.spec_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "wave_verify: %s\n",
+                 loaded.status().ToString().c_str());
     return 1;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  ParseResult parsed = ParseSpec(buffer.str());
+  ParseResult parsed = std::move(loaded).value();
   if (!parsed.ok()) {
     std::fprintf(stderr, "wave_verify: %s does not parse:\n%s\n",
                  cli.spec_path.c_str(), parsed.ErrorText().c_str());
@@ -164,6 +189,7 @@ int Main(int argc, char** argv) {
   }
 
   std::vector<const ParsedProperty*> selected;
+  bool load_failures = false;
   if (cli.properties.empty()) {
     for (const ParsedProperty& p : parsed.properties) selected.push_back(&p);
     if (selected.empty()) {
@@ -181,10 +207,13 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr,
                      "wave_verify: no property '%s' in %s (try --list)\n",
                      name.c_str(), cli.spec_path.c_str());
-        return 1;
+        if (!cli.keep_going) return 1;
+        load_failures = true;
+        continue;
       }
       selected.push_back(found);
     }
+    if (selected.empty()) return 1;
   }
 
   std::optional<obs::Tracer> tracer;
@@ -194,6 +223,7 @@ int Main(int argc, char** argv) {
   VerifyOptions options = cli.verify;
   options.tracer = tracer ? &*tracer : nullptr;
   options.metrics = &metrics;
+  options.cancellation = &g_interrupt;
   if (cli.heartbeat_seconds > 0) {
     options.heartbeat_interval_seconds = cli.heartbeat_seconds;
     options.heartbeat = [](const HeartbeatSnapshot& hb) {
@@ -208,15 +238,38 @@ int Main(int argc, char** argv) {
     };
   }
 
-  Verifier verifier(parsed.spec.get());
+  std::signal(SIGINT, HandleSigint);
+
+  StatusOr<std::unique_ptr<Verifier>> verifier_or =
+      Verifier::Create(parsed.spec.get());
+  if (!verifier_or.ok()) {
+    std::fprintf(stderr, "wave_verify: %s\n",
+                 verifier_or.status().ToString().c_str());
+    return 1;
+  }
+  Verifier& verifier = **verifier_or;
+
   obs::Json runs = obs::Json::Array();
   int undecided = 0;
+  bool interrupted = false;
   for (const ParsedProperty* p : selected) {
-    VerifyResult r =
-        cli.validated
-            ? VerifyValidated(&verifier, parsed.spec.get(), p->property,
-                              options)
-            : verifier.Verify(p->property, options);
+    if (g_interrupt.cancelled()) {
+      // Remaining properties are skipped: the user asked us to stop.
+      interrupted = true;
+      break;
+    }
+    VerifyResult r;
+    obs::Json attempts;
+    if (cli.retry_ladder) {
+      RetryResult ladder = VerifyWithRetry(&verifier, p->property, options);
+      r = std::move(ladder.result);
+      attempts = ladder.AttemptsJson();
+    } else if (cli.validated) {
+      r = VerifyValidated(&verifier, parsed.spec.get(), p->property, options);
+    } else {
+      r = verifier.Verify(p->property, options);
+    }
+    if (r.unknown_reason == UnknownReason::kCancelled) interrupted = true;
     if (r.verdict == Verdict::kUnknown) ++undecided;
     std::printf("%-8s %-9s %8.3fs  expansions=%lld trie=%d buchi=%d%s%s\n",
                 p->property.name.c_str(), VerdictName(r.verdict),
@@ -236,8 +289,19 @@ int Main(int argc, char** argv) {
     if (!r.failure_reason.empty()) {
       run.Set("failure_reason", obs::Json::Str(r.failure_reason));
     }
+    if (r.verdict == Verdict::kUnknown) {
+      run.Set("unknown_reason",
+              obs::Json::Str(UnknownReasonName(r.unknown_reason)));
+    }
+    if (cli.retry_ladder) run.Set("attempts", std::move(attempts));
     run.Set("stats", r.stats.ToJson());
     runs.Append(std::move(run));
+
+    // Per-property fault isolation: without --keep-going an undecided
+    // property stops the run (its partial results are still reported and
+    // written). Cancellation stops the loop regardless.
+    if (interrupted) break;
+    if (r.verdict == Verdict::kUnknown && !cli.keep_going) break;
   }
 
   if (cli.summary && tracer) {
@@ -245,10 +309,19 @@ int Main(int argc, char** argv) {
     std::printf("\n%s", metrics.Summary().c_str());
   }
 
+  // Output files are written even after SIGINT — a cancelled run's partial
+  // stats are exactly what a user who interrupted a hung property wants.
+  // AtomicWriteFile stages to `<path>.tmp` + rename, so a reader (or a
+  // second interrupt mid-write) never sees a truncated file.
+  int exit_code = undecided > 0 ? 2 : 0;
+  if (load_failures) exit_code = 1;
+  if (interrupted) exit_code = 130;  // 128 + SIGINT
+
   if (!cli.trace_path.empty()) {
-    if (!WriteFile(cli.trace_path, tracer->ToChromeTraceJson())) {
-      std::fprintf(stderr, "wave_verify: cannot write %s\n",
-                   cli.trace_path.c_str());
+    Status written = AtomicWriteFile(cli.trace_path,
+                                     tracer->ToChromeTraceJson());
+    if (!written.ok()) {
+      std::fprintf(stderr, "wave_verify: %s\n", written.ToString().c_str());
       return 1;
     }
     std::fprintf(stderr, "trace written to %s (%zu events)\n",
@@ -259,17 +332,18 @@ int Main(int argc, char** argv) {
     obs::Json doc = obs::Json::Object();
     doc.Set("spec", obs::Json::Str(cli.spec_path));
     doc.Set("app", obs::Json::Str(parsed.spec->name));
+    doc.Set("interrupted", obs::Json::Bool(interrupted));
     doc.Set("runs", std::move(runs));
     doc.Set("metrics", metrics.ToJson());
-    if (!WriteFile(cli.stats_path, doc.Dump(2) + "\n")) {
-      std::fprintf(stderr, "wave_verify: cannot write %s\n",
-                   cli.stats_path.c_str());
+    Status written = AtomicWriteFile(cli.stats_path, doc.Dump(2) + "\n");
+    if (!written.ok()) {
+      std::fprintf(stderr, "wave_verify: %s\n", written.ToString().c_str());
       return 1;
     }
     std::fprintf(stderr, "stats written to %s\n", cli.stats_path.c_str());
   }
 
-  return undecided > 0 ? 2 : 0;
+  return exit_code;
 }
 
 }  // namespace
