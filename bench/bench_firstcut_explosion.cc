@@ -11,6 +11,7 @@
 
 #include "apps/apps.h"
 #include "baseline/firstcut.h"
+#include "bench_util.h"
 #include "parser/parser.h"
 #include "verifier/verifier.h"
 
@@ -65,7 +66,7 @@ int main() {
                 "even for the simplest properties\")\n\n");
 
     Verifier wave_verifier(e1.spec.get());
-    VerifyResult w = wave_verifier.Verify(e1.properties[0].property);
+    VerifyResult w = bench::RunProperty(wave_verifier, e1.properties[0].property);
     std::printf("E1 + P1, WAVE (pseudoruns + heuristics): %s in %.3f s, "
                 "%lld pseudoconfigurations\n\n",
                 w.holds() ? "true" : "false", w.stats.seconds,
@@ -91,7 +92,7 @@ int main() {
         baseline.Verify(parsed.properties[0].property, options);
 
     Verifier wave_verifier(parsed.spec.get());
-    VerifyResult w = wave_verifier.Verify(parsed.properties[0].property);
+    VerifyResult w = bench::RunProperty(wave_verifier, parsed.properties[0].property);
 
     std::printf("%-8d %12lld %14.3f %14lld %12.3f%s\n",
                 r.stats.domain_size,

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -79,11 +81,29 @@ class JsonLinesEmitter {
   std::ofstream out_;
 };
 
+
+/// All bench harness verification goes through the unified VerifyRequest
+/// API; `jobs` selects the worker count of the parallel search engine.
+inline VerifyResult RunProperty(Verifier& verifier, const Property& property,
+                                VerifyOptions options = {}, int jobs = 1) {
+  VerifyRequest request;
+  request.property = &property;
+  request.options = std::move(options);
+  request.jobs = jobs;
+  StatusOr<VerifyResponse> response = verifier.Run(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "bench: %s: %s\n", property.name.c_str(),
+                 response.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(static_cast<VerifyResult&>(*response));
+}
+
 /// Verifies every property of `bundle` and prints the paper's table
 /// columns: property, type, verdict, time, max pseudorun length, max trie
 /// size. Returns the number of verdict mismatches (0 expected).
 inline int RunSuite(const char* title, AppBundle* bundle,
-                    double timeout_seconds = 120) {
+                    double timeout_seconds = 120, int jobs = 1) {
   std::printf("==== %s ====\n", title);
   std::printf("spec: %s\n\n", bundle->spec->StatsString().c_str());
   std::printf("%-5s %-5s %-18s %9s %12s %10s %8s\n", "prop", "type",
@@ -97,7 +117,7 @@ inline int RunSuite(const char* title, AppBundle* bundle,
   for (const ParsedProperty& p : bundle->properties) {
     VerifyOptions options;
     options.timeout_seconds = timeout_seconds;
-    VerifyResult r = verifier.Verify(p.property, options);
+    VerifyResult r = RunProperty(verifier, p.property, options, jobs);
     bool ok = r.verdict != Verdict::kUnknown &&
               (r.verdict == Verdict::kHolds) == p.expected;
     if (!ok) ++mismatches;

@@ -4,10 +4,30 @@
 //
 //   $ ./build/examples/counterexample_hunt
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "apps/apps.h"
 #include "parser/parser.h"
 #include "verifier/verifier.h"
+
+// Examples use the unified VerifyRequest API (the deprecated one-shot
+// Verifier::Verify wrapper forwards here too).
+wave::VerifyResult RunProperty(wave::Verifier& verifier,
+                               const wave::Property& property,
+                               wave::VerifyOptions options = {}) {
+  wave::VerifyRequest request;
+  request.property = &property;
+  request.options = std::move(options);
+  wave::StatusOr<wave::VerifyResponse> response = verifier.Run(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "verify %s: %s\n", property.name.c_str(),
+                 response.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(static_cast<wave::VerifyResult&>(*response));
+}
+
 
 int main() {
   wave::AppBundle e3 = wave::BuildE3();
@@ -42,7 +62,7 @@ property hunt_confirmed_stays expect false
   }
 
   for (const wave::ParsedProperty& p : extra.properties) {
-    wave::VerifyResult r = verifier.Verify(p.property);
+    wave::VerifyResult r = RunProperty(verifier, p.property);
     std::printf("== %s — %s\n", p.property.name.c_str(),
                 p.property.description.c_str());
     if (r.verdict != wave::Verdict::kViolated) {

@@ -9,12 +9,32 @@
 //
 //   $ ./build/examples/incomplete_mode
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "parser/parser.h"
 #include "verifier/validate.h"
 #include "verifier/verifier.h"
 
 namespace {
+
+// Examples use the unified VerifyRequest API (the deprecated one-shot
+// Verifier::Verify wrapper forwards here too).
+wave::VerifyResult RunProperty(wave::Verifier& verifier,
+                               const wave::Property& property,
+                               wave::VerifyOptions options = {}) {
+  wave::VerifyRequest request;
+  request.property = &property;
+  request.options = std::move(options);
+  wave::StatusOr<wave::VerifyResponse> response = verifier.Run(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "verify %s: %s\n", property.name.c_str(),
+                 response.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(static_cast<wave::VerifyResult&>(*response));
+}
+
 
 constexpr char kSite[] = R"(
 app promo_site
@@ -90,7 +110,7 @@ int main() {
   // the pseudorun assumes a promo tuple present at one step and absent at
   // another, which no single database can realize (exactly the
   // inconsistency input-boundedness rules out).
-  wave::VerifyResult raw = verifier.Verify(parsed.properties[1].property);
+  wave::VerifyResult raw = RunProperty(verifier, parsed.properties[1].property);
   if (raw.verdict == wave::Verdict::kViolated) {
     wave::ValidationResult validation = wave::ValidateCounterexample(
         parsed.spec.get(), parsed.properties[1].property, raw);

@@ -5,8 +5,7 @@
 //   $ ./build/examples/quickstart
 #include <cstdio>
 
-#include "parser/parser.h"
-#include "verifier/verifier.h"
+#include "wave.h"  // the umbrella header: parser + verifier + observability
 
 namespace {
 
@@ -72,7 +71,18 @@ int main() {
 
   wave::Verifier verifier(parsed.spec.get());
   for (const wave::ParsedProperty& p : parsed.properties) {
-    wave::VerifyResult result = verifier.Verify(p.property);
+    // The unified request API: pick the property, optionally raise
+    // request.jobs to search (assignment, core) shards in parallel —
+    // the verdict is identical at any job count.
+    wave::VerifyRequest request;
+    request.property = &p.property;
+    wave::StatusOr<wave::VerifyResponse> response = verifier.Run(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "verify %s: %s\n", p.property.name.c_str(),
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    const wave::VerifyResult& result = *response;
     const char* verdict =
         result.verdict == wave::Verdict::kHolds      ? "HOLDS"
         : result.verdict == wave::Verdict::kViolated ? "VIOLATED"

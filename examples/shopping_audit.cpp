@@ -6,10 +6,30 @@
 //
 //   $ ./build/examples/shopping_audit
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "apps/apps.h"
 #include "parser/parser.h"
 #include "verifier/verifier.h"
+
+// Examples use the unified VerifyRequest API (the deprecated one-shot
+// Verifier::Verify wrapper forwards here too).
+wave::VerifyResult RunProperty(wave::Verifier& verifier,
+                               const wave::Property& property,
+                               wave::VerifyOptions options = {}) {
+  wave::VerifyRequest request;
+  request.property = &property;
+  request.options = std::move(options);
+  wave::StatusOr<wave::VerifyResponse> response = verifier.Run(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "verify %s: %s\n", property.name.c_str(),
+                 response.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(static_cast<wave::VerifyResult&>(*response));
+}
+
 
 int main() {
   wave::AppBundle e1 = wave::BuildE1();
@@ -24,7 +44,7 @@ int main() {
               "seconds");
   for (const wave::ParsedProperty& p : e1.properties) {
     if (audit.count(p.property.name) == 0) continue;
-    wave::VerifyResult r = verifier.Verify(p.property);
+    wave::VerifyResult r = RunProperty(verifier, p.property);
     std::printf("%-5s %-55s %-9s %8.3f\n", p.property.name.c_str(),
                 p.property.description.c_str(),
                 r.holds() ? "HOLDS" : "VIOLATED", r.stats.seconds);
@@ -45,7 +65,7 @@ property audit_abandoned_cart expect false
     std::fprintf(stderr, "%s\n", extra.ErrorText().c_str());
     return 1;
   }
-  wave::VerifyResult r = verifier.Verify(extra.properties[0].property);
+  wave::VerifyResult r = RunProperty(verifier, extra.properties[0].property);
   std::printf("\naudit_abandoned_cart -> %s\n",
               r.holds() ? "HOLDS" : "VIOLATED");
   if (!r.holds()) {

@@ -6,6 +6,8 @@
 //   $ ./build/examples/spec_doctor --demo          # runs on the E1 source
 //   $ ./build/examples/spec_doctor --graph <file>  # DOT site graph only
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -16,6 +18,24 @@
 #include "verifier/verifier.h"
 
 namespace {
+
+// Examples use the unified VerifyRequest API (the deprecated one-shot
+// Verifier::Verify wrapper forwards here too).
+wave::VerifyResult RunProperty(wave::Verifier& verifier,
+                               const wave::Property& property,
+                               wave::VerifyOptions options = {}) {
+  wave::VerifyRequest request;
+  request.property = &property;
+  request.options = std::move(options);
+  wave::StatusOr<wave::VerifyResponse> response = verifier.Run(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "verify %s: %s\n", property.name.c_str(),
+                 response.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(static_cast<wave::VerifyResult&>(*response));
+}
+
 
 int Run(const std::string& source, const char* label, bool graph_only) {
   wave::ParseResult parsed = wave::ParseSpec(source);
@@ -55,7 +75,7 @@ int Run(const std::string& source, const char* label, bool graph_only) {
   for (const wave::ParsedProperty& p : parsed.properties) {
     wave::VerifyOptions options;
     options.timeout_seconds = 60;
-    wave::VerifyResult r = verifier.Verify(p.property, options);
+    wave::VerifyResult r = RunProperty(verifier, p.property, options);
     const char* verdict = r.verdict == wave::Verdict::kHolds ? "HOLDS"
                           : r.verdict == wave::Verdict::kViolated
                               ? "VIOLATED"

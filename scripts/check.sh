@@ -1,32 +1,48 @@
 #!/usr/bin/env sh
 # Build + test under a sanitizer (ISSUE 1 satellite), plus a budget
-# stress mode (ISSUE 2 satellite).
+# stress mode (ISSUE 2 satellite) and a ThreadSanitizer mode for the
+# parallel search engine (ISSUE 3 satellite).
 #
 # Usage:
 #   scripts/check.sh                     # address sanitizer (default)
 #   scripts/check.sh undefined           # UBSan
 #   scripts/check.sh ""                  # plain build, no sanitizer
+#   scripts/check.sh --tsan              # TSan build, parallel suite only
 #   scripts/check.sh --stress            # tiny-budget stress run (ASan)
 #   scripts/check.sh --stress undefined  # stress under UBSan
 #
 # Stress mode drives wave_verify over every bundled spec with
 # deliberately tiny budgets (sub-second deadlines, 2-tuple candidate
-# budget, 1 MB memory ceiling, retry ladder on). Resource exhaustion
+# budget, 1 MB memory ceiling, retry ladder on) and sweeps --jobs over
+# {1, 2, 8} so budget trips race worker shutdown. Resource exhaustion
 # must surface as a verdict, never a crash: any exit status other than
 # 0 (decided) or 2 (some unknown), and any sanitizer report in the
 # output, fails the check.
+#
+# TSan mode builds with WAVE_SANITIZE=thread and runs the determinism
+# suite (tests/parallel_test.cc) — the tests that actually spin up
+# worker fleets — rather than the whole battery, since TSan slows
+# execution ~10x and the sequential tests exercise no cross-thread
+# interleavings.
 #
 # Uses a separate build tree per sanitizer so the regular build/ stays
 # untouched.
 set -eu
 
-STRESS=0
+MODE=test
 if [ "${1-}" = "--stress" ]; then
-  STRESS=1
+  MODE=stress
+  shift
+elif [ "${1-}" = "--tsan" ]; then
+  MODE=tsan
   shift
 fi
 
-SANITIZER="${1-address}"
+if [ "$MODE" = "tsan" ]; then
+  SANITIZER="${1-thread}"
+else
+  SANITIZER="${1-address}"
+fi
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 if [ -n "$SANITIZER" ]; then
@@ -42,7 +58,16 @@ cmake -B "$BUILD_DIR" -S "$ROOT" -DWAVE_SANITIZE="$SANITIZER" \
 echo "== build"
 cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)"
 
-if [ "$STRESS" = "0" ]; then
+if [ "$MODE" = "tsan" ]; then
+  echo "== parallel determinism suite under ThreadSanitizer"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+        -j "$(nproc 2>/dev/null || echo 4)" \
+        -R "Determinism|ParallelCancellation|ShardQueue|BudgetLedger|WorkerPool|VerifyRequest"
+  echo "== TSAN OK"
+  exit 0
+fi
+
+if [ "$MODE" = "test" ]; then
   echo "== test"
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
   echo "== OK (sanitizer: ${SANITIZER:-none})"
@@ -56,24 +81,28 @@ STATS="$(mktemp)"
 trap 'rm -f "$LOG" "$STATS" "$STATS.tmp"' EXIT
 FAILED=0
 
-# Each row: a label and the flag set to run every spec under.
+# Each row: a label and the flag set to run every spec under; every row
+# is swept across --jobs=1/2/8 so shard hand-off, work stealing, and
+# mid-trip worker shutdown all get exercised under the tiny budgets.
 run_stress() {
   label="$1"; shift
-  for spec in "$ROOT"/specs/*.spec; do
-    name="$(basename "$spec")"
-    rc=0
-    "$VERIFY" "$spec" "$@" >"$LOG" 2>&1 || rc=$?
-    if [ "$rc" -ne 0 ] && [ "$rc" -ne 2 ]; then
-      echo "FAIL [$label] $name: exit $rc (want 0 or 2)"
-      cat "$LOG"
-      FAILED=1
-    elif grep -q -e "Sanitizer" -e "runtime error:" "$LOG"; then
-      echo "FAIL [$label] $name: sanitizer report"
-      cat "$LOG"
-      FAILED=1
-    else
-      echo "ok   [$label] $name (exit $rc)"
-    fi
+  for jobs in 1 2 8; do
+    for spec in "$ROOT"/specs/*.spec; do
+      name="$(basename "$spec")"
+      rc=0
+      "$VERIFY" "$spec" --jobs="$jobs" "$@" >"$LOG" 2>&1 || rc=$?
+      if [ "$rc" -ne 0 ] && [ "$rc" -ne 2 ]; then
+        echo "FAIL [$label -j$jobs] $name: exit $rc (want 0 or 2)"
+        cat "$LOG"
+        FAILED=1
+      elif grep -q -e "Sanitizer" -e "runtime error:" "$LOG"; then
+        echo "FAIL [$label -j$jobs] $name: sanitizer report"
+        cat "$LOG"
+        FAILED=1
+      else
+        echo "ok   [$label -j$jobs] $name (exit $rc)"
+      fi
+    done
   done
 }
 

@@ -6,6 +6,7 @@
 namespace wave::obs {
 
 void Histogram::Record(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0 || v < min_) min_ = v;
   if (count_ == 0 || v > max_) max_ = v;
   ++count_;
@@ -14,6 +15,7 @@ void Histogram::Record(double v) {
 }
 
 double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (samples_.empty()) return 0;
   std::vector<double> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());
@@ -40,18 +42,22 @@ auto* FindOrCreate(Map* map, const Key& name) {
 }  // namespace
 
 Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return FindOrCreate(&counters_, name);
 }
 
 Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return FindOrCreate(&gauges_, name);
 }
 
 Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return FindOrCreate(&histograms_, name);
 }
 
 void Histogram::MergeFrom(const Histogram& other) {
+  std::scoped_lock lock(mu_, other.mu_);
   if (other.count_ == 0) return;
   if (count_ == 0 || other.min_ < min_) min_ = other.min_;
   if (count_ == 0 || other.max_ > max_) max_ = other.max_;
@@ -64,6 +70,7 @@ void Histogram::MergeFrom(const Histogram& other) {
 }
 
 void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
   for (const auto& [name, c] : other.counters_) {
     counter(name)->Add(c->value());
   }
@@ -78,6 +85,7 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
 }
 
 Json MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Json out = Json::Object();
   Json counters = Json::Object();
   for (const auto& [name, c] : counters_) {
@@ -110,6 +118,7 @@ Json MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   char line[256];
   for (const auto& [name, c] : counters_) {

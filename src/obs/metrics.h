@@ -7,14 +7,20 @@
 //   * machine-readable — `ToJson()` snapshots everything for stats files,
 //     `Summary()` renders the human-readable table.
 //
-// A registry is single-threaded by design (the verifier's search is); use
-// one registry per concurrent verification.
+// Thread-safety (PR 3): instruments are safe to use from several threads
+// — counters are relaxed atomics, gauges and histograms take a small
+// per-instrument mutex, and instrument creation locks the registry map.
+// The parallel search engine still prefers per-worker registries merged
+// after the join (cheaper and deterministic), but a registry shared by a
+// worker pool no longer races.
 #ifndef WAVE_OBS_METRICS_H_
 #define WAVE_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,27 +29,40 @@
 
 namespace wave::obs {
 
-/// Monotonically increasing integer metric.
+/// Monotonically increasing integer metric. Thread-safe (relaxed atomic:
+/// the value is a tally, it orders nothing).
 class Counter {
  public:
-  void Add(int64_t delta = 1) { value_ += delta; }
-  int64_t value() const { return value_; }
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 /// Last-written value plus the running maximum (for peaks like trie size).
+/// Thread-safe (per-instrument mutex; gauges are set at phase boundaries,
+/// never per expansion).
 class Gauge {
  public:
   void Set(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
     value_ = v;
     if (v > max_) max_ = v;
   }
-  double value() const { return value_; }
-  double max() const { return max_; }
+  double value() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return value_;
+  }
+  double max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_;
+  }
 
  private:
+  mutable std::mutex mu_;
   double value_ = 0;
   double max_ = 0;
 };
@@ -51,21 +70,38 @@ class Gauge {
 /// Distribution of recorded samples: count/sum/min/max plus quantile
 /// estimates from a bounded reservoir (the first `kMaxSamples` values —
 /// adequate for phase-duration distributions, which is what we record).
+/// Thread-safe (per-instrument mutex).
 class Histogram {
  public:
   void Record(double v);
-  int64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ > 0 ? min_ : 0; }
-  double max() const { return count_ > 0 ? max_ : 0; }
-  double mean() const { return count_ > 0 ? sum_ / count_ : 0; }
+  int64_t count() const { return Locked(&Histogram::count_); }
+  double sum() const { return Locked(&Histogram::sum_); }
+  double min() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ > 0 ? min_ : 0;
+  }
+  double max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ > 0 ? max_ : 0;
+  }
+  double mean() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ > 0 ? sum_ / count_ : 0;
+  }
   /// Quantile estimate, q in [0,1]; 0 when no samples were recorded.
   double Quantile(double q) const;
   /// Folds `other`'s samples into this histogram (reservoir permitting).
   void MergeFrom(const Histogram& other);
 
  private:
+  template <typename T>
+  T Locked(T Histogram::* field) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return this->*field;
+  }
+
   static constexpr size_t kMaxSamples = 4096;
+  mutable std::mutex mu_;
   int64_t count_ = 0;
   double sum_ = 0;
   double min_ = 0;
@@ -99,12 +135,17 @@ class MetricsRegistry {
   std::string Summary() const;
 
   bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
 
  private:
   // std::map keeps iteration sorted (deterministic export) and never
-  // invalidates the unique_ptr-held instrument addresses.
+  // invalidates the unique_ptr-held instrument addresses. `mu_` guards the
+  // maps (instrument creation/enumeration); the instruments themselves
+  // carry their own synchronization, so cached pointers stay lock-free of
+  // the registry.
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

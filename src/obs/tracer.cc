@@ -58,6 +58,20 @@ void Tracer::Counter(std::string_view name, double value) {
   events_.push_back(std::move(e));
 }
 
+void Tracer::MergeFrom(const Tracer& other, int tid, double ts_offset_us) {
+  for (const TraceEvent& e : other.events_) {
+    if (events_.size() >= max_events_) {
+      ++dropped_;
+      continue;
+    }
+    TraceEvent copy = e;
+    copy.ts_us += ts_offset_us;
+    copy.tid = tid;
+    events_.push_back(std::move(copy));
+  }
+  dropped_ += other.dropped_;
+}
+
 Json Tracer::ChromeTraceJson() const {
   Json doc = Json::Object();
   Json trace_events = Json::Array();
@@ -66,7 +80,7 @@ Json Tracer::ChromeTraceJson() const {
     ev.Set("name", Json::Str(e.name));
     ev.Set("cat", Json::Str("wave"));
     ev.Set("pid", Json::Int(1));
-    ev.Set("tid", Json::Int(1));
+    ev.Set("tid", Json::Int(e.tid));
     ev.Set("ts", Json::Number(e.ts_us));
     switch (e.phase) {
       case TraceEvent::Phase::kSpan:

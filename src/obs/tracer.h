@@ -15,7 +15,12 @@
 // loadable in `chrome://tracing` and https://ui.perfetto.dev; counters
 // render as tracks, instants as markers.
 //
-// Single-threaded by design, like the search it instruments.
+// A single Tracer is still single-threaded by design: spans nest on one
+// stack, so one tracer belongs to one thread. Multi-threaded searches
+// (PR 3) give each worker its own tracer — the per-thread buffer — and
+// fold them into the caller's tracer after the join with `MergeFrom`,
+// which stamps every merged event with the worker's `tid` so Chrome/
+// Perfetto renders one lane per worker.
 #ifndef WAVE_OBS_TRACER_H_
 #define WAVE_OBS_TRACER_H_
 
@@ -38,6 +43,7 @@ struct TraceEvent {
   double dur_us = 0;    // spans only
   double value = 0;     // counters only
   int depth = 0;        // span nesting depth at record time (0 = root)
+  int tid = 1;          // trace lane (1 = the tracer's own thread)
 };
 
 class Tracer {
@@ -60,6 +66,14 @@ class Tracer {
   int64_t dropped_events() const { return dropped_; }
   /// Microseconds since construction (the trace clock).
   double NowMicros() const;
+
+  /// Folds `other`'s recorded events into this tracer, stamping them with
+  /// `tid` (pick 2+ for workers; 1 is this tracer's own lane) and shifting
+  /// their timestamps by `ts_offset_us` — pass `NowMicros()` captured when
+  /// `other` was constructed so both clocks share this tracer's epoch.
+  /// Events beyond `max_events` are counted as dropped. Call after the
+  /// worker owning `other` has joined; neither tracer may be recording.
+  void MergeFrom(const Tracer& other, int tid, double ts_offset_us = 0);
 
   /// The full trace as a Chrome trace-event document.
   Json ChromeTraceJson() const;

@@ -52,6 +52,73 @@ void ResourceGovernor::Trip(UnknownReason reason, std::string message) {
   trip_message_ = std::move(message);
 }
 
+void BudgetLedger::Trip(UnknownReason reason, const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tripped_.load(std::memory_order_relaxed) != UnknownReason::kNone) {
+    return;  // first trip wins
+  }
+  trip_message_ = message;
+  // Release: a worker that observes the reason also observes the message
+  // (readers of the message take the lock anyway; this orders the flag).
+  tripped_.store(reason, std::memory_order_release);
+}
+
+void BudgetLedger::SyncMemoryReadings() {
+  int64_t total_memory = 0;
+  for (const std::atomic<int64_t>& slot : worker_memory_) {
+    total_memory += slot.load(std::memory_order_relaxed);
+  }
+  last_memory_.store(total_memory, std::memory_order_relaxed);
+  int64_t peak = peak_memory_.load(std::memory_order_relaxed);
+  while (total_memory > peak &&
+         !peak_memory_.compare_exchange_weak(peak, total_memory,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+UnknownReason BudgetLedger::Check() {
+  UnknownReason tripped = trip_reason();
+  if (tripped != UnknownReason::kNone) return tripped;
+  polls_.fetch_add(1, std::memory_order_relaxed);
+  if (limits_.cancellation != nullptr && limits_.cancellation->cancelled()) {
+    Trip(UnknownReason::kCancelled,
+         "cancelled after " + std::to_string(watch_.ElapsedSeconds()) + "s");
+    return trip_reason();
+  }
+  double elapsed = watch_.ElapsedSeconds();
+  if (elapsed > limits_.deadline_seconds) {
+    Trip(UnknownReason::kTimeout,
+         "timeout after " + std::to_string(limits_.deadline_seconds) + "s");
+    return trip_reason();
+  }
+  int64_t total_memory = 0;
+  for (const std::atomic<int64_t>& slot : worker_memory_) {
+    total_memory += slot.load(std::memory_order_relaxed);
+  }
+  last_memory_.store(total_memory, std::memory_order_relaxed);
+  int64_t peak = peak_memory_.load(std::memory_order_relaxed);
+  while (total_memory > peak &&
+         !peak_memory_.compare_exchange_weak(peak, total_memory,
+                                             std::memory_order_relaxed)) {
+  }
+  if (limits_.max_memory_bytes >= 0 &&
+      total_memory > limits_.max_memory_bytes) {
+    Trip(UnknownReason::kMemoryLimit,
+         "memory limit exceeded (~" + std::to_string(total_memory) +
+             " bytes used, ceiling " +
+             std::to_string(limits_.max_memory_bytes) + ")");
+    return trip_reason();
+  }
+  if (limits_.max_expansions >= 0 &&
+      expansions_.load(std::memory_order_relaxed) >= limits_.max_expansions) {
+    Trip(UnknownReason::kExpansionBudget,
+         "expansion budget exhausted (" +
+             std::to_string(limits_.max_expansions) + ")");
+    return trip_reason();
+  }
+  return UnknownReason::kNone;
+}
+
 UnknownReason ResourceGovernor::Poll() {
   if (tripped_ != UnknownReason::kNone) return tripped_;
   ++polls_;

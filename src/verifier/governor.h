@@ -14,12 +14,21 @@
 //
 // The governor answers *which* limit tripped via `UnknownReason`, the
 // enum every `Verdict::kUnknown` result now carries.
+// PR 3 adds the multi-worker counterpart: one `BudgetLedger` shared by a
+// worker pool aggregates expansion/memory totals through relaxed atomics,
+// latches the first tripped limit, and fans the stop out to every worker;
+// each worker drives a `WorkerGovernor`, the strided per-thread ticker
+// that batches its deltas into the ledger every `kPollStride` expansions.
+// The single-threaded `ResourceGovernor` below is unchanged and remains
+// the right tool when there is exactly one search thread.
 #ifndef WAVE_VERIFIER_GOVERNOR_H_
 #define WAVE_VERIFIER_GOVERNOR_H_
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -162,6 +171,170 @@ class ResourceGovernor {
   int64_t peak_memory_bytes_ = 0;
   UnknownReason tripped_ = UnknownReason::kNone;
   std::string trip_message_;
+};
+
+/// Shared budget state of one multi-worker verification attempt (PR 3).
+///
+/// The limits of `GovernorLimits` are *global*: the expansion budget and
+/// the memory ceiling bound the sum over every worker, the deadline clock
+/// starts at construction (cover prepare/dataflow by constructing the
+/// ledger at the top of the attempt), and the first tripped limit latches
+/// and stops every worker. Workers never touch the ledger directly on the
+/// hot path — they batch deltas through a `WorkerGovernor`, so a budget
+/// may be overshot by at most `workers × kPollStride` expansions.
+///
+/// `RequestStop()` is the non-trip fan-out (first counterexample wins):
+/// it sets the stop flag without recording an UnknownReason.
+class BudgetLedger {
+ public:
+  /// `num_workers` fixes the per-worker memory slots (worker ids are
+  /// 0..num_workers-1).
+  BudgetLedger(const GovernorLimits& limits, int num_workers)
+      : limits_(limits),
+        worker_memory_(num_workers > 0 ? num_workers : 1) {}
+
+  /// Folds a worker's expansion delta into the global total (relaxed: the
+  /// total only gates budgets, it orders nothing).
+  void AddExpansions(int64_t delta) {
+    expansions_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t expansions() const {
+    return expansions_.load(std::memory_order_relaxed);
+  }
+
+  /// Publishes `worker`'s current memory estimate (bytes).
+  void ReportWorkerMemory(int worker, int64_t bytes) {
+    worker_memory_[worker].store(bytes, std::memory_order_relaxed);
+  }
+
+  /// Full poll of every limit against the aggregated readings, in the
+  /// same order as `ResourceGovernor::Poll` (cancellation, deadline,
+  /// memory, expansions). Trips — and thereby stops every worker — on the
+  /// first violated limit. Thread-safe; callable from any worker and from
+  /// phase boundaries on the coordinating thread.
+  UnknownReason Check();
+
+  /// Latches `reason` (first trip wins) and stops the workers.
+  void Trip(UnknownReason reason, const std::string& message);
+
+  /// Folds the current per-worker memory slots into the last/peak readings
+  /// WITHOUT checking any limit — end-of-attempt bookkeeping must not trip
+  /// a deadline the search already beat.
+  void SyncMemoryReadings();
+
+  /// Stops every worker without recording a trip — used when a worker
+  /// found a counterexample and the remaining shards are moot.
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// True once a limit tripped or a stop was requested; workers poll this
+  /// every expansion (one relaxed load).
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed) ||
+           trip_reason() != UnknownReason::kNone;
+  }
+
+  UnknownReason trip_reason() const {
+    return tripped_.load(std::memory_order_acquire);
+  }
+  std::string trip_message() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trip_message_;
+  }
+
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+  const GovernorLimits& limits() const { return limits_; }
+
+  GovernorReadings readings() const {
+    GovernorReadings r;
+    r.elapsed_seconds = watch_.ElapsedSeconds();
+    r.polls = polls_.load(std::memory_order_relaxed);
+    r.memory_bytes = last_memory_.load(std::memory_order_relaxed);
+    r.peak_memory_bytes = peak_memory_.load(std::memory_order_relaxed);
+    return r;
+  }
+
+  static constexpr int64_t kPollStride = ResourceGovernor::kPollStride;
+
+ private:
+  GovernorLimits limits_;
+  Stopwatch watch_;
+  std::vector<std::atomic<int64_t>> worker_memory_;
+  std::atomic<int64_t> expansions_{0};
+  std::atomic<int64_t> polls_{0};
+  std::atomic<int64_t> last_memory_{0};
+  std::atomic<int64_t> peak_memory_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<UnknownReason> tripped_{UnknownReason::kNone};
+  mutable std::mutex mu_;  // guards trip_message_
+  std::string trip_message_;
+};
+
+/// Per-worker front end of a `BudgetLedger`: the same strided Tick/Poll
+/// protocol as `ResourceGovernor`, but deltas flow into the shared ledger
+/// and trips flow back out. One instance per worker thread; never shared.
+class WorkerGovernor {
+ public:
+  WorkerGovernor(BudgetLedger* ledger, int worker)
+      : ledger_(ledger), worker_(worker) {}
+
+  /// Binds the worker-local expansion counter the global budget is
+  /// predicted against between flushes.
+  void WatchExpansions(const int64_t* expansions) { expansions_ = expansions; }
+
+  /// Updates the worker's memory estimate; forwarded to the ledger at the
+  /// next poll (same trip latency as `ResourceGovernor`).
+  void ReportMemory(int64_t bytes) { memory_bytes_ = bytes; }
+
+  /// Hot-loop probe, one call per expansion. Cheap ticks cost a relaxed
+  /// load of the ledger trip state plus a counter compare; every
+  /// `kPollStride`-th tick flushes the local deltas and runs the full
+  /// ledger check. With one worker the expansion budget is exact; with N
+  /// workers it may overshoot by at most N × kPollStride.
+  UnknownReason Tick() {
+    UnknownReason tripped = ledger_->trip_reason();
+    if (tripped != UnknownReason::kNone) return tripped;
+    const GovernorLimits& limits = ledger_->limits();
+    if (expansions_ != nullptr && limits.max_expansions >= 0 &&
+        shared_expansions_ + (*expansions_ - flushed_) >=
+            limits.max_expansions) {
+      return Poll();
+    }
+    if (limits.cancellation != nullptr && limits.cancellation->cancelled()) {
+      return Poll();
+    }
+    if (ticks_++ % BudgetLedger::kPollStride == 0) return Poll();
+    return UnknownReason::kNone;
+  }
+
+  /// Flush + full ledger check (also called by `Tick` on stride
+  /// boundaries and at phase boundaries).
+  UnknownReason Poll() {
+    Flush();
+    shared_expansions_ = ledger_->expansions();
+    return ledger_->Check();
+  }
+
+  /// Publishes the unflushed expansion delta and the memory estimate to
+  /// the ledger. Call when the worker finishes (or abandons) its work so
+  /// the merged stats see everything.
+  void Flush() {
+    if (expansions_ != nullptr) {
+      ledger_->AddExpansions(*expansions_ - flushed_);
+      flushed_ = *expansions_;
+    }
+    ledger_->ReportWorkerMemory(worker_, memory_bytes_);
+  }
+
+  BudgetLedger* ledger() const { return ledger_; }
+
+ private:
+  BudgetLedger* ledger_;
+  int worker_;
+  const int64_t* expansions_ = nullptr;
+  int64_t flushed_ = 0;             // local expansions already in the ledger
+  int64_t shared_expansions_ = 0;   // ledger total at the last poll
+  int64_t ticks_ = 0;
+  int64_t memory_bytes_ = 0;
 };
 
 }  // namespace wave

@@ -1,22 +1,13 @@
 #include "verifier/retry.h"
 
 #include <algorithm>
+#include <utility>
 
-#include "common/stopwatch.h"
-#include "obs/tracer.h"
+#include "common/check.h"
 
 namespace wave {
 
 namespace {
-
-const char* VerdictString(Verdict v) {
-  switch (v) {
-    case Verdict::kHolds: return "holds";
-    case Verdict::kViolated: return "violated";
-    case Verdict::kUnknown: return "unknown";
-  }
-  return "?";
-}
 
 /// True when `next` enlarges at least one budget over `prev` (otherwise
 /// re-running it could only repeat the same kUnknown).
@@ -32,20 +23,6 @@ bool Escalates(const RetryRung& prev, const RetryRung& next) {
 }
 
 }  // namespace
-
-obs::Json AttemptRecord::ToJson() const {
-  obs::Json j = obs::Json::Object();
-  j.Set("rung", obs::Json::Int(rung));
-  j.Set("rung_name", obs::Json::Str(rung_name));
-  j.Set("budget_seconds", obs::Json::Number(budget_seconds));
-  j.Set("elapsed_seconds", obs::Json::Number(elapsed_seconds));
-  j.Set("verdict", obs::Json::Str(VerdictString(verdict)));
-  j.Set("unknown_reason",
-        obs::Json::Str(UnknownReasonName(unknown_reason)));
-  j.Set("failure_reason", obs::Json::Str(failure_reason));
-  j.Set("stats", stats.ToJson());
-  return j;
-}
 
 obs::Json RetryResult::AttemptsJson() const {
   obs::Json arr = obs::Json::Array();
@@ -84,59 +61,20 @@ std::vector<RetryRung> DefaultLadder(const VerifyOptions& base) {
 RetryResult VerifyWithRetry(Verifier* verifier, const Property& property,
                             const VerifyOptions& base,
                             const RetryOptions& retry) {
+  VerifyRequest request;
+  request.property = &property;
+  request.options = base;
+  request.retry.enabled = true;
+  request.retry.ladder = retry.ladder;
+  request.retry.total_budget_seconds = retry.total_budget_seconds;
+  StatusOr<VerifyResponse> response = verifier->Run(request);
+  WAVE_CHECK_MSG(response.ok(), "VerifyWithRetry(" << property.name << "): "
+                                                   << response.status()
+                                                          .message());
   RetryResult out;
-  std::vector<RetryRung> ladder =
-      retry.ladder.empty() ? DefaultLadder(base) : retry.ladder;
-  double total_budget = retry.total_budget_seconds > 0
-                            ? retry.total_budget_seconds
-                            : base.timeout_seconds;
-  Stopwatch ladder_watch;
-
-  for (size_t k = 0; k < ladder.size(); ++k) {
-    const RetryRung& rung = ladder[k];
-    double remaining = total_budget - ladder_watch.ElapsedSeconds();
-    if (remaining <= 0 && k > 0) {
-      // Budget spent on earlier rungs; surface the last attempt's result.
-      break;
-    }
-    // Backoff split: each rung gets an even share of what is left, so a
-    // cheap early rung that returns quickly donates its unused share to
-    // the rungs after it.
-    double rung_budget =
-        std::max(0.0, remaining) / static_cast<double>(ladder.size() - k);
-
-    VerifyOptions options = base;
-    options.max_candidates = rung.max_candidates;
-    options.max_expansions = rung.max_expansions;
-    options.exhaustive_existential = rung.exhaustive_existential;
-    options.timeout_seconds = rung_budget;
-
-    obs::ScopedSpan span(base.tracer, "retry_rung");
-    Stopwatch attempt_watch;
-    VerifyResult result = verifier->Verify(property, options);
-
-    AttemptRecord record;
-    record.rung = static_cast<int>(k);
-    record.rung_name = rung.name;
-    record.budget_seconds = rung_budget;
-    record.elapsed_seconds = attempt_watch.ElapsedSeconds();
-    record.verdict = result.verdict;
-    record.unknown_reason = result.unknown_reason;
-    record.failure_reason = result.failure_reason;
-    record.stats = result.stats;
-    out.attempts.push_back(std::move(record));
-    out.result = std::move(result);
-
-    if (out.result.verdict != Verdict::kUnknown) {
-      out.decided_rung = static_cast<int>(k);
-      break;
-    }
-    // Escalation is only worth it when a larger budget could change the
-    // answer; timeouts, memory trips and cancellation end the ladder. A
-    // timeout on the *final* deadline share also means the total budget is
-    // gone, so the two stop conditions agree.
-    if (!IsBudgetLimited(out.result.unknown_reason)) break;
-  }
+  out.attempts = std::move(response->attempts);
+  out.decided_rung = response->decided_rung;
+  out.result = std::move(static_cast<VerifyResult&>(*response));
   return out;
 }
 

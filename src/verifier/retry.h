@@ -11,6 +11,11 @@
 // cure those. The total wall-clock budget is split across the remaining
 // rungs (remaining / rungs-left), so early cheap rungs cannot starve the
 // expensive final one.
+//
+// PR 3: the ladder loop itself lives in `Verifier::Run` (enable it with
+// `VerifyRequest::retry`); `RetryRung` and `AttemptRecord` moved to
+// verifier/verifier.h. `VerifyWithRetry` survives as a thin deprecated
+// wrapper over `Run` for source compatibility.
 #ifndef WAVE_VERIFIER_RETRY_H_
 #define WAVE_VERIFIER_RETRY_H_
 
@@ -22,30 +27,6 @@
 #include "verifier/verifier.h"
 
 namespace wave {
-
-/// One rung of the escalation ladder: the budgets that override the base
-/// `VerifyOptions` for this attempt (deadline is assigned separately from
-/// the total budget).
-struct RetryRung {
-  std::string name;                     // "tight", "base", "exhaustive", ...
-  int max_candidates = 20;
-  int64_t max_expansions = -1;          // -1 = unlimited
-  bool exhaustive_existential = false;
-};
-
-/// What one attempt did, for logs and `--stats-json`.
-struct AttemptRecord {
-  int rung = 0;
-  std::string rung_name;
-  double budget_seconds = 0;   // deadline assigned to this attempt
-  double elapsed_seconds = 0;  // what it actually used
-  Verdict verdict = Verdict::kUnknown;
-  UnknownReason unknown_reason = UnknownReason::kNone;
-  std::string failure_reason;
-  VerifyStats stats;
-
-  obs::Json ToJson() const;
-};
 
 struct RetryOptions {
   /// Ladder to climb; empty uses `DefaultLadder(base)`.
@@ -76,9 +57,11 @@ struct RetryResult {
 /// Rungs whose budgets do not exceed the previous rung's are dropped.
 std::vector<RetryRung> DefaultLadder(const VerifyOptions& base);
 
-/// Climbs the ladder. Escalates past rung k only when attempt k returned
-/// kUnknown for a budget-limited reason; any decision, timeout, memory
-/// trip or cancellation returns immediately with the history so far.
+/// DEPRECATED — thin wrapper over `Verifier::Run` with
+/// `VerifyRequest::retry.enabled`, kept for source compatibility. Climbs
+/// the ladder: escalates past rung k only when attempt k returned kUnknown
+/// for a budget-limited reason; any decision, timeout, memory trip or
+/// cancellation returns immediately with the history so far.
 RetryResult VerifyWithRetry(Verifier* verifier, const Property& property,
                             const VerifyOptions& base,
                             const RetryOptions& retry = {});

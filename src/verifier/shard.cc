@@ -1,0 +1,96 @@
+#include "verifier/shard.h"
+
+namespace wave {
+
+ShardQueue::ShardQueue(const std::vector<ShardBlock>& blocks,
+                       int num_workers) {
+  if (num_workers < 1) num_workers = 1;
+  deques_.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  // Round-robin distribution keeps the initial layout deterministic;
+  // stealing corrects any imbalance (blocks are ranges of wildly varying
+  // cost — the layout only needs to be a reasonable starting point).
+  int next = 0;
+  for (const ShardBlock& block : blocks) {
+    if (block.size() <= 0) continue;
+    WorkerDeque& d = *deques_[next];
+    d.blocks.push_back(block);
+    d.remaining.store(d.remaining.load(std::memory_order_relaxed) +
+                          block.size(),
+                      std::memory_order_relaxed);
+    total_ += block.size();
+    next = (next + 1) % num_workers;
+  }
+}
+
+bool ShardQueue::PopOwn(WorkerDeque* d, Shard* out) {
+  std::lock_guard<std::mutex> lock(d->mu);
+  if (d->blocks.empty()) return false;
+  ShardBlock& front = d->blocks.front();
+  out->assignment = front.assignment;
+  out->core = front.core_begin++;
+  d->remaining.fetch_sub(1, std::memory_order_relaxed);
+  if (front.core_begin >= front.core_end) d->blocks.pop_front();
+  return true;
+}
+
+bool ShardQueue::Steal(int thief, Shard* out) {
+  const int n = num_workers();
+  // Scan for the victim with the most remaining work (unlocked reads; a
+  // stale pick only costs an extra iteration).
+  while (true) {
+    int victim = -1;
+    int64_t best = 0;
+    for (int i = 0; i < n; ++i) {
+      if (i == thief) continue;
+      int64_t remaining =
+          deques_[i]->remaining.load(std::memory_order_relaxed);
+      if (remaining > best) {
+        best = remaining;
+        victim = i;
+      }
+    }
+    if (victim < 0) return false;  // everyone is empty
+
+    WorkerDeque& v = *deques_[victim];
+    ShardBlock stolen{};
+    {
+      std::lock_guard<std::mutex> lock(v.mu);
+      if (v.blocks.empty()) continue;  // raced with the owner; rescan
+      ShardBlock& back = v.blocks.back();
+      if (back.size() > 1) {
+        // Split: the victim keeps the lower half, the thief takes the
+        // upper — both stay contiguous, so further splits stay cheap.
+        int64_t mid = back.core_begin + back.size() / 2;
+        stolen = {back.assignment, mid, back.core_end};
+        back.core_end = mid;
+      } else {
+        stolen = back;
+        v.blocks.pop_back();
+      }
+      v.remaining.fetch_sub(stolen.size(), std::memory_order_relaxed);
+    }
+    steals_.fetch_add(1, std::memory_order_relaxed);
+
+    // First shard of the loot is the answer; the rest goes into the
+    // thief's own deque.
+    out->assignment = stolen.assignment;
+    out->core = stolen.core_begin++;
+    if (stolen.size() > 0) {
+      WorkerDeque& own = *deques_[thief];
+      std::lock_guard<std::mutex> lock(own.mu);
+      own.blocks.push_back(stolen);
+      own.remaining.fetch_add(stolen.size(), std::memory_order_relaxed);
+    }
+    return true;
+  }
+}
+
+bool ShardQueue::Pop(int worker, Shard* out) {
+  if (PopOwn(deques_[worker].get(), out)) return true;
+  return Steal(worker, out);
+}
+
+}  // namespace wave

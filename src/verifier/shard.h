@@ -1,0 +1,90 @@
+// Shards of the parallel search (PR 3).
+//
+// The verifier's two outer loops — C∃ assignments and database cores per
+// assignment (Section 3.1's `ndfs-pseudo` driver) — are independent NDFS
+// problems: each (assignment, core) pair searches its own visited set and
+// shares nothing with its siblings beyond the read-only prepared plan.
+// That pair is the unit of parallelism, the *shard*.
+//
+// Cores of one assignment are the 2^n subsets of its candidate-tuple list
+// (paper Section 4's bitmap counter), so a shard is addressed by the
+// assignment index plus the core's bitmap value, and a whole assignment
+// is one contiguous *range block* [0, 2^n). `ShardQueue` distributes the
+// blocks across per-worker deques and load-balances by work stealing:
+// owners pop single shards off the front of their own deque; a worker
+// that runs dry steals the back block of the busiest victim and takes the
+// upper half of its range. Ranges stay coarse until contention splits
+// them, so the queue never materializes the (possibly astronomical) shard
+// list, and the mutex per deque is touched once per shard — noise next to
+// an NDFS over even a handful of configurations.
+#ifndef WAVE_VERIFIER_SHARD_H_
+#define WAVE_VERIFIER_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace wave {
+
+/// One unit of parallel work: core `core` (a candidate-subset bitmap
+/// value) of assignment `assignment`.
+struct Shard {
+  int assignment = 0;
+  int64_t core = 0;
+};
+
+/// A contiguous range of cores [core_begin, core_end) of one assignment.
+struct ShardBlock {
+  int assignment = 0;
+  int64_t core_begin = 0;
+  int64_t core_end = 0;
+
+  int64_t size() const { return core_end - core_begin; }
+};
+
+/// Work-stealing queue of (assignment, core) shards.
+///
+/// All blocks are enqueued at construction (the enumeration is a fixed,
+/// deterministic set — see verifier.cc's sequential pre-pass), distributed
+/// round-robin across `num_workers` deques. Thread-safe for one owner per
+/// worker id plus arbitrary stealing; `Pop` returns false only when every
+/// deque is empty, so a false return is a global termination signal.
+class ShardQueue {
+ public:
+  ShardQueue(const std::vector<ShardBlock>& blocks, int num_workers);
+
+  /// Takes the next shard for `worker`: front of its own deque, else a
+  /// steal. Returns false when no work is left anywhere.
+  bool Pop(int worker, Shard* out);
+
+  /// Total shards enqueued at construction.
+  int64_t total_shards() const { return total_; }
+
+  /// Successful steals so far (observability).
+  int64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+  int num_workers() const { return static_cast<int>(deques_.size()); }
+
+ private:
+  struct WorkerDeque {
+    std::mutex mu;
+    std::deque<ShardBlock> blocks;
+    /// Shards remaining in `blocks` — read without the lock by thieves
+    /// scanning for a victim, updated under it.
+    std::atomic<int64_t> remaining{0};
+  };
+
+  bool PopOwn(WorkerDeque* d, Shard* out);
+  bool Steal(int thief, Shard* out);
+
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::atomic<int64_t> steals_{0};
+  int64_t total_ = 0;
+};
+
+}  // namespace wave
+
+#endif  // WAVE_VERIFIER_SHARD_H_

@@ -1,6 +1,7 @@
 #include "verifier/validate.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "buchi/gpvw.h"
 #include "buchi/lasso.h"
@@ -188,7 +189,7 @@ ValidationResult ValidateCounterexample(WebAppSpec* spec,
 
 VerifyResult VerifyValidated(Verifier* verifier, WebAppSpec* spec,
                              const Property& property,
-                             VerifyOptions options) {
+                             VerifyOptions options, int jobs) {
   options.candidate_filter =
       [spec, &property](const std::vector<CounterexampleStep>& stick,
                         const std::vector<CounterexampleStep>& candy,
@@ -200,7 +201,15 @@ VerifyResult VerifyValidated(Verifier* verifier, WebAppSpec* spec,
         candidate.witness_binding = binding;
         return ValidateCounterexample(spec, property, candidate).genuine;
       };
-  VerifyResult result = verifier->Verify(property, options);
+  VerifyRequest request;
+  request.property = &property;
+  request.options = std::move(options);
+  request.jobs = jobs;
+  StatusOr<VerifyResponse> response = verifier->Run(request);
+  WAVE_CHECK_MSG(response.ok(), "VerifyValidated(" << property.name << "): "
+                                                   << response.status()
+                                                          .message());
+  VerifyResult result = std::move(static_cast<VerifyResult&>(*response));
   if (result.verdict == Verdict::kHolds &&
       result.stats.num_rejected_candidates > 0) {
     // Spurious candidates were discarded; without input-boundedness the

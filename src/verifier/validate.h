@@ -52,9 +52,13 @@ ValidationResult ValidateCounterexample(WebAppSpec* spec,
 ///   * kUnknown   — the search exhausted after rejecting spurious
 ///                  candidates (stats.num_rejected_candidates > 0), or a
 ///                  budget was hit.
+///
+/// `jobs` selects the worker count for the underlying search (see
+/// VerifyRequest::jobs); candidate validation itself is serialized, so the
+/// verdict is the same at any job count.
 VerifyResult VerifyValidated(Verifier* verifier, WebAppSpec* spec,
                              const Property& property,
-                             VerifyOptions options = {});
+                             VerifyOptions options = {}, int jobs = 1);
 
 }  // namespace wave
 

@@ -1,8 +1,14 @@
 #include "verifier/verifier.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
@@ -11,13 +17,21 @@
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "verifier/encode.h"
+#include "verifier/retry.h"
+#include "verifier/shard.h"
 #include "verifier/trie.h"
+#include "verifier/worker_pool.h"
 
 namespace wave {
 
 namespace {
 
 enum class SearchStatus { kContinue, kFound, kAbort };
+
+/// Why a runner's shard returned kAbort: a shard-local candidate overflow
+/// (recorded, siblings continue) or a global stop (ledger trip / another
+/// worker's counterexample — the runner drains no further shards).
+enum class AbortKind { kNone, kLocal, kGlobal };
 
 GovernorLimits GovernorLimitsFromOptions(const VerifyOptions& options) {
   GovernorLimits limits;
@@ -26,6 +40,15 @@ GovernorLimits GovernorLimitsFromOptions(const VerifyOptions& options) {
   limits.max_memory_bytes = options.max_memory_bytes;
   limits.cancellation = options.cancellation;
   return limits;
+}
+
+const char* VerdictString(Verdict v) {
+  switch (v) {
+    case Verdict::kHolds: return "holds";
+    case Verdict::kViolated: return "violated";
+    case Verdict::kUnknown: return "unknown";
+  }
+  return "?";
 }
 
 /// Gathers, per free variable of the property, the attribute positions it
@@ -74,356 +97,433 @@ struct VarOccurrences {
   }
 };
 
-/// One full `ndfs-pseudo` run for one property.
-class Search {
+/// Property-level immutable plan: everything the search needs that does
+/// not depend on the C∃ assignment. Built once, sequentially, before any
+/// worker starts; workers only read it.
+struct PropertyPlan {
+  const WebAppSpec* spec = nullptr;
+  BuchiAutomaton automaton;
+  std::vector<FormulaPtr> raw_components;
+  std::vector<std::string> free_vars;
+  std::vector<SymbolId> fresh_values;
+  std::vector<std::vector<SymbolId>> var_candidates;
+
+  // Relevance sets (the paper's "prune the partial configurations with
+  // tuples that are irrelevant to the rules and property").
+  std::vector<bool> relevant;
+  std::vector<std::set<RelationId>> prev_read_by_page;
+  std::set<RelationId> property_prev_reads;
+  bool property_reads_prev = false;
+
+  /// Page-domain lookup table: `page_domain_table[p]` points into the
+  /// PageDomains cache, fully warmed before the workers start so the hot
+  /// loops never touch the (lazily minting, mutex-free) cache itself.
+  std::vector<const PageDomain*> page_domain_table;
+
+  GpvwStats gpvw_stats;
+};
+
+void CollectAtomUses(const Catalog& catalog, const FormulaPtr& f,
+                     bool* has_prev, std::set<RelationId>* current,
+                     std::set<RelationId>* prev) {
+  switch (f->kind()) {
+    case Formula::Kind::kAtom: {
+      RelationId id = catalog.Find(f->relation());
+      if (id == kInvalidRelation) return;
+      if (f->previous()) {
+        prev->insert(id);
+        *has_prev = true;
+      } else {
+        current->insert(id);
+      }
+      return;
+    }
+    case Formula::Kind::kNot:
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall:
+      CollectAtomUses(catalog, f->body(), has_prev, current, prev);
+      return;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+      CollectAtomUses(catalog, f->left(), has_prev, current, prev);
+      CollectAtomUses(catalog, f->right(), has_prev, current, prev);
+      return;
+    default:
+      return;
+  }
+}
+
+void ComputeRelevance(const WebAppSpec& spec, PropertyPlan* plan) {
+  const Catalog& catalog = spec.catalog();
+  plan->relevant.assign(catalog.size(), false);
+  plan->prev_read_by_page.assign(spec.num_pages(), {});
+  plan->property_reads_prev = false;
+
+  std::set<RelationId> property_current, property_prev;
+  for (const FormulaPtr& c : plan->raw_components) {
+    CollectAtomUses(catalog, c, &plan->property_reads_prev,
+                    &property_current, &property_prev);
+  }
+  for (RelationId id : property_current) plan->relevant[id] = true;
+  for (RelationId id : property_prev) plan->relevant[id] = true;
+  plan->property_prev_reads = property_prev;
+
+  bool dummy = false;
+  for (int p = 0; p < spec.num_pages(); ++p) {
+    const PageSchema& page = spec.page(p);
+    std::set<RelationId> current, prev;
+    auto walk = [&](const FormulaPtr& body) {
+      CollectAtomUses(catalog, body, &dummy, &current, &prev);
+    };
+    for (const InputRule& r : page.input_rules) walk(r.body);
+    for (const StateRule& r : page.state_rules) walk(r.body);
+    for (const ActionRule& r : page.action_rules) walk(r.body);
+    for (const TargetRule& r : page.target_rules) walk(r.condition);
+    for (RelationId id : current) plan->relevant[id] = true;
+    for (RelationId id : prev) plan->relevant[id] = true;
+    plan->prev_read_by_page[p] = prev;
+  }
+}
+
+/// Builds automaton, per-variable candidate constants and relevance info.
+/// Returns false when the verdict is already decided (negation
+/// unsatisfiable): `result` then carries kHolds.
+bool PreparePlan(WebAppSpec* spec, const Property& property,
+                 obs::Tracer* tracer, PropertyPlan* plan,
+                 VerifyResult* result) {
+  plan->spec = spec;
+  // ϕ := ¬ϕ0 — search for a pseudorun satisfying the negation.
+  LtlPtr negated = LtlFormula::Not(property.body);
+  Abstraction abstraction = AbstractLtl(negated, spec->symbols());
+  plan->raw_components = abstraction.components;
+  {
+    obs::ScopedSpan span(tracer, "gpvw");
+    GpvwOptions gpvw_options;
+    gpvw_options.stats = &plan->gpvw_stats;
+    plan->automaton =
+        LtlToBuchi(&abstraction.arena, abstraction.root,
+                   static_cast<int>(abstraction.components.size()),
+                   gpvw_options);
+  }
+  result->stats.buchi_states = plan->automaton.NumStates();
+  if (plan->automaton.IsEmptyLanguage()) {
+    // The negation is unsatisfiable over infinite words: ϕ0 holds on all
+    // runs of any system.
+    result->verdict = Verdict::kHolds;
+    return false;
+  }
+
+  // Free variables: the property's outermost universal block. Every free
+  // variable of the body must be declared there.
+  plan->free_vars = property.forall_vars;
+  {
+    std::set<std::string> declared(plan->free_vars.begin(),
+                                   plan->free_vars.end());
+    for (const FormulaPtr& c : plan->raw_components) {
+      for (const std::string& v : c->FreeVariables()) {
+        WAVE_CHECK_MSG(declared.count(v) > 0,
+                       "property " << property.name << ": free variable '"
+                                   << v
+                                   << "' not bound by the forall block");
+      }
+    }
+  }
+
+  // Candidate constants per free variable (dataflow-guided C∃): the
+  // constants any of the variable's attribute positions may be compared
+  // to, its directly equated constants, and one fresh value.
+  ComparisonAnalysis uninstantiated(*spec, plan->raw_components);
+  VarOccurrences occurrences;
+  for (const FormulaPtr& c : plan->raw_components) {
+    occurrences.Walk(spec->catalog(), c);
+  }
+  for (const std::string& v : plan->free_vars) {
+    std::set<SymbolId> candidates;
+    for (const AttrPos& pos : occurrences.positions[v]) {
+      const std::set<SymbolId>& cs = uninstantiated.constants(pos);
+      candidates.insert(cs.begin(), cs.end());
+    }
+    const std::set<SymbolId>& eq = occurrences.equated_constants[v];
+    candidates.insert(eq.begin(), eq.end());
+    plan->fresh_values.push_back(spec->symbols().MintFresh("free." + v));
+    plan->var_candidates.push_back(
+        std::vector<SymbolId>(candidates.begin(), candidates.end()));
+  }
+
+  ComputeRelevance(*spec, plan);
+  return true;
+}
+
+/// Enumerates the C∃ bindings in exactly the order the sequential search
+/// visited them, so shard index order reproduces the old chronology.
+void EnumerateBindings(const PropertyPlan& plan, bool exhaustive, size_t i,
+                       std::map<std::string, SymbolId>* binding,
+                       std::vector<std::map<std::string, SymbolId>>* out) {
+  if (i == plan.free_vars.size()) {
+    out->push_back(*binding);
+    return;
+  }
+  std::vector<SymbolId> values = plan.var_candidates[i];
+  values.push_back(plan.fresh_values[i]);
+  if (exhaustive) {
+    // Equality patterns among fresh values: variable i may reuse the
+    // fresh value of any earlier variable (canonical partition labels).
+    for (size_t j = 0; j < i; ++j) values.push_back(plan.fresh_values[j]);
+  }
+  for (SymbolId v : values) {
+    (*binding)[plan.free_vars[i]] = v;
+    EnumerateBindings(plan, exhaustive, i + 1, binding, out);
+  }
+  binding->erase(plan.free_vars[i]);
+}
+
+/// Everything one C∃ assignment contributes to the search, frozen before
+/// the workers start: instantiated/prepared components, the constant
+/// universe, the dataflow analysis, and — crucially — every candidate set
+/// the search can reach, pre-built into lock-free lookup tables. Lives
+/// behind a unique_ptr because the CandidateBuilder keeps a pointer to
+/// `instantiated`.
+struct AssignmentContext {
+  int index = 0;
+  std::map<std::string, SymbolId> binding;
+  std::vector<FormulaPtr> instantiated;
+  std::vector<PreparedFormula> components;
+  std::set<SymbolId> constant_universe;
+  std::vector<SymbolId> constant_vector;
+  std::unique_ptr<ComparisonAnalysis> analysis;
+  std::unique_ptr<CandidateBuilder> builder;
+
+  const CandidateSet* core_candidates = nullptr;
+  /// Cores of this assignment: 2^|core_candidates| (0 when overflowed).
+  int64_t num_cores = 0;
+  bool core_overflow = false;
+  std::string overflow_message;
+
+  /// Extension candidate sets, indexed `page * ext_stride + (prev + 1)`
+  /// for every (page, prev) pair reachable by `Advance` (prev = -1 is the
+  /// initial configuration). Overflowed sets are stored too — the search
+  /// reports them at use time, like the sequential code did.
+  std::vector<const CandidateSet*> ext_table;
+  int ext_stride = 0;
+
+  double build_us = 0;  // wall time to build this context (pre-pass)
+
+  const CandidateSet* extension(int page, int prev_page) const {
+    return ext_table[page * ext_stride + (prev_page + 1)];
+  }
+};
+
+std::unique_ptr<AssignmentContext> BuildAssignmentContext(
+    WebAppSpec* spec, PageDomains* page_domains, const PropertyPlan& plan,
+    const VerifyOptions& options,
+    const std::map<std::string, SymbolId>& binding, int index,
+    obs::Tracer* tracer, double* dataflow_us) {
+  auto ctx = std::make_unique<AssignmentContext>();
+  ctx->index = index;
+  ctx->binding = binding;
+  Stopwatch build_watch;
+
+  // Instantiate and prepare ϕ's FO components as sentences.
+  PageResolver resolver = [spec](const std::string& name) {
+    return spec->PageIndex(name);
+  };
+  for (const FormulaPtr& c : plan.raw_components) {
+    FormulaPtr inst = c->SubstituteConstants(binding);
+    ctx->instantiated.push_back(inst);
+    ctx->components.push_back(
+        PreparedFormula::Prepare(inst, spec->catalog(), {}, resolver));
+  }
+
+  // C = CW ∪ (property constants) ∪ C∃.
+  ctx->constant_universe = spec->SpecConstants();
+  for (const FormulaPtr& c : ctx->instantiated) {
+    std::set<SymbolId> cs = c->Constants();
+    ctx->constant_universe.insert(cs.begin(), cs.end());
+  }
+  for (const auto& [var, value] : binding) {
+    ctx->constant_universe.insert(value);
+  }
+  ctx->constant_vector.assign(ctx->constant_universe.begin(),
+                              ctx->constant_universe.end());
+
+  // Dataflow analysis over the instantiated property + spec, and the
+  // candidate sets it prunes.
+  obs::ScopedSpan dataflow_span(tracer, "dataflow");
+  Stopwatch dataflow_watch;
+  ctx->analysis =
+      std::make_unique<ComparisonAnalysis>(*spec, ctx->instantiated);
+  CandidateOptions candidate_options;
+  candidate_options.heuristic1 = options.heuristic1;
+  candidate_options.heuristic2 = options.heuristic2;
+  candidate_options.max_candidates = options.max_candidates;
+  ctx->builder = std::make_unique<CandidateBuilder>(
+      spec, page_domains, ctx->analysis.get(), &ctx->instantiated,
+      ctx->constant_universe, candidate_options);
+
+  const CandidateSet& core = ctx->builder->CoreCandidates();
+  ctx->core_candidates = &core;
+  // The shard address encodes the core as an int64 bitmap, so ≥ 63
+  // candidate tuples is treated as overflow too (the 2^63-core powerset
+  // could never be enumerated anyway).
+  if (core.overflow || core.tuples.size() > 62) {
+    ctx->core_overflow = true;
+    ctx->overflow_message =
+        "core candidate set overflow (" +
+        std::to_string(core.approx_tuple_count) + " candidate tuples); " +
+        "Heuristic 1 " +
+        (options.heuristic1 ? "insufficient" : "disabled");
+  } else {
+    ctx->num_cores = int64_t{1} << core.tuples.size();
+    // Warm every (page, prev_page) extension pair `Advance` can produce —
+    // the initial (home, -1), same-page stays, and every target edge — so
+    // the workers never call the memoizing builder concurrently.
+    const int stride = spec->num_pages() + 1;
+    ctx->ext_stride = stride;
+    ctx->ext_table.assign(
+        static_cast<size_t>(spec->num_pages()) * stride, nullptr);
+    auto warm = [&](int page, int prev) {
+      if (page < 0 || page >= spec->num_pages()) return;
+      const CandidateSet*& slot = ctx->ext_table[page * stride + (prev + 1)];
+      if (slot == nullptr) {
+        slot = &ctx->builder->ExtensionCandidates(page, prev);
+      }
+    };
+    warm(spec->home_page(), -1);
+    for (int q = 0; q < spec->num_pages(); ++q) {
+      warm(q, q);
+      for (const TargetRule& t : spec->page(q).target_rules) {
+        warm(t.target_page, q);
+      }
+    }
+  }
+  dataflow_span.End();
+  *dataflow_us += dataflow_watch.ElapsedMicros();
+  ctx->build_us = build_watch.ElapsedMicros();
+  return ctx;
+}
+
+/// Heartbeat counters a worker publishes for the coordinator's aggregated
+/// progress snapshots (jobs > 1 only; all relaxed — monitoring data).
+struct WorkerProgress {
+  std::atomic<int64_t> expansions{0};
+  std::atomic<int64_t> successors{0};
+  std::atomic<int64_t> cores{0};
+  std::atomic<int> trie_size{0};
+  std::atomic<int> max_trie{0};
+};
+
+/// State shared by every worker of one attempt, guarded by one mutex: the
+/// first-counterexample claim (plus the serialized candidate_filter) and
+/// the minimum-(assignment, core) shard-local unknown.
+struct EngineShared {
+  std::mutex mu;
+
+  bool winner_claimed = false;
+  std::vector<CounterexampleStep> stick;
+  std::vector<CounterexampleStep> candy;
+  std::map<std::string, SymbolId> witness_binding;
+
+  int64_t rejected = 0;    // counterexamples discarded by candidate_filter
+  double validate_us = 0;  // wall time inside candidate_filter
+
+  bool has_local_unknown = false;
+  int local_assignment = 0;
+  int64_t local_core = 0;
+  UnknownReason local_reason = UnknownReason::kNone;
+  std::string local_message;
+
+  /// Keeps the lexicographically smallest (assignment, core) unknown —
+  /// the one the sequential search would have hit (and stopped at) first.
+  void RecordLocalUnknown(int assignment, int64_t core,
+                          UnknownReason reason, std::string message) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (has_local_unknown &&
+        std::pair<int, int64_t>(local_assignment, local_core) <=
+            std::pair<int, int64_t>(assignment, core)) {
+      return;
+    }
+    has_local_unknown = true;
+    local_assignment = assignment;
+    local_core = core;
+    local_reason = reason;
+    local_message = std::move(message);
+  }
+};
+
+/// One worker's NDFS machinery: its own visited trie, search stacks,
+/// governor front end and stats. Pops shards off the queue until it runs
+/// dry or a stop fans out. Reads the plan/contexts only; everything it
+/// writes is thread-local except the mutex-guarded EngineShared claims.
+class ShardRunner {
  public:
-  Search(WebAppSpec* spec, const PreparedSpec* prepared,
-         PageDomains* page_domains, const Property& property,
-         const VerifyOptions& options, VerifyResult* result)
-      : spec_(spec),
+  ShardRunner(const PropertyPlan* plan,
+              const std::vector<std::unique_ptr<AssignmentContext>>* ctxs,
+              const PreparedSpec* prepared, const VerifyOptions* options,
+              EngineShared* shared, BudgetLedger* ledger, int worker,
+              obs::Tracer* tracer, bool heartbeat_enabled,
+              WorkerProgress* progress)
+      : plan_(plan),
+        ctxs_(ctxs),
+        spec_(plan->spec),
         prepared_(prepared),
-        page_domains_(page_domains),
-        property_(property),
         options_(options),
-        result_(result),
-        tracer_(options.tracer),
-        heartbeat_enabled_(options.heartbeat != nullptr ||
-                           options.tracer != nullptr),
-        governor_(GovernorLimitsFromOptions(options)) {
-    // Bind the budget check directly to the stats counter so the governor
-    // and the reported stats can never disagree on how much work happened.
-    governor_.WatchExpansions(&result->stats.num_expansions);
+        shared_(shared),
+        ledger_(ledger),
+        worker_(worker),
+        tracer_(tracer),
+        heartbeat_enabled_(heartbeat_enabled),
+        progress_(progress),
+        gov_(ledger, worker) {
+    gov_.WatchExpansions(&stats_.num_expansions);
+    assignment_us_.assign(ctxs->size(), 0.0);
   }
 
-  void Run() {
-    bool undecided;
-    {
-      obs::ScopedSpan span(tracer_, "prepare");
-      Stopwatch prepare_watch;
-      undecided = Prepare();
-      prepare_us_ = prepare_watch.ElapsedMicros();
+  void Drain(ShardQueue* queue) {
+    Shard shard;
+    while (!ledger_->stop_requested() && queue->Pop(worker_, &shard)) {
+      Stopwatch shard_watch;
+      SearchStatus status = RunShard(shard);
+      assignment_us_[shard.assignment] += shard_watch.ElapsedMicros();
+      if (status == SearchStatus::kFound) {
+        found_ = true;
+        break;
+      }
+      if (status == SearchStatus::kAbort) {
+        if (abort_kind_ == AbortKind::kLocal) {
+          shared_->RecordLocalUnknown(shard.assignment, shard.core,
+                                      local_reason_,
+                                      std::move(local_message_));
+          abort_kind_ = AbortKind::kNone;
+          continue;  // siblings are still worth searching
+        }
+        break;  // global trip or stop fan-out
+      }
     }
-    if (!undecided) return;
-    // Phase boundary: a cancellation or deadline that landed during the
-    // (untickled) prepare phase must not start the search.
-    if (AbortIfTripped()) return;
-
-    obs::ScopedSpan span(tracer_, "search");
-    Stopwatch search_watch;
-    std::map<std::string, SymbolId> binding;
-    SearchStatus status = EnumerateAssignments(0, &binding);
-    search_us_ = search_watch.ElapsedMicros();
-    if (status == SearchStatus::kFound) {
-      result_->verdict = Verdict::kViolated;
-    } else if (status == SearchStatus::kAbort) {
-      result_->verdict = Verdict::kUnknown;
-      result_->failure_reason = abort_reason_;
-    } else {
-      result_->verdict = Verdict::kHolds;
-    }
+    // Publish the tail deltas (no limit check: a deadline that lapses
+    // after the last shard finished must not flip a completed search).
+    gov_.Flush();
   }
 
-  /// Publishes phase timings and counters into `metrics` (the caller's
-  /// registry or a scratch one) and copies the canonical values back into
-  /// `result_->stats` — the metrics layer is the single source of truth
-  /// for the per-phase columns.
-  void Finalize(obs::MetricsRegistry* metrics) {
-    VerifyStats& stats = result_->stats;
-    metrics->Add("verify.prepare_us", static_cast<int64_t>(prepare_us_));
-    metrics->Add("verify.dataflow_us", static_cast<int64_t>(dataflow_us_));
-    double net_search_us =
-        std::max(0.0, search_us_ - dataflow_us_ - validate_us_);
-    metrics->Add("verify.search_us", static_cast<int64_t>(net_search_us));
-    metrics->Add("verify.validate_us", static_cast<int64_t>(validate_us_));
-    metrics->Add("verify.assignments", stats.num_assignments);
-    metrics->Add("verify.cores", stats.num_cores);
-    metrics->Add("verify.expansions", stats.num_expansions);
-    metrics->Add("verify.successors", stats.num_successors);
-    metrics->Add("verify.rejected_candidates",
-                 stats.num_rejected_candidates);
-    metrics->Add("verify.heartbeats", heartbeats_);
-    metrics->Add("trie.hits", stats.trie_hits);
-    metrics->Add("trie.misses", stats.trie_misses);
-    metrics->Set("trie.max_size", stats.max_trie_size);
-    metrics->Set("buchi.states", stats.buchi_states);
-    metrics->Add("gpvw.tableau_nodes", gpvw_stats_.tableau_nodes);
-    metrics->Add("gpvw.until_subformulas", gpvw_stats_.until_subformulas);
-    metrics->Set("gpvw.states_before_simplify",
-                 gpvw_stats_.states_before_simplify);
-    GovernorReadings readings = governor_.readings();
-    stats.peak_memory_bytes = readings.peak_memory_bytes;
-    stats.governor_polls = readings.polls;
-    metrics->Set("governor.peak_memory_bytes", readings.peak_memory_bytes);
-    metrics->Add("governor.polls", readings.polls);
-    metrics->histogram("verify.assignment_us")->MergeFrom(assignment_us_);
-
-    stats.prepare_seconds = metrics->counter("verify.prepare_us")->value() / 1e6;
-    stats.dataflow_seconds =
-        metrics->counter("verify.dataflow_us")->value() / 1e6;
-    stats.search_seconds = metrics->counter("verify.search_us")->value() / 1e6;
-    stats.validate_seconds =
-        metrics->counter("verify.validate_us")->value() / 1e6;
-    stats.heartbeats = metrics->counter("verify.heartbeats")->value();
-  }
+  const VerifyStats& stats() const { return stats_; }
+  const std::vector<double>& assignment_us() const { return assignment_us_; }
+  int64_t heartbeats() const { return heartbeats_; }
+  bool found() const { return found_; }
 
  private:
-  /// Builds automaton, candidate sets and relevance info. Returns false
-  /// when the verdict is already decided (negation unsatisfiable).
-  bool Prepare() {
-    // ϕ := ¬ϕ0 — search for a pseudorun satisfying the negation.
-    LtlPtr negated = LtlFormula::Not(property_.body);
-    Abstraction abstraction = AbstractLtl(negated, spec_->symbols());
-    raw_components_ = abstraction.components;
-    {
-      obs::ScopedSpan span(tracer_, "gpvw");
-      GpvwOptions gpvw_options;
-      gpvw_options.stats = &gpvw_stats_;
-      automaton_ =
-          LtlToBuchi(&abstraction.arena, abstraction.root,
-                     static_cast<int>(abstraction.components.size()),
-                     gpvw_options);
-    }
-    result_->stats.buchi_states = automaton_.NumStates();
-    if (automaton_.IsEmptyLanguage()) {
-      // The negation is unsatisfiable over infinite words: ϕ0 holds on all
-      // runs of any system.
-      result_->verdict = Verdict::kHolds;
-      return false;
-    }
-
-    // Free variables: the property's outermost universal block. Every free
-    // variable of the body must be declared there.
-    free_vars_ = property_.forall_vars;
-    {
-      std::set<std::string> declared(free_vars_.begin(), free_vars_.end());
-      for (const FormulaPtr& c : raw_components_) {
-        for (const std::string& v : c->FreeVariables()) {
-          WAVE_CHECK_MSG(declared.count(v) > 0,
-                         "property " << property_.name << ": free variable '"
-                                     << v
-                                     << "' not bound by the forall block");
-        }
-      }
-    }
-
-    // Candidate constants per free variable (dataflow-guided C∃): the
-    // constants any of the variable's attribute positions may be compared
-    // to, its directly equated constants, and one fresh value.
-    ComparisonAnalysis uninstantiated(*spec_, raw_components_);
-    VarOccurrences occurrences;
-    for (const FormulaPtr& c : raw_components_) {
-      occurrences.Walk(spec_->catalog(), c);
-    }
-    for (const std::string& v : free_vars_) {
-      std::set<SymbolId> candidates;
-      for (const AttrPos& pos : occurrences.positions[v]) {
-        const std::set<SymbolId>& cs = uninstantiated.constants(pos);
-        candidates.insert(cs.begin(), cs.end());
-      }
-      const std::set<SymbolId>& eq = occurrences.equated_constants[v];
-      candidates.insert(eq.begin(), eq.end());
-      fresh_values_.push_back(spec_->symbols().MintFresh("free." + v));
-      var_candidates_.push_back(
-          std::vector<SymbolId>(candidates.begin(), candidates.end()));
-    }
-
-    ComputeRelevance();
-    return true;
-  }
-
-  // --- relevance analysis ----------------------------------------------------
-  // The paper: "a dataflow analysis to prune the partial configurations
-  // with tuples that are irrelevant to the rules and property". A state
-  // relation matters only if some rule body or property component reads
-  // it; an action relation only if the property reads it; a previous input
-  // only on pages whose rules read it via `prev` (or if the property has
-  // prev atoms); an input at page V only if V's rules, any page's prev
-  // atoms, or the property read it. Everything else is cleared/skipped so
-  // it cannot split otherwise-identical pseudoconfigurations.
-  void CollectAtomUses(const FormulaPtr& f, bool* has_prev,
-                       std::set<RelationId>* current,
-                       std::set<RelationId>* prev) {
-    switch (f->kind()) {
-      case Formula::Kind::kAtom: {
-        RelationId id = spec_->catalog().Find(f->relation());
-        if (id == kInvalidRelation) return;
-        if (f->previous()) {
-          prev->insert(id);
-          *has_prev = true;
-        } else {
-          current->insert(id);
-        }
-        return;
-      }
-      case Formula::Kind::kNot:
-      case Formula::Kind::kExists:
-      case Formula::Kind::kForall:
-        CollectAtomUses(f->body(), has_prev, current, prev);
-        return;
-      case Formula::Kind::kAnd:
-      case Formula::Kind::kOr:
-      case Formula::Kind::kImplies:
-        CollectAtomUses(f->left(), has_prev, current, prev);
-        CollectAtomUses(f->right(), has_prev, current, prev);
-        return;
-      default:
-        return;
-    }
-  }
-
-  void ComputeRelevance() {
-    const Catalog& catalog = spec_->catalog();
-    relevant_.assign(catalog.size(), false);
-    prev_read_by_page_.assign(spec_->num_pages(), {});
-    property_reads_prev_ = false;
-
-    std::set<RelationId> property_current, property_prev;
-    bool dummy = false;
-    for (const FormulaPtr& c : raw_components_) {
-      CollectAtomUses(c, &property_reads_prev_, &property_current,
-                      &property_prev);
-    }
-    for (RelationId id : property_current) relevant_[id] = true;
-    for (RelationId id : property_prev) relevant_[id] = true;
-    property_prev_reads_ = property_prev;
-
-    for (int p = 0; p < spec_->num_pages(); ++p) {
-      const PageSchema& page = spec_->page(p);
-      std::set<RelationId> current, prev;
-      auto walk = [&](const FormulaPtr& body) {
-        CollectAtomUses(body, &dummy, &current, &prev);
-      };
-      for (const InputRule& r : page.input_rules) walk(r.body);
-      for (const StateRule& r : page.state_rules) walk(r.body);
-      for (const ActionRule& r : page.action_rules) walk(r.body);
-      for (const TargetRule& r : page.target_rules) walk(r.condition);
-      for (RelationId id : current) relevant_[id] = true;
-      for (RelationId id : prev) relevant_[id] = true;
-      prev_read_by_page_[p] = prev;
-    }
-  }
-
-  /// Clears irrelevant state/action tuples and previous inputs the current
-  /// page (and property) cannot read.
-  void PruneIrrelevant(Configuration* config) {
-    const Catalog& catalog = spec_->catalog();
-    const std::set<RelationId>& page_prev = prev_read_by_page_[config->page];
-    for (RelationId id = 0; id < catalog.size(); ++id) {
-      RelationKind kind = catalog.schema(id).kind;
-      if (kind == RelationKind::kState || kind == RelationKind::kAction) {
-        if (!relevant_[id]) config->data.relation(id).Clear();
-      } else if (kind == RelationKind::kInput ||
-                 kind == RelationKind::kInputConstant) {
-        if (page_prev.count(id) == 0 && property_prev_reads_.count(id) == 0) {
-          config->previous.relation(id).Clear();
-        }
-      }
-    }
-  }
-
-  // --- C∃ enumeration -------------------------------------------------------
-  SearchStatus EnumerateAssignments(size_t i,
-                                    std::map<std::string, SymbolId>* binding) {
-    if (i == free_vars_.size()) {
-      ++result_->stats.num_assignments;
-      Stopwatch assignment_watch;
-      SearchStatus status = RunAssignment(*binding);
-      assignment_us_.Record(assignment_watch.ElapsedMicros());
-      return status;
-    }
-    std::vector<SymbolId> values = var_candidates_[i];
-    values.push_back(fresh_values_[i]);
-    if (options_.exhaustive_existential) {
-      // Equality patterns among fresh values: variable i may reuse the
-      // fresh value of any earlier variable (canonical partition labels).
-      for (size_t j = 0; j < i; ++j) values.push_back(fresh_values_[j]);
-    }
-    for (SymbolId v : values) {
-      (*binding)[free_vars_[i]] = v;
-      SearchStatus status = EnumerateAssignments(i + 1, binding);
-      if (status != SearchStatus::kContinue) return status;
-    }
-    binding->erase(free_vars_[i]);
-    return SearchStatus::kContinue;
-  }
-
-  SearchStatus RunAssignment(const std::map<std::string, SymbolId>& binding) {
-    obs::ScopedSpan assignment_span(tracer_, "assignment");
-    current_binding_ = binding;
-    // Instantiate and prepare ϕ's FO components as sentences.
-    components_.clear();
-    std::vector<FormulaPtr> instantiated;
-    PageResolver resolver = [this](const std::string& name) {
-      return spec_->PageIndex(name);
-    };
-    for (const FormulaPtr& c : raw_components_) {
-      FormulaPtr inst = c->SubstituteConstants(binding);
-      instantiated.push_back(inst);
-      components_.push_back(PreparedFormula::Prepare(
-          inst, spec_->catalog(), {}, resolver));
-    }
-
-    // C = CW ∪ (property constants) ∪ C∃.
-    constant_universe_ = spec_->SpecConstants();
-    for (const FormulaPtr& c : instantiated) {
-      std::set<SymbolId> cs = c->Constants();
-      constant_universe_.insert(cs.begin(), cs.end());
-    }
-    for (const auto& [var, value] : binding) {
-      constant_universe_.insert(value);
-    }
-    constant_vector_.assign(constant_universe_.begin(),
-                            constant_universe_.end());
-
-    // Dataflow analysis over the instantiated property + spec, and the
-    // candidate sets it prunes.
-    obs::ScopedSpan dataflow_span(tracer_, "dataflow");
-    Stopwatch dataflow_watch;
-    analysis_ =
-        std::make_unique<ComparisonAnalysis>(*spec_, instantiated);
-    CandidateOptions candidate_options;
-    candidate_options.heuristic1 = options_.heuristic1;
-    candidate_options.heuristic2 = options_.heuristic2;
-    candidate_options.max_candidates = options_.max_candidates;
-    instantiated_components_ = instantiated;
-    builder_ = std::make_unique<CandidateBuilder>(
-        spec_, page_domains_, analysis_.get(), &instantiated_components_,
-        constant_universe_, candidate_options);
-
-    const CandidateSet& core_candidates = builder_->CoreCandidates();
-    dataflow_span.End();
-    dataflow_us_ += dataflow_watch.ElapsedMicros();
-    if (core_candidates.overflow) {
-      abort_reason_ = "core candidate set overflow (" +
-                      std::to_string(core_candidates.approx_tuple_count) +
-                      " candidate tuples); Heuristic 1 " +
-                      (options_.heuristic1 ? "insufficient" : "disabled");
-      result_->unknown_reason = UnknownReason::kCandidateBudget;
-      return SearchStatus::kAbort;
-    }
-
-    // Enumerate cores(C) with the bitmap counter of Section 4.
-    DynamicBitset core_bitmap(
-        static_cast<int>(core_candidates.tuples.size()));
-    while (true) {
-      ++result_->stats.num_cores;
-      core_.clear();
-      for (int b = 0; b < core_bitmap.size(); ++b) {
-        if (core_bitmap.Test(b)) core_.push_back(core_candidates.tuples[b]);
-      }
-      SearchStatus status = RunCore();
-      if (status != SearchStatus::kContinue) return status;
-      if (!core_bitmap.Increment()) break;
-    }
-    return SearchStatus::kContinue;
-  }
-
-  // --- one independent search per core ---------------------------------------
-  SearchStatus RunCore() {
+  SearchStatus RunShard(const Shard& shard) {
+    ctx_ = (*ctxs_)[shard.assignment].get();
     obs::ScopedSpan span(tracer_, "core");
+    ++stats_.num_cores;
+    core_.clear();
+    const auto& tuples = ctx_->core_candidates->tuples;
+    for (size_t b = 0; b < tuples.size(); ++b) {
+      if ((shard.core >> b) & 1) core_.push_back(tuples[b]);
+    }
     trie_ = std::make_unique<VisitedTrie>();
     stick_stack_.clear();
     candy_stack_.clear();
+    stack_bytes_ = 0;
 
     // Start pseudoconfigurations: home page, database = core ∪ extension.
     Configuration skeleton;
@@ -435,12 +535,11 @@ class Search {
     }
     SearchStatus status = ForEachCompletion(
         skeleton, /*prev_page=*/-1, [this](const Configuration& c0) {
-          return Stick(automaton_.start, c0, 1);
+          return Stick(plan_->automaton.start, c0, 1);
         });
-    result_->stats.max_trie_size =
-        std::max(result_->stats.max_trie_size, trie_->size());
-    result_->stats.trie_hits += trie_->stats().hits;
-    result_->stats.trie_misses += trie_->stats().misses;
+    stats_.max_trie_size = std::max(stats_.max_trie_size, trie_->size());
+    stats_.trie_hits += trie_->stats().hits;
+    stats_.trie_misses += trie_->stats().misses;
     return status;
   }
 
@@ -448,38 +547,40 @@ class Search {
   /// page/state/previous are set and whose database holds exactly the
   /// core), invoking `fn` for each completed configuration.
   template <typename Fn>
-  SearchStatus ForEachCompletion(const Configuration& skeleton, int prev_page,
-                                 const Fn& fn) {
-    const CandidateSet& ext_candidates =
-        builder_->ExtensionCandidates(skeleton.page, prev_page);
-    if (ext_candidates.overflow) {
-      abort_reason_ =
-          "extension candidate overflow at page " +
-          spec_->page(skeleton.page).name + " (" +
-          std::to_string(ext_candidates.approx_tuple_count) +
-          " candidate tuples); Heuristic 2 " +
-          (options_.heuristic2 ? "insufficient" : "disabled");
-      result_->unknown_reason = UnknownReason::kCandidateBudget;
+  SearchStatus ForEachCompletion(const Configuration& skeleton,
+                                 int prev_page, const Fn& fn) {
+    const CandidateSet* ext = ctx_->extension(skeleton.page, prev_page);
+    WAVE_CHECK_MSG(ext != nullptr,
+                   "unwarmed extension pair (page "
+                       << skeleton.page << ", prev " << prev_page << ")");
+    if (ext->overflow) {
+      local_message_ = "extension candidate overflow at page " +
+                       spec_->page(skeleton.page).name + " (" +
+                       std::to_string(ext->approx_tuple_count) +
+                       " candidate tuples); Heuristic 2 " +
+                       (options_->heuristic2 ? "insufficient" : "disabled");
+      local_reason_ = UnknownReason::kCandidateBudget;
+      abort_kind_ = AbortKind::kLocal;
       return SearchStatus::kAbort;
     }
-    DynamicBitset ext_bitmap(static_cast<int>(ext_candidates.tuples.size()));
+    DynamicBitset ext_bitmap(static_cast<int>(ext->tuples.size()));
     while (true) {
       Configuration with_ext = skeleton;
       for (int b = 0; b < ext_bitmap.size(); ++b) {
         if (ext_bitmap.Test(b)) {
-          const auto& [relation, tuple] = ext_candidates.tuples[b];
+          const auto& [relation, tuple] = ext->tuples[b];
           with_ext.data.relation(relation).Insert(tuple);
         }
       }
       std::vector<SymbolId> domain = WindowDomain(with_ext);
-      InputOptions options = prepared_->ComputeOptions(with_ext, domain);
+      InputOptions input_options = prepared_->ComputeOptions(with_ext, domain);
       std::vector<InputChoice> choices =
-          EnumerateChoices(with_ext.page, options);
+          EnumerateChoices(with_ext.page, input_options);
       for (const InputChoice& choice : choices) {
         Configuration complete = with_ext;
         prepared_->ApplyInput(choice, domain, &complete);
         FilterToUniverse(&complete.data, RelationKind::kAction);
-        ++result_->stats.num_successors;
+        ++stats_.num_successors;
         SearchStatus status = fn(complete);
         if (status != SearchStatus::kContinue) return status;
       }
@@ -510,9 +611,10 @@ class Search {
     return ForEachCompletion(skeleton, config.page, fn);
   }
 
-  // --- the nested depth-first search ------------------------------------------
+  // --- the nested depth-first search ----------------------------------------
   SearchStatus Stick(int state, const Configuration& config, int depth) {
-    if (SearchStatus status = CheckBudgets(); status != SearchStatus::kContinue) {
+    if (SearchStatus status = CheckBudgets();
+        status != SearchStatus::kContinue) {
       return status;
     }
     EncodeVisitedKeyInto(0, state, config, &key_scratch_);
@@ -524,14 +626,14 @@ class Search {
     // skip the matching subtraction deliberately: the search is over.
     const int64_t frame_bytes = static_cast<int64_t>(key_scratch_.size());
     stack_bytes_ += frame_bytes;
-    governor_.ReportMemory(trie_->approx_bytes() + stack_bytes_);
-    ++result_->stats.num_expansions;
-    result_->stats.max_pseudorun_length =
-        std::max(result_->stats.max_pseudorun_length, depth);
+    gov_.ReportMemory(trie_->approx_bytes() + stack_bytes_);
+    ++stats_.num_expansions;
+    stats_.max_pseudorun_length =
+        std::max(stats_.max_pseudorun_length, depth);
     stick_stack_.push_back({state, config});
 
     std::vector<bool> assignment = EvalComponents(config);
-    for (const BuchiTransition& t : automaton_.adj[state]) {
+    for (const BuchiTransition& t : plan_->automaton.adj[state]) {
       if (!GuardSatisfied(t.guard, assignment)) continue;
       SearchStatus status = ForEachSuccessor(
           config, [&](const Configuration& next) -> SearchStatus {
@@ -540,7 +642,7 @@ class Search {
               SearchStatus s = Stick(t.to, next, depth + 1);
               if (s != SearchStatus::kContinue) return s;
             }
-            if (automaton_.accepting[t.to]) {
+            if (plan_->automaton.accepting[t.to]) {
               base_state_ = t.to;
               base_config_ = next;
               candy_stack_.clear();
@@ -557,7 +659,8 @@ class Search {
   }
 
   SearchStatus Candy(int state, const Configuration& config, int depth) {
-    if (SearchStatus status = CheckBudgets(); status != SearchStatus::kContinue) {
+    if (SearchStatus status = CheckBudgets();
+        status != SearchStatus::kContinue) {
       return status;
     }
     EncodeVisitedKeyInto(1, state, config, &key_scratch_);
@@ -566,37 +669,19 @@ class Search {
     }
     const int64_t frame_bytes = static_cast<int64_t>(key_scratch_.size());
     stack_bytes_ += frame_bytes;
-    governor_.ReportMemory(trie_->approx_bytes() + stack_bytes_);
-    ++result_->stats.num_expansions;
-    result_->stats.max_pseudorun_length =
-        std::max(result_->stats.max_pseudorun_length, depth);
+    gov_.ReportMemory(trie_->approx_bytes() + stack_bytes_);
+    ++stats_.num_expansions;
+    stats_.max_pseudorun_length =
+        std::max(stats_.max_pseudorun_length, depth);
     candy_stack_.push_back({state, config});
 
     std::vector<bool> assignment = EvalComponents(config);
-    for (const BuchiTransition& t : automaton_.adj[state]) {
+    for (const BuchiTransition& t : plan_->automaton.adj[state]) {
       if (!GuardSatisfied(t.guard, assignment)) continue;
       SearchStatus status = ForEachSuccessor(
           config, [&](const Configuration& next) -> SearchStatus {
             if (t.to == base_state_ && next == base_config_) {
-              // Lollipop closed: candidate counterexample. The filter (if
-              // any) may discard it — paper Section 7: "If it does not
-              // [correspond to a genuine run], the ndfs search is
-              // reactivated".
-              if (options_.candidate_filter != nullptr) {
-                obs::ScopedSpan validate_span(tracer_, "validate");
-                Stopwatch validate_watch;
-                bool accepted = options_.candidate_filter(
-                    stick_stack_, candy_stack_, current_binding_);
-                validate_us_ += validate_watch.ElapsedMicros();
-                if (!accepted) {
-                  ++result_->stats.num_rejected_candidates;
-                  return SearchStatus::kContinue;
-                }
-              }
-              result_->stick = stick_stack_;
-              result_->candy = candy_stack_;
-              result_->witness_binding = current_binding_;
-              return SearchStatus::kFound;
+              return ClaimCounterexample();
             }
             EncodeVisitedKeyInto(1, t.to, next, &key_scratch_);
             if (!trie_->Contains(key_scratch_)) {
@@ -611,25 +696,56 @@ class Search {
     return SearchStatus::kContinue;
   }
 
-  // --- evaluation helpers -----------------------------------------------------
+  /// Lollipop closed: candidate counterexample. First worker to claim it
+  /// under the engine mutex wins; the candidate_filter (if any) runs
+  /// serialized under the same mutex — paper Section 7: "If it does not
+  /// [correspond to a genuine run], the ndfs search is reactivated".
+  SearchStatus ClaimCounterexample() {
+    std::unique_lock<std::mutex> lock(shared_->mu);
+    if (shared_->winner_claimed) {
+      // Another worker already reported; treat as a stop.
+      abort_kind_ = AbortKind::kGlobal;
+      return SearchStatus::kAbort;
+    }
+    if (options_->candidate_filter != nullptr) {
+      obs::ScopedSpan validate_span(tracer_, "validate");
+      Stopwatch validate_watch;
+      bool accepted = options_->candidate_filter(stick_stack_, candy_stack_,
+                                                 ctx_->binding);
+      shared_->validate_us += validate_watch.ElapsedMicros();
+      if (!accepted) {
+        ++shared_->rejected;
+        return SearchStatus::kContinue;
+      }
+    }
+    shared_->winner_claimed = true;
+    shared_->stick = stick_stack_;
+    shared_->candy = candy_stack_;
+    shared_->witness_binding = ctx_->binding;
+    lock.unlock();
+    ledger_->RequestStop();
+    return SearchStatus::kFound;
+  }
+
+  // --- evaluation helpers ---------------------------------------------------
   std::vector<bool> EvalComponents(const Configuration& config) {
     ConfigurationAdapter view(&config);
     std::vector<SymbolId> domain = WindowDomain(config);
-    std::vector<bool> assignment(components_.size());
-    for (size_t i = 0; i < components_.size(); ++i) {
-      std::vector<SymbolId> regs = components_[i].MakeRegisters();
-      assignment[i] = components_[i].EvalClosed(view, domain, &regs);
+    std::vector<bool> assignment(ctx_->components.size());
+    for (size_t i = 0; i < ctx_->components.size(); ++i) {
+      std::vector<SymbolId> regs = ctx_->components[i].MakeRegisters();
+      assignment[i] = ctx_->components[i].EvalClosed(view, domain, &regs);
     }
     return assignment;
   }
 
   std::vector<SymbolId> WindowDomain(const Configuration& config) const {
-    std::vector<SymbolId> domain = constant_vector_;
+    std::vector<SymbolId> domain = ctx_->constant_vector;
     std::vector<SymbolId> active = config.data.ActiveDomain();
     domain.insert(domain.end(), active.begin(), active.end());
     std::vector<SymbolId> prev = config.previous.ActiveDomain();
     domain.insert(domain.end(), prev.begin(), prev.end());
-    const PageDomain& pd = page_domains_->Get(config.page);
+    const PageDomain& pd = *plan_->page_domain_table[config.page];
     domain.insert(domain.end(), pd.all_values.begin(), pd.all_values.end());
     std::sort(domain.begin(), domain.end());
     domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
@@ -645,7 +761,7 @@ class Search {
       for (const Tuple& t : r.tuples()) {
         bool in_universe = true;
         for (SymbolId v : t) {
-          if (constant_universe_.count(v) == 0) {
+          if (ctx_->constant_universe.count(v) == 0) {
             in_universe = false;
             break;
           }
@@ -656,16 +772,36 @@ class Search {
     }
   }
 
+  /// Clears irrelevant state/action tuples and previous inputs the current
+  /// page (and property) cannot read.
+  void PruneIrrelevant(Configuration* config) {
+    const Catalog& catalog = spec_->catalog();
+    const std::set<RelationId>& page_prev =
+        plan_->prev_read_by_page[config->page];
+    for (RelationId id = 0; id < catalog.size(); ++id) {
+      RelationKind kind = catalog.schema(id).kind;
+      if (kind == RelationKind::kState || kind == RelationKind::kAction) {
+        if (!plan_->relevant[id]) config->data.relation(id).Clear();
+      } else if (kind == RelationKind::kInput ||
+                 kind == RelationKind::kInputConstant) {
+        if (page_prev.count(id) == 0 &&
+            plan_->property_prev_reads.count(id) == 0) {
+          config->previous.relation(id).Clear();
+        }
+      }
+    }
+  }
+
   std::vector<InputChoice> EnumerateChoices(int page,
                                             const InputOptions& options) {
     const PageSchema& schema = spec_->page(page);
-    const PageDomain& pd = page_domains_->Get(page);
+    const PageDomain& pd = *plan_->page_domain_table[page];
     // Alternatives per input: "no choice" plus each offered tuple; input
     // constants take a fresh page value or a constant they are compared to.
     std::vector<std::pair<RelationId, std::vector<Tuple>>> alternatives;
     for (RelationId input : schema.inputs) {
       std::vector<Tuple> tuples;
-      if (!relevant_[input]) {
+      if (!plan_->relevant[input]) {
         // Nothing reads this input anywhere: the choice cannot matter.
         alternatives.emplace_back(input, std::move(tuples));
         continue;
@@ -674,8 +810,8 @@ class Search {
           RelationKind::kInputConstant) {
         auto it = pd.input_values.find({input, 0});
         if (it != pd.input_values.end()) tuples.push_back({it->second});
-        for (SymbolId c : analysis_->constants({input, 0})) {
-          if (constant_universe_.count(c) > 0) tuples.push_back({c});
+        for (SymbolId c : ctx_->analysis->constants({input, 0})) {
+          if (ctx_->constant_universe.count(c) > 0) tuples.push_back({c});
         }
       } else {
         auto it = options.find(input);
@@ -699,122 +835,439 @@ class Search {
     return out;
   }
 
-  /// Hot-loop governance probe: one `ResourceGovernor::Tick` (a counter
-  /// compare and a relaxed atomic load on most calls; a clock/memory poll
-  /// every kPollStride-th). The heartbeat path reads the clock on every
-  /// call but only when observability is on — exactly the old cost.
+  /// Hot-loop governance probe: one `WorkerGovernor::Tick` (a counter
+  /// compare and a relaxed trip load on most calls; a flush + ledger check
+  /// every kPollStride-th) plus one relaxed stop-flag load, so a sibling's
+  /// counterexample stops this worker within one poll stride.
   SearchStatus CheckBudgets() {
-    UnknownReason reason = governor_.Tick();
+    UnknownReason reason = gov_.Tick();
     if (reason != UnknownReason::kNone) {
-      abort_reason_ = governor_.trip_message();
-      result_->unknown_reason = reason;
+      abort_kind_ = AbortKind::kGlobal;
       return SearchStatus::kAbort;
     }
-    if (heartbeat_enabled_) MaybeHeartbeat(governor_.ElapsedSeconds());
+    if (ledger_->stop_requested()) {
+      abort_kind_ = AbortKind::kGlobal;
+      return SearchStatus::kAbort;
+    }
+    if (progress_ != nullptr) PublishProgress();
+    if (heartbeat_enabled_) MaybeHeartbeat(ledger_->ElapsedSeconds());
     return SearchStatus::kContinue;
   }
 
-  /// Phase-boundary poll; fills in the kUnknown result when a limit
-  /// tripped outside the search hot loop.
-  bool AbortIfTripped() {
-    if (governor_.Poll() == UnknownReason::kNone) return false;
-    result_->verdict = Verdict::kUnknown;
-    result_->failure_reason = governor_.trip_message();
-    result_->unknown_reason = governor_.trip_reason();
-    return true;
+  void PublishProgress() {
+    progress_->expansions.store(stats_.num_expansions,
+                                std::memory_order_relaxed);
+    progress_->successors.store(stats_.num_successors,
+                                std::memory_order_relaxed);
+    progress_->cores.store(stats_.num_cores, std::memory_order_relaxed);
+    int trie_size = trie_ != nullptr ? trie_->size() : 0;
+    progress_->trie_size.store(trie_size, std::memory_order_relaxed);
+    progress_->max_trie.store(std::max(stats_.max_trie_size, trie_size),
+                              std::memory_order_relaxed);
   }
 
   /// Fires the progress heartbeat (and trace counter tracks) when the
-  /// configured interval has elapsed. Called from the hot budget-check
-  /// path, so everything beyond the interval comparison is rate-limited.
+  /// configured interval has elapsed. Only used on the jobs == 1 inline
+  /// path (with a pool the coordinating thread aggregates instead).
   void MaybeHeartbeat(double elapsed) {
     if (elapsed - last_heartbeat_seconds_ <
-        options_.heartbeat_interval_seconds) {
+        options_->heartbeat_interval_seconds) {
       return;
     }
     last_heartbeat_seconds_ = elapsed;
     ++heartbeats_;
-    const VerifyStats& stats = result_->stats;
     int trie_size = trie_ != nullptr ? trie_->size() : 0;
-    if (options_.heartbeat != nullptr) {
+    if (options_->heartbeat != nullptr) {
       HeartbeatSnapshot snapshot;
       snapshot.elapsed_seconds = elapsed;
-      snapshot.num_assignments = stats.num_assignments;
-      snapshot.num_cores = stats.num_cores;
-      snapshot.num_expansions = stats.num_expansions;
-      snapshot.num_successors = stats.num_successors;
+      snapshot.num_assignments =
+          static_cast<int64_t>(assignment_us_.size());
+      snapshot.num_cores = stats_.num_cores;
+      snapshot.num_expansions = stats_.num_expansions;
+      snapshot.num_successors = stats_.num_successors;
       snapshot.trie_size = trie_size;
-      snapshot.max_trie_size = std::max(stats.max_trie_size, trie_size);
-      snapshot.buchi_states = stats.buchi_states;
-      options_.heartbeat(snapshot);
+      snapshot.max_trie_size = std::max(stats_.max_trie_size, trie_size);
+      snapshot.buchi_states = plan_->automaton.NumStates();
+      options_->heartbeat(snapshot);
     }
     if (tracer_ != nullptr) {
-      tracer_->Counter("expansions", static_cast<double>(stats.num_expansions));
-      tracer_->Counter("successors", static_cast<double>(stats.num_successors));
+      tracer_->Counter("expansions",
+                       static_cast<double>(stats_.num_expansions));
+      tracer_->Counter("successors",
+                       static_cast<double>(stats_.num_successors));
       tracer_->Counter("trie_size", static_cast<double>(trie_size));
-      tracer_->Counter("cores", static_cast<double>(stats.num_cores));
+      tracer_->Counter("cores", static_cast<double>(stats_.num_cores));
     }
   }
 
-  WebAppSpec* spec_;
+  const PropertyPlan* plan_;
+  const std::vector<std::unique_ptr<AssignmentContext>>* ctxs_;
+  const WebAppSpec* spec_;
   const PreparedSpec* prepared_;
-  PageDomains* page_domains_;
-  const Property& property_;
-  VerifyOptions options_;
-  VerifyResult* result_;
-
-  // Observability (ISSUE 1). Phase accumulators are microseconds; the
-  // metrics registry is only touched at phase boundaries, never per
-  // expansion, so disabled observability costs one null check per site.
+  const VerifyOptions* options_;
+  EngineShared* shared_;
+  BudgetLedger* ledger_;
+  int worker_;
   obs::Tracer* tracer_;
   bool heartbeat_enabled_;
-  GpvwStats gpvw_stats_;
-  double prepare_us_ = 0;
-  double dataflow_us_ = 0;
-  double search_us_ = 0;
-  double validate_us_ = 0;
-  double last_heartbeat_seconds_ = 0;
+  WorkerProgress* progress_;
+
+  WorkerGovernor gov_;
+  VerifyStats stats_;
+  std::vector<double> assignment_us_;  // summed shard time per assignment
   int64_t heartbeats_ = 0;
-  obs::Histogram assignment_us_;
+  double last_heartbeat_seconds_ = 0;
+  bool found_ = false;
 
-  // Resource governance (ISSUE 2). `key_scratch_` is the reused encode
-  // buffer of the search hot loop; `stack_bytes_` tracks the encoded size
-  // of every frame currently on the stick/candy stacks.
-  ResourceGovernor governor_;
-  std::vector<uint8_t> key_scratch_;
-  int64_t stack_bytes_ = 0;
+  AbortKind abort_kind_ = AbortKind::kNone;
+  UnknownReason local_reason_ = UnknownReason::kNone;
+  std::string local_message_;
 
-  BuchiAutomaton automaton_;
-  std::vector<FormulaPtr> raw_components_;
-  std::vector<std::string> free_vars_;
-  std::vector<SymbolId> fresh_values_;
-  std::vector<std::vector<SymbolId>> var_candidates_;
-
-  // Relevance sets (see ComputeRelevance).
-  std::vector<bool> relevant_;
-  std::vector<std::set<RelationId>> prev_read_by_page_;
-  std::set<RelationId> property_prev_reads_;
-  bool property_reads_prev_ = false;
-
-  // Per-assignment state.
-  std::map<std::string, SymbolId> current_binding_;
-  std::vector<PreparedFormula> components_;
-  std::vector<FormulaPtr> instantiated_components_;
-  std::set<SymbolId> constant_universe_;
-  std::vector<SymbolId> constant_vector_;
-  std::unique_ptr<ComparisonAnalysis> analysis_;
-  std::unique_ptr<CandidateBuilder> builder_;
-
-  // Per-core state.
+  // Per-shard state. `key_scratch_` is the reused encode buffer of the
+  // search hot loop; `stack_bytes_` tracks the encoded size of every frame
+  // currently on the stick/candy stacks.
+  const AssignmentContext* ctx_ = nullptr;
   std::vector<std::pair<RelationId, Tuple>> core_;
   std::unique_ptr<VisitedTrie> trie_;
   std::vector<CounterexampleStep> stick_stack_;
   std::vector<CounterexampleStep> candy_stack_;
+  std::vector<uint8_t> key_scratch_;
+  int64_t stack_bytes_ = 0;
   int base_state_ = -1;
   Configuration base_config_;
-
-  std::string abort_reason_;
 };
+
+/// Phase-boundary poll; fills in the kUnknown result when a limit tripped
+/// outside the search hot loop.
+bool AbortIfTripped(BudgetLedger* ledger, VerifyResult* result) {
+  if (ledger->Check() == UnknownReason::kNone) return false;
+  result->verdict = Verdict::kUnknown;
+  result->failure_reason = ledger->trip_message();
+  result->unknown_reason = ledger->trip_reason();
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+/// One verification attempt: plan, sequential pre-pass, sharded search,
+/// deterministic merge, metrics finalization. The heart of PR 3 — see
+/// docs/PARALLELISM.md for the shard model and the determinism contract.
+VerifyResult RunAttempt(WebAppSpec* spec, PreparedSpec* prepared,
+                        PageDomains* page_domains, const Property& property,
+                        const VerifyOptions& options, int jobs) {
+  VerifyResult result;
+  Stopwatch watch;
+  PreparedExecStats exec_before = prepared->exec_stats();
+  obs::ScopedSpan verify_span(options.tracer, "verify");
+
+  // The ledger's deadline clock starts here, covering prepare/dataflow.
+  BudgetLedger ledger(GovernorLimitsFromOptions(options), jobs);
+
+  PropertyPlan plan;
+  double prepare_us = 0;
+  double dataflow_us = 0;
+  double search_us = 0;
+  bool undecided;
+  {
+    obs::ScopedSpan span(options.tracer, "prepare");
+    Stopwatch prepare_watch;
+    undecided = PreparePlan(spec, property, options.tracer, &plan, &result);
+    prepare_us = prepare_watch.ElapsedMicros();
+  }
+
+  std::vector<std::unique_ptr<AssignmentContext>> ctxs;
+  std::vector<std::unique_ptr<ShardRunner>> runners;
+  EngineShared shared;
+  const bool heartbeat_enabled =
+      options.heartbeat != nullptr || options.tracer != nullptr;
+  int64_t coordinator_heartbeats = 0;
+  int64_t steals = 0;
+
+  // Phase boundary: a cancellation or deadline that landed during the
+  // (untickled) prepare phase must not start the search.
+  if (undecided && !AbortIfTripped(&ledger, &result)) {
+    obs::ScopedSpan search_span(options.tracer, "search");
+    Stopwatch search_watch;
+
+    // --- sequential pre-pass ------------------------------------------------
+    // Everything that mints symbols or touches a memoizing cache happens
+    // here, on one thread, in a deterministic order: page domains, C∃
+    // contexts (dataflow + candidate sets), extension tables. The workers
+    // then only read. A core-candidate overflow truncates the pre-pass at
+    // that assignment — exactly where the sequential search would have
+    // stopped — and is reported unless an earlier shard decides otherwise.
+    plan.page_domain_table.resize(spec->num_pages());
+    for (int p = 0; p < spec->num_pages(); ++p) {
+      plan.page_domain_table[p] = &page_domains->Get(p);
+    }
+
+    std::vector<std::map<std::string, SymbolId>> bindings;
+    {
+      std::map<std::string, SymbolId> binding;
+      EnumerateBindings(plan, options.exhaustive_existential, 0, &binding,
+                       &bindings);
+    }
+
+    bool prepass_tripped = false;
+    for (size_t i = 0; i < bindings.size(); ++i) {
+      if (ledger.Check() != UnknownReason::kNone) {
+        prepass_tripped = true;
+        break;
+      }
+      obs::ScopedSpan assignment_span(options.tracer, "assignment");
+      ctxs.push_back(BuildAssignmentContext(
+          spec, page_domains, plan, options, bindings[i],
+          static_cast<int>(i), options.tracer, &dataflow_us));
+      if (ctxs.back()->core_overflow) {
+        shared.RecordLocalUnknown(ctxs.back()->index, /*core=*/-1,
+                                  UnknownReason::kCandidateBudget,
+                                  ctxs.back()->overflow_message);
+        break;
+      }
+    }
+    result.stats.num_assignments = static_cast<int64_t>(ctxs.size());
+
+    // --- sharded search -----------------------------------------------------
+    std::vector<ShardBlock> blocks;
+    for (const std::unique_ptr<AssignmentContext>& ctx : ctxs) {
+      if (!ctx->core_overflow && ctx->num_cores > 0) {
+        blocks.push_back({ctx->index, 0, ctx->num_cores});
+      }
+    }
+
+    if (!blocks.empty() && !prepass_tripped &&
+        ledger.trip_reason() == UnknownReason::kNone) {
+      ShardQueue queue(blocks, jobs);
+      if (jobs == 1) {
+        // Inline on the calling thread: the caller's tracer, inline
+        // heartbeats, the verifier's own prepared runtime — byte-for-byte
+        // the sequential engine.
+        runners.push_back(std::make_unique<ShardRunner>(
+            &plan, &ctxs, prepared, &options, &shared, &ledger,
+            /*worker=*/0, options.tracer, heartbeat_enabled,
+            /*progress=*/nullptr));
+        runners[0]->Drain(&queue);
+      } else {
+        // Per-worker prepared runtimes (the exec-stats counters are
+        // mutable) and tracers, all constructed sequentially here.
+        std::vector<std::unique_ptr<PreparedSpec>> worker_prepared;
+        std::vector<std::unique_ptr<obs::Tracer>> worker_tracers;
+        std::vector<double> tracer_offsets(jobs, 0.0);
+        std::vector<std::unique_ptr<WorkerProgress>> progress;
+        for (int w = 0; w < jobs; ++w) {
+          worker_prepared.push_back(std::make_unique<PreparedSpec>(spec));
+          if (options.tracer != nullptr) {
+            tracer_offsets[w] = options.tracer->NowMicros();
+            worker_tracers.push_back(std::make_unique<obs::Tracer>());
+          }
+          if (heartbeat_enabled) {
+            progress.push_back(std::make_unique<WorkerProgress>());
+          }
+          runners.push_back(std::make_unique<ShardRunner>(
+              &plan, &ctxs, worker_prepared[w].get(), &options, &shared,
+              &ledger, w,
+              options.tracer != nullptr ? worker_tracers[w].get() : nullptr,
+              /*heartbeat_enabled=*/false,
+              heartbeat_enabled ? progress[w].get() : nullptr));
+        }
+
+        WorkerPool pool(jobs);
+        pool.Start([&](int w) { runners[w]->Drain(&queue); });
+        if (heartbeat_enabled) {
+          // The coordinating thread aggregates per-worker progress into
+          // periodic heartbeats while the pool runs.
+          double interval = options.heartbeat_interval_seconds > 0.01
+                                ? options.heartbeat_interval_seconds
+                                : 0.01;
+          while (!pool.WaitDone(interval)) {
+            ++coordinator_heartbeats;
+            int64_t expansions = 0, successors = 0, cores = 0;
+            int trie_size = 0, max_trie = 0;
+            for (const std::unique_ptr<WorkerProgress>& p : progress) {
+              expansions += p->expansions.load(std::memory_order_relaxed);
+              successors += p->successors.load(std::memory_order_relaxed);
+              cores += p->cores.load(std::memory_order_relaxed);
+              trie_size += p->trie_size.load(std::memory_order_relaxed);
+              max_trie = std::max(
+                  max_trie, p->max_trie.load(std::memory_order_relaxed));
+            }
+            if (options.heartbeat != nullptr) {
+              HeartbeatSnapshot snapshot;
+              snapshot.elapsed_seconds = ledger.ElapsedSeconds();
+              snapshot.num_assignments =
+                  static_cast<int64_t>(ctxs.size());
+              snapshot.num_cores = cores;
+              snapshot.num_expansions = expansions;
+              snapshot.num_successors = successors;
+              snapshot.trie_size = trie_size;
+              snapshot.max_trie_size = max_trie;
+              snapshot.buchi_states = plan.automaton.NumStates();
+              options.heartbeat(snapshot);
+            }
+            if (options.tracer != nullptr) {
+              options.tracer->Counter("expansions",
+                                      static_cast<double>(expansions));
+              options.tracer->Counter("successors",
+                                      static_cast<double>(successors));
+              options.tracer->Counter("trie_size",
+                                      static_cast<double>(trie_size));
+              options.tracer->Counter("cores",
+                                      static_cast<double>(cores));
+            }
+          }
+        }
+        pool.WaitDone(-1);
+        pool.Join();
+
+        // Fold the per-worker span streams into the caller's trace, one
+        // lane (tid) per worker.
+        if (options.tracer != nullptr) {
+          for (int w = 0; w < jobs; ++w) {
+            options.tracer->MergeFrom(*worker_tracers[w], /*tid=*/2 + w,
+                                      tracer_offsets[w]);
+          }
+        }
+        // The prepared.* deltas of the worker copies (fresh instances, so
+        // the absolute stats are the deltas) accumulate into the
+        // verifier's own runtime stats via the exec delta below.
+        for (const std::unique_ptr<PreparedSpec>& wp : worker_prepared) {
+          const PreparedExecStats& e = wp->exec_stats();
+          exec_before.compute_options_calls -= e.compute_options_calls;
+          exec_before.apply_input_calls -= e.apply_input_calls;
+          exec_before.advance_calls -= e.advance_calls;
+          exec_before.rule_evaluations -= e.rule_evaluations;
+          exec_before.derived_tuples -= e.derived_tuples;
+        }
+      }
+      steals = queue.steals();
+    }
+    ledger.SyncMemoryReadings();
+    search_us = search_watch.ElapsedMicros();
+
+    // --- deterministic merge ------------------------------------------------
+    // Worker-id order; precedence: counterexample > shard-local unknown
+    // (minimum (assignment, core) key — the one the sequential search
+    // would have hit first) > global budget trip > holds.
+    for (const std::unique_ptr<ShardRunner>& r : runners) {
+      const VerifyStats& s = r->stats();
+      result.stats.num_cores += s.num_cores;
+      result.stats.num_expansions += s.num_expansions;
+      result.stats.num_successors += s.num_successors;
+      result.stats.trie_hits += s.trie_hits;
+      result.stats.trie_misses += s.trie_misses;
+      result.stats.max_trie_size =
+          std::max(result.stats.max_trie_size, s.max_trie_size);
+      result.stats.max_pseudorun_length =
+          std::max(result.stats.max_pseudorun_length,
+                   s.max_pseudorun_length);
+    }
+    result.stats.num_rejected_candidates = shared.rejected;
+
+    if (shared.winner_claimed) {
+      result.verdict = Verdict::kViolated;
+      result.stick = std::move(shared.stick);
+      result.candy = std::move(shared.candy);
+      result.witness_binding = std::move(shared.witness_binding);
+    } else if (shared.has_local_unknown) {
+      result.verdict = Verdict::kUnknown;
+      result.failure_reason = shared.local_message;
+      result.unknown_reason = shared.local_reason;
+    } else if (ledger.trip_reason() != UnknownReason::kNone) {
+      result.verdict = Verdict::kUnknown;
+      result.failure_reason = ledger.trip_message();
+      result.unknown_reason = ledger.trip_reason();
+    } else {
+      result.verdict = Verdict::kHolds;
+    }
+  }
+
+  {
+    // Result validation/finalization; with a candidate_filter installed
+    // the per-candidate "validate" spans inside the search carry the bulk
+    // of this phase. Per-call registry: stats come from it, then it merges
+    // into the caller's (possibly shared, accumulating) registry.
+    obs::ScopedSpan validate_span(options.tracer, "validate");
+    obs::MetricsRegistry call_metrics;
+    VerifyStats& stats = result.stats;
+    call_metrics.Add("verify.prepare_us", static_cast<int64_t>(prepare_us));
+    call_metrics.Add("verify.dataflow_us",
+                     static_cast<int64_t>(dataflow_us));
+    double net_search_us =
+        std::max(0.0, search_us - dataflow_us - shared.validate_us);
+    call_metrics.Add("verify.search_us", static_cast<int64_t>(net_search_us));
+    call_metrics.Add("verify.validate_us",
+                     static_cast<int64_t>(shared.validate_us));
+    call_metrics.Add("verify.assignments", stats.num_assignments);
+    call_metrics.Add("verify.cores", stats.num_cores);
+    call_metrics.Add("verify.expansions", stats.num_expansions);
+    call_metrics.Add("verify.successors", stats.num_successors);
+    call_metrics.Add("verify.rejected_candidates",
+                     stats.num_rejected_candidates);
+    int64_t heartbeats = coordinator_heartbeats;
+    for (const std::unique_ptr<ShardRunner>& r : runners) {
+      heartbeats += r->heartbeats();
+    }
+    call_metrics.Add("verify.heartbeats", heartbeats);
+    call_metrics.Add("verify.steals", steals);
+    call_metrics.Set("verify.jobs", jobs);
+    call_metrics.Add("trie.hits", stats.trie_hits);
+    call_metrics.Add("trie.misses", stats.trie_misses);
+    call_metrics.Set("trie.max_size", stats.max_trie_size);
+    call_metrics.Set("buchi.states", stats.buchi_states);
+    call_metrics.Add("gpvw.tableau_nodes", plan.gpvw_stats.tableau_nodes);
+    call_metrics.Add("gpvw.until_subformulas",
+                     plan.gpvw_stats.until_subformulas);
+    call_metrics.Set("gpvw.states_before_simplify",
+                     plan.gpvw_stats.states_before_simplify);
+    GovernorReadings readings = ledger.readings();
+    stats.peak_memory_bytes = readings.peak_memory_bytes;
+    stats.governor_polls = readings.polls;
+    call_metrics.Set("governor.peak_memory_bytes",
+                     readings.peak_memory_bytes);
+    call_metrics.Add("governor.polls", readings.polls);
+
+    // Per-assignment wall time, recorded in assignment-index order (so the
+    // histogram count always equals num_assignments): the pre-pass build
+    // time plus the shard time summed across workers.
+    obs::Histogram assignment_us;
+    for (size_t a = 0; a < ctxs.size(); ++a) {
+      double total = ctxs[a]->build_us;
+      for (const std::unique_ptr<ShardRunner>& r : runners) {
+        total += r->assignment_us()[a];
+      }
+      assignment_us.Record(total);
+    }
+    call_metrics.histogram("verify.assignment_us")->MergeFrom(assignment_us);
+
+    const PreparedExecStats& exec = prepared->exec_stats();
+    call_metrics.Add(
+        "prepared.compute_options_calls",
+        exec.compute_options_calls - exec_before.compute_options_calls);
+    call_metrics.Add("prepared.apply_input_calls",
+                     exec.apply_input_calls - exec_before.apply_input_calls);
+    call_metrics.Add("prepared.advance_calls",
+                     exec.advance_calls - exec_before.advance_calls);
+    call_metrics.Add("prepared.rule_evaluations",
+                     exec.rule_evaluations - exec_before.rule_evaluations);
+    call_metrics.Add("prepared.derived_tuples",
+                     exec.derived_tuples - exec_before.derived_tuples);
+    if (options.metrics != nullptr) options.metrics->MergeFrom(call_metrics);
+
+    stats.prepare_seconds =
+        call_metrics.counter("verify.prepare_us")->value() / 1e6;
+    stats.dataflow_seconds =
+        call_metrics.counter("verify.dataflow_us")->value() / 1e6;
+    stats.search_seconds =
+        call_metrics.counter("verify.search_us")->value() / 1e6;
+    stats.validate_seconds =
+        call_metrics.counter("verify.validate_us")->value() / 1e6;
+    stats.heartbeats = call_metrics.counter("verify.heartbeats")->value();
+  }
+  result.stats.seconds = watch.ElapsedSeconds();
+  return result;
+}
 
 }  // namespace
 
@@ -932,46 +1385,157 @@ StatusOr<std::unique_ptr<Verifier>> Verifier::Create(WebAppSpec* spec) {
   return std::make_unique<Verifier>(spec);
 }
 
-StatusOr<VerifyResult> Verifier::TryVerify(const Property& property,
-                                           const VerifyOptions& options) {
-  WAVE_RETURN_IF_ERROR(ValidatePropertyForSpec(*spec_, property));
-  return Verify(property, options);
+StatusOr<VerifyResponse> Verifier::Run(const VerifyRequest& request) {
+  // Resolve the property selector: direct pointer > index > name.
+  const Property* property = request.property;
+  if (property == nullptr) {
+    if (request.properties == nullptr) {
+      return Status::InvalidArgument(
+          "VerifyRequest selects no property: set `property`, or "
+          "`properties` plus `property_index`/`property_name`",
+          WAVE_LOC);
+    }
+    if (request.property_index >= 0) {
+      if (request.property_index >=
+          static_cast<int>(request.properties->size())) {
+        return Status::InvalidArgument(
+            "VerifyRequest: property_index " +
+                std::to_string(request.property_index) +
+                " out of range (catalog has " +
+                std::to_string(request.properties->size()) + " properties)",
+            WAVE_LOC);
+      }
+      property = &(*request.properties)[request.property_index];
+    } else if (!request.property_name.empty()) {
+      for (const Property& p : *request.properties) {
+        if (p.name == request.property_name) {
+          property = &p;
+          break;
+        }
+      }
+      if (property == nullptr) {
+        return Status::InvalidArgument(
+            "VerifyRequest: no property named '" + request.property_name +
+                "' in the catalog",
+            WAVE_LOC);
+      }
+    } else {
+      return Status::InvalidArgument(
+          "VerifyRequest selects no property: set `property`, or "
+          "`properties` plus `property_index`/`property_name`",
+          WAVE_LOC);
+    }
+  }
+  WAVE_RETURN_IF_ERROR(ValidatePropertyForSpec(*spec_, *property));
+
+  const int jobs = WorkerPool::ResolveJobs(request.jobs);
+  VerifyResponse response;
+  if (!request.retry.enabled) {
+    static_cast<VerifyResult&>(response) = RunAttempt(
+        spec_, &prepared_, &page_domains_, *property, request.options, jobs);
+    return response;
+  }
+
+  // The retry ladder: climb while the attempt failed for a budget-limited
+  // reason; any decision, timeout, memory trip or cancellation returns
+  // immediately with the history so far.
+  const VerifyOptions& base = request.options;
+  std::vector<RetryRung> ladder = request.retry.ladder.empty()
+                                      ? DefaultLadder(base)
+                                      : request.retry.ladder;
+  double total_budget = request.retry.total_budget_seconds > 0
+                            ? request.retry.total_budget_seconds
+                            : base.timeout_seconds;
+  Stopwatch ladder_watch;
+  for (size_t k = 0; k < ladder.size(); ++k) {
+    const RetryRung& rung = ladder[k];
+    double remaining = total_budget - ladder_watch.ElapsedSeconds();
+    if (remaining <= 0 && k > 0) {
+      // Budget spent on earlier rungs; surface the last attempt's result.
+      break;
+    }
+    // Backoff split: each rung gets an even share of what is left, so a
+    // cheap early rung that returns quickly donates its unused share to
+    // the rungs after it.
+    double rung_budget =
+        std::max(0.0, remaining) / static_cast<double>(ladder.size() - k);
+
+    VerifyOptions options = base;
+    options.max_candidates = rung.max_candidates;
+    options.max_expansions = rung.max_expansions;
+    options.exhaustive_existential = rung.exhaustive_existential;
+    options.timeout_seconds = rung_budget;
+
+    obs::ScopedSpan span(base.tracer, "retry_rung");
+    Stopwatch attempt_watch;
+    VerifyResult result =
+        RunAttempt(spec_, &prepared_, &page_domains_, *property, options,
+                   jobs);
+
+    AttemptRecord record;
+    record.rung = static_cast<int>(k);
+    record.rung_name = rung.name;
+    record.budget_seconds = rung_budget;
+    record.elapsed_seconds = attempt_watch.ElapsedSeconds();
+    record.verdict = result.verdict;
+    record.unknown_reason = result.unknown_reason;
+    record.failure_reason = result.failure_reason;
+    record.stats = result.stats;
+    response.attempts.push_back(std::move(record));
+    static_cast<VerifyResult&>(response) = std::move(result);
+
+    if (response.verdict != Verdict::kUnknown) {
+      response.decided_rung = static_cast<int>(k);
+      break;
+    }
+    // Escalation is only worth it when a larger budget could change the
+    // answer; timeouts, memory trips and cancellation end the ladder. A
+    // timeout on the *final* deadline share also means the total budget is
+    // gone, so the two stop conditions agree.
+    if (!IsBudgetLimited(response.unknown_reason)) break;
+  }
+  return response;
 }
 
 VerifyResult Verifier::Verify(const Property& property,
                               const VerifyOptions& options) {
-  VerifyResult result;
-  Stopwatch watch;
-  PreparedExecStats exec_before = prepared_.exec_stats();
-  obs::ScopedSpan verify_span(options.tracer, "verify");
-  Search search(spec_, &prepared_, &page_domains_, property, options,
-                &result);
-  search.Run();
-  {
-    // Result validation/finalization; with a candidate_filter installed
-    // the per-candidate "validate" spans inside the search carry the bulk
-    // of this phase.
-    obs::ScopedSpan validate_span(options.tracer, "validate");
-    // Per-call registry: stats come from it, then it merges into the
-    // caller's (possibly shared, accumulating) registry.
-    obs::MetricsRegistry call_metrics;
-    search.Finalize(&call_metrics);
-    const PreparedExecStats& exec = prepared_.exec_stats();
-    call_metrics.Add(
-        "prepared.compute_options_calls",
-        exec.compute_options_calls - exec_before.compute_options_calls);
-    call_metrics.Add("prepared.apply_input_calls",
-                     exec.apply_input_calls - exec_before.apply_input_calls);
-    call_metrics.Add("prepared.advance_calls",
-                     exec.advance_calls - exec_before.advance_calls);
-    call_metrics.Add("prepared.rule_evaluations",
-                     exec.rule_evaluations - exec_before.rule_evaluations);
-    call_metrics.Add("prepared.derived_tuples",
-                     exec.derived_tuples - exec_before.derived_tuples);
-    if (options.metrics != nullptr) options.metrics->MergeFrom(call_metrics);
-  }
-  result.stats.seconds = watch.ElapsedSeconds();
-  return result;
+  VerifyRequest request;
+  request.property = &property;
+  request.options = options;
+  StatusOr<VerifyResponse> response = Run(request);
+  WAVE_CHECK_MSG(response.ok(), "Verify(" << property.name << "): "
+                                          << response.status().message());
+  return std::move(*response);
+}
+
+StatusOr<VerifyResult> Verifier::TryVerify(const Property& property,
+                                           const VerifyOptions& options) {
+  VerifyRequest request;
+  request.property = &property;
+  request.options = options;
+  StatusOr<VerifyResponse> response = Run(request);
+  if (!response.ok()) return response.status();
+  return VerifyResult(std::move(*response));
+}
+
+obs::Json AttemptRecord::ToJson() const {
+  obs::Json j = obs::Json::Object();
+  j.Set("rung", obs::Json::Int(rung));
+  j.Set("rung_name", obs::Json::Str(rung_name));
+  j.Set("budget_seconds", obs::Json::Number(budget_seconds));
+  j.Set("elapsed_seconds", obs::Json::Number(elapsed_seconds));
+  j.Set("verdict", obs::Json::Str(VerdictString(verdict)));
+  j.Set("unknown_reason",
+        obs::Json::Str(UnknownReasonName(unknown_reason)));
+  j.Set("failure_reason", obs::Json::Str(failure_reason));
+  j.Set("stats", stats.ToJson());
+  return j;
+}
+
+obs::Json VerifyResponse::AttemptsJson() const {
+  obs::Json arr = obs::Json::Array();
+  for (const AttemptRecord& a : attempts) arr.Append(a.ToJson());
+  return arr;
 }
 
 obs::Json VerifyStats::ToJson() const {

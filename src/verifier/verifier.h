@@ -11,6 +11,13 @@
 //      (automaton state, pseudoconfiguration) pairs looking for a lollipop
 //      path; pseudoconfiguration successors are produced by `succP`
 //      (core kept, extension re-chosen, options computed, input picked).
+//
+// PR 3: the (assignment, core) pairs of step 3 are independent searches,
+// and `VerifyRequest::jobs` runs them on a work-stealing worker pool (see
+// docs/PARALLELISM.md for the shard model and the determinism contract).
+// `Verifier::Run(VerifyRequest) -> StatusOr<VerifyResponse>` is the one
+// supported entry point; `Verify`, `TryVerify` and `VerifyWithRetry`
+// survive as thin deprecated wrappers over it.
 #ifndef WAVE_VERIFIER_VERIFIER_H_
 #define WAVE_VERIFIER_VERIFIER_H_
 
@@ -178,6 +185,84 @@ struct VerifyResult {
   std::string CounterexampleString(const WebAppSpec& spec) const;
 };
 
+// --- the unified request/response API (PR 3) --------------------------------
+
+/// One rung of the retry escalation ladder: the budgets that override the
+/// base `VerifyOptions` for that attempt (the deadline is assigned
+/// separately, from the ladder's total budget).
+struct RetryRung {
+  std::string name;                     // "tight", "base", "exhaustive", ...
+  int max_candidates = 20;
+  int64_t max_expansions = -1;          // -1 = unlimited
+  bool exhaustive_existential = false;
+};
+
+/// What one attempt did, for logs and `--stats-json`.
+struct AttemptRecord {
+  int rung = 0;
+  std::string rung_name;
+  double budget_seconds = 0;   // deadline assigned to this attempt
+  double elapsed_seconds = 0;  // what it actually used
+  Verdict verdict = Verdict::kUnknown;
+  UnknownReason unknown_reason = UnknownReason::kNone;
+  std::string failure_reason;
+  VerifyStats stats;
+
+  obs::Json ToJson() const;
+};
+
+/// Budget-escalation policy of a `VerifyRequest`. Disabled by default (a
+/// single attempt with the request's own options); when `enabled`, the
+/// ladder is climbed exactly as documented in verifier/retry.h.
+struct RetryPolicy {
+  bool enabled = false;
+  /// Ladder to climb; empty uses `DefaultLadder` over the base options.
+  std::vector<RetryRung> ladder;
+  /// Total wall-clock budget across every attempt; <= 0 uses the base
+  /// options' `timeout_seconds`.
+  double total_budget_seconds = -1;
+};
+
+/// Everything one verification needs, in one value. Select the property
+/// either directly (`property`, borrowed) or by name/index into a
+/// `properties` catalog — exactly one selector must be set.
+struct VerifyRequest {
+  /// The property to check (not owned; must outlive the call). Highest
+  /// precedence.
+  const Property* property = nullptr;
+
+  /// Catalog for name/index selection (not owned). Required when
+  /// `property` is null.
+  const std::vector<Property>* properties = nullptr;
+  /// Index into `properties` (-1 = unset).
+  int property_index = -1;
+  /// Name lookup in `properties` (empty = unset; checked after
+  /// `property_index`).
+  std::string property_name;
+
+  VerifyOptions options;
+  RetryPolicy retry;
+
+  /// Worker threads for the sharded (assignment, core) search: 1 (the
+  /// default) searches on the calling thread exactly as before; N > 1
+  /// runs a work-stealing pool of N; 0 means one per hardware thread.
+  /// Verdicts are run-to-run deterministic across jobs values — see
+  /// docs/PARALLELISM.md for the contract and its caveats.
+  int jobs = 1;
+};
+
+/// Outcome of `Verifier::Run`: a `VerifyResult` plus the retry history
+/// (empty unless the request enabled a retry policy).
+struct VerifyResponse : VerifyResult {
+  /// Per-attempt records when `retry.enabled`; empty otherwise.
+  std::vector<AttemptRecord> attempts;
+  /// Index of the ladder rung that decided (kHolds/kViolated); -1 when no
+  /// rung did or retry was disabled.
+  int decided_rung = -1;
+
+  obs::Json AttemptsJson() const;
+};
+
 /// Structured pre-flight validation of a property against a spec (ISSUE
 /// 2): every page atom names a known page, every relation atom resolves in
 /// the catalog with the declared arity, and every free variable of the
@@ -201,15 +286,24 @@ class Verifier {
   /// returns FailedPrecondition (listing the issues) instead of aborting.
   static StatusOr<std::unique_ptr<Verifier>> Create(WebAppSpec* spec);
 
-  /// Checks that all runs satisfy `property`. The property must pass
-  /// `ValidatePropertyForSpec` (aborts on internal invariants otherwise);
-  /// use `TryVerify` for untrusted properties.
+  /// The one supported entry point (PR 3): resolves the request's property
+  /// selector, pre-validates it against the spec, then runs the search —
+  /// sharded over `request.jobs` workers, wrapped in the retry ladder when
+  /// `request.retry.enabled`. Returns InvalidArgument for a bad selector
+  /// or a property that fails `ValidatePropertyForSpec`; search-level
+  /// failures (budgets, overflow) are a kUnknown verdict, not an error
+  /// Status.
+  StatusOr<VerifyResponse> Run(const VerifyRequest& request);
+
+  /// DEPRECATED — thin wrapper over `Run` kept for source compatibility.
+  /// Checks that all runs satisfy `property`; aborts (WAVE_CHECK) if the
+  /// property fails pre-flight validation. New code should build a
+  /// `VerifyRequest` and call `Run`.
   VerifyResult Verify(const Property& property,
                       const VerifyOptions& options = {});
 
-  /// Status-returning variant: pre-validates `property` against the spec
-  /// and returns InvalidArgument instead of aborting on unknown
-  /// pages/relations, arity mismatches or unbound free variables.
+  /// DEPRECATED — thin wrapper over `Run` kept for source compatibility.
+  /// Status-returning variant of `Verify`. New code should call `Run`.
   StatusOr<VerifyResult> TryVerify(const Property& property,
                                    const VerifyOptions& options = {});
 

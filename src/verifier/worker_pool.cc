@@ -1,0 +1,45 @@
+#include "verifier/worker_pool.h"
+
+#include <chrono>
+
+namespace wave {
+
+int WorkerPool::ResolveJobs(int jobs) {
+  if (jobs >= 1) return jobs;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void WorkerPool::Start(std::function<void(int)> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_ = num_workers_;
+  }
+  threads_.reserve(num_workers_);
+  for (int w = 0; w < num_workers_; ++w) {
+    threads_.emplace_back([this, fn, w] {
+      fn(w);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    });
+  }
+}
+
+bool WorkerPool::WaitDone(double seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (seconds < 0) {
+    done_cv_.wait(lock, [this] { return active_ == 0; });
+    return true;
+  }
+  return done_cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                           [this] { return active_ == 0; });
+}
+
+void WorkerPool::Join() {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace wave

@@ -1,0 +1,59 @@
+// Fixed thread pool for one parallel verification attempt (PR 3).
+//
+// Deliberately minimal: an attempt spawns exactly `size()` workers once,
+// the calling thread stays free to aggregate heartbeats while they run
+// (`WaitDone` with a period), and `Join` reaps them. There is no task
+// queue here — work distribution is the `ShardQueue`'s job — and no pool
+// reuse across attempts: thread spawn cost is microseconds against
+// searches that run milliseconds to minutes.
+#ifndef WAVE_VERIFIER_WORKER_POOL_H_
+#define WAVE_VERIFIER_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wave {
+
+class WorkerPool {
+ public:
+  /// Resolves a user-facing jobs count: values >= 1 pass through, 0 (or
+  /// negative) means "one per hardware thread" (at least 1).
+  static int ResolveJobs(int jobs);
+
+  explicit WorkerPool(int num_workers)
+      : num_workers_(num_workers < 1 ? 1 : num_workers) {}
+
+  /// Joins any still-running workers.
+  ~WorkerPool() { Join(); }
+
+  int size() const { return num_workers_; }
+
+  /// Spawns the workers, invoking `fn(worker)` for worker in
+  /// [0, size()). Call at most once per pool.
+  void Start(std::function<void(int worker)> fn);
+
+  /// Blocks up to `seconds` (forever when negative) for every worker to
+  /// return. True once all have; false on timeout — the caller's cue to
+  /// fire a periodic heartbeat and wait again.
+  bool WaitDone(double seconds);
+
+  /// Joins all worker threads (idempotent).
+  void Join();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+ private:
+  int num_workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  int active_ = 0;
+};
+
+}  // namespace wave
+
+#endif  // WAVE_VERIFIER_WORKER_POOL_H_

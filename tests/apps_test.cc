@@ -6,6 +6,8 @@
 #include "apps/apps.h"
 #include "verifier/verifier.h"
 
+#include "verify_helpers.h"
+
 namespace wave {
 namespace {
 
@@ -35,7 +37,7 @@ TEST_P(AppsTest, AllPropertiesMatchExpectedVerdicts) {
     ASSERT_TRUE(p.has_expected) << p.property.name;
     VerifyOptions options;
     options.timeout_seconds = 120;
-    VerifyResult r = verifier.Verify(p.property, options);
+    VerifyResult r = RunVerify(verifier, p.property, options);
     ASSERT_NE(r.verdict, Verdict::kUnknown)
         << GetParam().name << "/" << p.property.name << ": "
         << r.failure_reason;

@@ -10,6 +10,8 @@
 #include "parser/parser.h"
 #include "verifier/verifier.h"
 
+#include "verify_helpers.h"
+
 namespace wave {
 namespace {
 
@@ -93,14 +95,14 @@ TEST(PatternsTest, BuiltPropertiesVerifyLikeDslOnes) {
   ASSERT_TRUE(errors.empty());
   Property built = Correlation({"P10_api", "", {"p", "pr"}}, paid, cart);
   Verifier verifier(e1.spec.get());
-  VerifyResult r = verifier.Verify(built);
+  VerifyResult r = RunVerify(verifier, built);
   EXPECT_EQ(r.verdict, Verdict::kHolds) << r.failure_reason;
 
   // And the falsified direction, via Guarantee.
   FormulaPtr logged =
       ParseFormula("loggedin()", e1.spec.get(), &errors);
   Property never = Guarantee({"always_login", "", {}}, logged);
-  VerifyResult r2 = verifier.Verify(never);
+  VerifyResult r2 = RunVerify(verifier, never);
   EXPECT_EQ(r2.verdict, Verdict::kViolated);
 }
 

@@ -13,6 +13,8 @@
 #include "parser/parser.h"
 #include "verifier/verifier.h"
 
+#include "verify_helpers.h"
+
 namespace wave {
 namespace {
 
@@ -89,7 +91,7 @@ TEST_P(RandomDifferentialTest, WaveAgreesWithExplicitBaseline) {
     VerifyOptions wave_options;
     wave_options.timeout_seconds = 60;
     VerifyResult wave_result =
-        wave_verifier.Verify(parsed.properties[0].property, wave_options);
+        RunVerify(wave_verifier, parsed.properties[0].property, wave_options);
     ASSERT_NE(wave_result.verdict, Verdict::kUnknown)
         << wave_result.failure_reason << "\n" << spec_text << property_text;
 

@@ -20,6 +20,8 @@
 #include "verifier/validate.h"
 #include "verifier/verifier.h"
 
+#include "verify_helpers.h"
+
 namespace wave {
 namespace {
 
@@ -496,7 +498,7 @@ TEST(UnknownReasonE2eTest, DecidedResultsCarryNoReason) {
   Verifier verifier(e1.spec.get());
   const Property* p1 = FindProperty(e1, "P1");
   ASSERT_NE(p1, nullptr);
-  VerifyResult r = verifier.Verify(*p1);
+  VerifyResult r = RunVerify(verifier, *p1);
   ASSERT_EQ(r.verdict, Verdict::kHolds) << r.failure_reason;
   EXPECT_EQ(r.unknown_reason, UnknownReason::kNone);
   EXPECT_GT(r.stats.peak_memory_bytes, 0);
@@ -509,7 +511,7 @@ TEST(UnknownReasonE2eTest, TimeoutReason) {
   VerifyOptions options;
   options.timeout_seconds = 0;
   VerifyResult r =
-      verifier.Verify(e1.properties[0].property, options);
+      RunVerify(verifier, e1.properties[0].property, options);
   EXPECT_EQ(r.verdict, Verdict::kUnknown);
   EXPECT_EQ(r.unknown_reason, UnknownReason::kTimeout);
 }
@@ -527,7 +529,7 @@ TEST(UnknownReasonE2eTest, DeadlineGranularityIsMilliseconds) {
   options.exhaustive_existential = true;
   options.timeout_seconds = 0.05;
   auto start = std::chrono::steady_clock::now();
-  VerifyResult r = verifier.Verify(*p5, options);
+  VerifyResult r = RunVerify(verifier, *p5, options);
   double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -542,7 +544,7 @@ TEST(UnknownReasonE2eTest, ExpansionBudgetReason) {
   VerifyOptions options;
   options.max_expansions = 1;
   VerifyResult r =
-      verifier.Verify(e1.properties[0].property, options);
+      RunVerify(verifier, e1.properties[0].property, options);
   EXPECT_EQ(r.verdict, Verdict::kUnknown);
   EXPECT_EQ(r.unknown_reason, UnknownReason::kExpansionBudget);
   EXPECT_NE(r.failure_reason.find("budget"), std::string::npos);
@@ -555,7 +557,7 @@ TEST(UnknownReasonE2eTest, CandidateBudgetReason) {
   ASSERT_NE(p1, nullptr);
   VerifyOptions options;
   options.max_candidates = 6;  // P1 needs 10 candidate tuples at page HP
-  VerifyResult r = verifier.Verify(*p1, options);
+  VerifyResult r = RunVerify(verifier, *p1, options);
   EXPECT_EQ(r.verdict, Verdict::kUnknown);
   EXPECT_EQ(r.unknown_reason, UnknownReason::kCandidateBudget);
 }
@@ -567,7 +569,7 @@ TEST(UnknownReasonE2eTest, MemoryLimitReason) {
   ASSERT_NE(p1, nullptr);
   VerifyOptions options;
   options.max_memory_bytes = 1024;  // below one search's trie footprint
-  VerifyResult r = verifier.Verify(*p1, options);
+  VerifyResult r = RunVerify(verifier, *p1, options);
   EXPECT_EQ(r.verdict, Verdict::kUnknown);
   EXPECT_EQ(r.unknown_reason, UnknownReason::kMemoryLimit);
   EXPECT_NE(r.failure_reason.find("memory"), std::string::npos);
@@ -582,7 +584,7 @@ TEST(UnknownReasonE2eTest, PreCancelledTokenShortCircuits) {
   VerifyOptions options;
   options.cancellation = &token;
   VerifyResult r =
-      verifier.Verify(e1.properties[0].property, options);
+      RunVerify(verifier, e1.properties[0].property, options);
   EXPECT_EQ(r.verdict, Verdict::kUnknown);
   EXPECT_EQ(r.unknown_reason, UnknownReason::kCancelled);
 }
@@ -604,7 +606,7 @@ TEST(UnknownReasonE2eTest, MidSearchCancellationKeepsPartialStats) {
   options.heartbeat = [&token](const HeartbeatSnapshot& hb) {
     if (hb.num_expansions >= 200) token.Cancel();
   };
-  VerifyResult r = verifier.Verify(*p5, options);
+  VerifyResult r = RunVerify(verifier, *p5, options);
   EXPECT_EQ(r.verdict, Verdict::kUnknown);
   EXPECT_EQ(r.unknown_reason, UnknownReason::kCancelled);
   EXPECT_NE(r.failure_reason.find("cancelled"), std::string::npos);
@@ -681,7 +683,7 @@ TEST(RetryLadderTest, FlipsACandidateBudgetUnknownToDecided) {
   VerifyOptions base;
   base.max_candidates = 6;
 
-  VerifyResult plain = verifier.Verify(*p1, base);
+  VerifyResult plain = RunVerify(verifier, *p1, base);
   ASSERT_EQ(plain.verdict, Verdict::kUnknown);
   ASSERT_EQ(plain.unknown_reason, UnknownReason::kCandidateBudget);
 

@@ -5,6 +5,8 @@
 #include "parser/parser.h"
 #include "verifier/verifier.h"
 
+#include "verify_helpers.h"
+
 namespace wave {
 namespace {
 
@@ -91,17 +93,17 @@ TEST_F(TinySpecTest, SpecParsesAndValidates) {
 }
 
 TEST_F(TinySpecTest, HomeIsReachedInitially) {
-  VerifyResult r = verifier_->Verify(property("p_home_start"));
+  VerifyResult r = RunVerify(*verifier_, property("p_home_start"));
   EXPECT_EQ(r.verdict, Verdict::kHolds) << r.failure_reason;
 }
 
 TEST_F(TinySpecTest, WelcomeOnlyForRegisteredUsers) {
-  VerifyResult r = verifier_->Verify(property("p_welcome_registered"));
+  VerifyResult r = RunVerify(*verifier_, property("p_welcome_registered"));
   EXPECT_EQ(r.verdict, Verdict::kHolds) << r.failure_reason;
 }
 
 TEST_F(TinySpecTest, MemberPageIsReachable) {
-  VerifyResult r = verifier_->Verify(property("p_never_member"));
+  VerifyResult r = RunVerify(*verifier_, property("p_never_member"));
   ASSERT_EQ(r.verdict, Verdict::kViolated) << r.failure_reason;
   // The counterexample must actually enter MP somewhere.
   bool enters_mp = false;
@@ -116,12 +118,12 @@ TEST_F(TinySpecTest, MemberPageIsReachable) {
 }
 
 TEST_F(TinySpecTest, WelcomeCanFire) {
-  VerifyResult r = verifier_->Verify(property("p_welcome_never"));
+  VerifyResult r = RunVerify(*verifier_, property("p_welcome_never"));
   EXPECT_EQ(r.verdict, Verdict::kViolated) << r.failure_reason;
 }
 
 TEST_F(TinySpecTest, SessionRecordedBeforeMemberPage) {
-  VerifyResult r = verifier_->Verify(property("p_session_after_welcome"));
+  VerifyResult r = RunVerify(*verifier_, property("p_session_after_welcome"));
   EXPECT_EQ(r.verdict, Verdict::kHolds) << r.failure_reason;
 }
 

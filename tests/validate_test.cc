@@ -8,6 +8,8 @@
 #include "verifier/validate.h"  // IWYU pragma: keep
 #include "verifier/verifier.h"
 
+#include "verify_helpers.h"
+
 namespace wave {
 namespace {
 
@@ -17,7 +19,7 @@ void ValidateAllViolations(AppBundle* bundle, const char* app) {
   for (const ParsedProperty& p : bundle->properties) {
     VerifyOptions options;
     options.timeout_seconds = 120;
-    VerifyResult r = verifier.Verify(p.property, options);
+    VerifyResult r = RunVerify(verifier, p.property, options);
     if (r.verdict != Verdict::kViolated) continue;
     ++violations;
     ValidationResult v =
@@ -52,7 +54,7 @@ TEST(ValidateTest, E4ViolationsAreGenuine) {
 TEST(ValidateTest, RejectsNonViolations) {
   AppBundle e1 = BuildE1();
   Verifier verifier(e1.spec.get());
-  VerifyResult r = verifier.Verify(e1.properties[0].property);  // P1, holds
+  VerifyResult r = RunVerify(verifier, e1.properties[0].property);  // P1, holds
   ASSERT_EQ(r.verdict, Verdict::kHolds);
   ValidationResult v =
       ValidateCounterexample(e1.spec.get(), e1.properties[0].property, r);
@@ -67,7 +69,7 @@ TEST(ValidateTest, WitnessBindingIsRecorded) {
     if (p.property.name == "P6") p6 = &p.property;
   }
   ASSERT_NE(p6, nullptr);
-  VerifyResult r = verifier.Verify(*p6);
+  VerifyResult r = RunVerify(verifier, *p6);
   ASSERT_EQ(r.verdict, Verdict::kViolated);
   // P6 quantifies over one variable (the registered-but-never-logged-in
   // user); its witness must be bound.
@@ -117,7 +119,7 @@ TEST(IncompleteModeTest, SpuriousCandidatesAreRejectedNotReported) {
   ASSERT_TRUE(parsed.ok()) << parsed.ErrorText();
   Verifier verifier(parsed.spec.get());
   // Raw search: the first candidate mixes inconsistent promo assumptions.
-  VerifyResult raw = verifier.Verify(parsed.properties[1].property);
+  VerifyResult raw = RunVerify(verifier, parsed.properties[1].property);
   ASSERT_EQ(raw.verdict, Verdict::kViolated);
   ValidationResult v = ValidateCounterexample(
       parsed.spec.get(), parsed.properties[1].property, raw);
@@ -149,7 +151,7 @@ TEST(IncompleteModeTest, CandidateFilterCanRejectEverything) {
     return false;  // reject all candidates
   };
   VerifyResult r =
-      verifier.Verify(parsed.properties[0].property, options);
+      RunVerify(verifier, parsed.properties[0].property, options);
   EXPECT_EQ(r.verdict, Verdict::kHolds)
       << "with everything rejected the raw search reports no violation";
   EXPECT_GT(seen, 0);

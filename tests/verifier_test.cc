@@ -16,6 +16,8 @@
 #include "verifier/trie.h"
 #include "verifier/verifier.h"
 
+#include "verify_helpers.h"
+
 namespace wave {
 namespace {
 
@@ -236,7 +238,7 @@ class SmallSpecTest : public ::testing::Test {
 TEST_F(SmallSpecTest, AllVerdictsMatch) {
   Verifier verifier(result_.spec.get());
   for (const ParsedProperty& p : result_.properties) {
-    VerifyResult r = verifier.Verify(p.property);
+    VerifyResult r = RunVerify(verifier, p.property);
     EXPECT_NE(r.verdict, Verdict::kUnknown)
         << p.property.name << ": " << r.failure_reason;
     EXPECT_EQ(r.verdict == Verdict::kHolds, p.expected) << p.property.name;
@@ -250,12 +252,12 @@ TEST_F(MicroSpecTest, HeuristicsPreserveVerdicts) {
   Verifier verifier(result_.spec.get());
   for (const ParsedProperty& p : result_.properties) {
     VerifyOptions with;
-    VerifyResult expected = verifier.Verify(p.property, with);
+    VerifyResult expected = RunVerify(verifier, p.property, with);
     VerifyOptions without;
     without.heuristic1 = false;
     without.max_candidates = 16;
     without.timeout_seconds = 300;
-    VerifyResult actual = verifier.Verify(p.property, without);
+    VerifyResult actual = RunVerify(verifier, p.property, without);
     ASSERT_NE(actual.verdict, Verdict::kUnknown)
         << p.property.name << ": " << actual.failure_reason;
     EXPECT_EQ(actual.verdict, expected.verdict) << p.property.name;
@@ -269,7 +271,7 @@ TEST_F(SmallSpecTest, CounterexampleEndsInACycleAndReachesShop) {
     if (p.property.name == "fails_shop") shop = &p;
   }
   ASSERT_NE(shop, nullptr);
-  VerifyResult r = verifier.Verify(shop->property);
+  VerifyResult r = RunVerify(verifier, shop->property);
   ASSERT_EQ(r.verdict, Verdict::kViolated);
   ASSERT_FALSE(r.candy.empty()) << "lollipop must have a cycle";
   int shop_page = result_.spec->PageIndex("SHOP");
@@ -285,7 +287,7 @@ TEST_F(SmallSpecTest, CounterexampleEndsInACycleAndReachesShop) {
 
 TEST_F(SmallSpecTest, StatsArePopulated) {
   Verifier verifier(result_.spec.get());
-  VerifyResult r = verifier.Verify(result_.properties[0].property);
+  VerifyResult r = RunVerify(verifier, result_.properties[0].property);
   EXPECT_GT(r.stats.buchi_states, 0);
   EXPECT_GT(r.stats.num_expansions, 0);
   EXPECT_GT(r.stats.max_trie_size, 0);
@@ -296,7 +298,7 @@ TEST_F(SmallSpecTest, StatsArePopulated) {
 
 TEST_F(SmallSpecTest, PhaseTimingsAndTrieCountersArePopulated) {
   Verifier verifier(result_.spec.get());
-  VerifyResult r = verifier.Verify(result_.properties[0].property);
+  VerifyResult r = RunVerify(verifier, result_.properties[0].property);
   // Phase wall-times are filled in from the metrics layer and bounded by
   // the total.
   EXPECT_GT(r.stats.prepare_seconds, 0);
@@ -316,7 +318,7 @@ TEST_F(SmallSpecTest, MetricsRegistryReceivesVerifierCounters) {
   obs::MetricsRegistry metrics;
   VerifyOptions options;
   options.metrics = &metrics;
-  VerifyResult r = verifier.Verify(result_.properties[0].property, options);
+  VerifyResult r = RunVerify(verifier, result_.properties[0].property, options);
   EXPECT_EQ(metrics.counter("verify.expansions")->value(),
             r.stats.num_expansions);
   EXPECT_EQ(metrics.counter("trie.hits")->value(), r.stats.trie_hits);
@@ -329,7 +331,7 @@ TEST_F(SmallSpecTest, MetricsRegistryReceivesVerifierCounters) {
 
   // A shared registry accumulates across Verify calls; per-call stats
   // must not (regression test for double counting).
-  VerifyResult r2 = verifier.Verify(result_.properties[0].property, options);
+  VerifyResult r2 = RunVerify(verifier, result_.properties[0].property, options);
   EXPECT_EQ(metrics.counter("verify.expansions")->value(),
             r.stats.num_expansions + r2.stats.num_expansions);
   double r2_phase_sum = r2.stats.prepare_seconds + r2.stats.dataflow_seconds +
@@ -343,7 +345,7 @@ TEST_F(SmallSpecTest, TracerEmitsNestedPhaseSpans) {
   obs::Tracer tracer;
   VerifyOptions options;
   options.tracer = &tracer;
-  verifier.Verify(result_.properties[0].property, options);
+  RunVerify(verifier, result_.properties[0].property, options);
 
   // The trace must contain verify > {prepare, search, validate}, with the
   // children inside the root span's interval.
@@ -378,11 +380,11 @@ TEST_F(SmallSpecTest, TracerEmitsNestedPhaseSpans) {
 TEST_F(SmallSpecTest, DisabledTracerProducesNoEventsAndSameVerdict) {
   Verifier verifier(result_.spec.get());
   // Null tracer (the default) is the fast path: no events anywhere.
-  VerifyResult plain = verifier.Verify(result_.properties[0].property);
+  VerifyResult plain = RunVerify(verifier, result_.properties[0].property);
   obs::Tracer tracer;
   VerifyOptions traced;
   traced.tracer = &tracer;
-  VerifyResult with = verifier.Verify(result_.properties[0].property, traced);
+  VerifyResult with = RunVerify(verifier, result_.properties[0].property, traced);
   EXPECT_EQ(plain.verdict, with.verdict);
   EXPECT_EQ(plain.stats.num_expansions, with.stats.num_expansions);
   EXPECT_GT(tracer.events().size(), 0u);
@@ -391,7 +393,7 @@ TEST_F(SmallSpecTest, DisabledTracerProducesNoEventsAndSameVerdict) {
 
 TEST_F(SmallSpecTest, StatsJsonCarriesEveryField) {
   Verifier verifier(result_.spec.get());
-  VerifyResult r = verifier.Verify(result_.properties[0].property);
+  VerifyResult r = RunVerify(verifier, result_.properties[0].property);
   obs::Json j = r.stats.ToJson();
   for (const char* key :
        {"seconds", "prepare_seconds", "dataflow_seconds", "search_seconds",
@@ -416,7 +418,7 @@ TEST(HeartbeatTest, FiresOnLongE1Property) {
   options.heartbeat = [&](const HeartbeatSnapshot& hb) {
     beats.push_back(hb);
   };
-  VerifyResult r = verifier.Verify(bundle.properties[0].property, options);
+  VerifyResult r = RunVerify(verifier, bundle.properties[0].property, options);
   ASSERT_FALSE(beats.empty());
   EXPECT_EQ(r.stats.heartbeats, static_cast<int64_t>(beats.size()));
   for (size_t i = 1; i < beats.size(); ++i) {
@@ -432,7 +434,7 @@ TEST_F(SmallSpecTest, TimeoutYieldsUnknown) {
   Verifier verifier(result_.spec.get());
   VerifyOptions options;
   options.timeout_seconds = 0.0;
-  VerifyResult r = verifier.Verify(result_.properties[0].property, options);
+  VerifyResult r = RunVerify(verifier, result_.properties[0].property, options);
   EXPECT_EQ(r.verdict, Verdict::kUnknown);
   EXPECT_NE(r.failure_reason.find("timeout"), std::string::npos);
 }
@@ -447,7 +449,7 @@ TEST_F(MicroSpecTest, AgreesWithFirstCutBaseline) {
   Verifier wave_verifier(result_.spec.get());
   FirstCutVerifier baseline(result_.spec.get());
   for (const ParsedProperty& p : result_.properties) {
-    VerifyResult wave_result = wave_verifier.Verify(p.property);
+    VerifyResult wave_result = RunVerify(wave_verifier, p.property);
     FirstCutOptions options;
     options.extra_domain_values = 1;
     options.timeout_seconds = 120;
@@ -466,10 +468,10 @@ TEST_F(MicroSpecTest, ExhaustiveExistentialAgrees) {
   // needs only representative assignments).
   Verifier verifier(result_.spec.get());
   for (const ParsedProperty& p : result_.properties) {
-    VerifyResult fast = verifier.Verify(p.property);
+    VerifyResult fast = RunVerify(verifier, p.property);
     VerifyOptions options;
     options.exhaustive_existential = true;
-    VerifyResult slow = verifier.Verify(p.property, options);
+    VerifyResult slow = RunVerify(verifier, p.property, options);
     EXPECT_EQ(fast.verdict, slow.verdict) << p.property.name;
     EXPECT_GE(slow.stats.num_assignments, fast.stats.num_assignments);
   }
@@ -479,7 +481,7 @@ TEST_F(MicroSpecTest, ExpansionBudgetYieldsUnknown) {
   Verifier verifier(result_.spec.get());
   VerifyOptions options;
   options.max_expansions = 1;
-  VerifyResult r = verifier.Verify(result_.properties[0].property, options);
+  VerifyResult r = RunVerify(verifier, result_.properties[0].property, options);
   EXPECT_EQ(r.verdict, Verdict::kUnknown);
   EXPECT_NE(r.failure_reason.find("budget"), std::string::npos);
 }

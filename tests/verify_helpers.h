@@ -1,0 +1,32 @@
+// Shared test-side entry point into the verifier: every test that is not
+// deliberately exercising the deprecated Verify/TryVerify/VerifyWithRetry
+// wrappers goes through the unified VerifyRequest API (PR 3) via this
+// helper, so the request-based code path gets the bulk of the coverage.
+#ifndef WAVE_TESTS_VERIFY_HELPERS_H_
+#define WAVE_TESTS_VERIFY_HELPERS_H_
+
+#include <utility>
+
+#include "common/check.h"
+#include "verifier/verifier.h"
+
+namespace wave {
+
+/// Runs `property` through Verifier::Run and unwraps the response, dying
+/// with the status message on a malformed request (tests that expect a
+/// bad request use Run directly and inspect the Status).
+inline VerifyResult RunVerify(Verifier& verifier, const Property& property,
+                              VerifyOptions options = {}, int jobs = 1) {
+  VerifyRequest request;
+  request.property = &property;
+  request.options = std::move(options);
+  request.jobs = jobs;
+  StatusOr<VerifyResponse> response = verifier.Run(request);
+  WAVE_CHECK_MSG(response.ok(), "RunVerify(" << property.name << "): "
+                                             << response.status().message());
+  return std::move(static_cast<VerifyResult&>(*response));
+}
+
+}  // namespace wave
+
+#endif  // WAVE_TESTS_VERIFY_HELPERS_H_

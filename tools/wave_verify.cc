@@ -16,6 +16,10 @@
 // emits the partial stats JSON, `--keep-going` isolates per-property
 // failures, and `--retry-ladder` climbs the budget-escalation ladder of
 // verifier/retry.h instead of a single fixed-budget attempt.
+//
+// Parallel search (ISSUE 3): `--jobs=N` fans the (assignment, core) shard
+// space out over N worker threads via the unified VerifyRequest API; the
+// verdict is bit-identical to --jobs=1 (see docs/PARALLELISM.md).
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -30,7 +34,6 @@
 #include "obs/tracer.h"
 #include "parser/parser.h"
 #include "verifier/governor.h"
-#include "verifier/retry.h"
 #include "verifier/validate.h"
 #include "verifier/verifier.h"
 
@@ -49,6 +52,9 @@ options:
   --stats-json=PATH     write verdicts + VerifyStats + metrics as JSON (atomic)
   --summary             print the aggregated phase-time table after each run
   --heartbeat=SECONDS   print progress lines every SECONDS (default off)
+  --jobs=N              search (assignment, core) shards on N worker threads
+                        (default 1; 0 = one per hardware thread; verdicts
+                        are identical at any N — see docs/PARALLELISM.md)
   --timeout=SECONDS     wall-clock budget per property (default 120)
   --max-expansions=N    expansion budget per property (default unlimited)
   --max-candidates=N    candidate-tuple budget (default 20)
@@ -77,6 +83,7 @@ struct CliOptions {
   bool validated = false;
   bool keep_going = false;
   bool retry_ladder = false;
+  int jobs = 1;
   VerifyOptions verify;
 };
 
@@ -107,6 +114,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* out, std::string* error) {
       out->summary = true;
     } else if ((v = value_of(arg, "--heartbeat")) != nullptr) {
       out->heartbeat_seconds = std::atof(v);
+    } else if ((v = value_of(arg, "--jobs")) != nullptr) {
+      out->jobs = std::atoi(v);
     } else if ((v = value_of(arg, "--timeout")) != nullptr) {
       out->verify.timeout_seconds = std::atof(v);
     } else if ((v = value_of(arg, "--max-expansions")) != nullptr) {
@@ -260,14 +269,27 @@ int Main(int argc, char** argv) {
     }
     VerifyResult r;
     obs::Json attempts;
-    if (cli.retry_ladder) {
-      RetryResult ladder = VerifyWithRetry(&verifier, p->property, options);
-      r = std::move(ladder.result);
-      attempts = ladder.AttemptsJson();
-    } else if (cli.validated) {
-      r = VerifyValidated(&verifier, parsed.spec.get(), p->property, options);
+    if (cli.validated) {
+      // The Section 7 loop installs its own candidate filter, so it keeps
+      // its dedicated entry point (which routes through Run internally).
+      r = VerifyValidated(&verifier, parsed.spec.get(), p->property, options,
+                          cli.jobs);
     } else {
-      r = verifier.Verify(p->property, options);
+      VerifyRequest request;
+      request.property = &p->property;
+      request.options = options;
+      request.retry.enabled = cli.retry_ladder;
+      request.jobs = cli.jobs;
+      StatusOr<VerifyResponse> response = verifier.Run(request);
+      if (!response.ok()) {
+        std::fprintf(stderr, "wave_verify: %s: %s\n", p->property.name.c_str(),
+                     response.status().ToString().c_str());
+        if (!cli.keep_going) return 1;
+        load_failures = true;
+        continue;
+      }
+      if (cli.retry_ladder) attempts = response->AttemptsJson();
+      r = std::move(static_cast<VerifyResult&>(*response));
     }
     if (r.unknown_reason == UnknownReason::kCancelled) interrupted = true;
     if (r.verdict == Verdict::kUnknown) ++undecided;
