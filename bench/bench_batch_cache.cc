@@ -1,0 +1,175 @@
+// Experiment: batch verification and persistent result caching (PR 4).
+//
+// Three regimes per bundled application, all at jobs=1 so the deltas
+// isolate the session/cache machinery rather than parallel speedup:
+//
+//   * sequential  — one Verifier, N independent Run calls: each call
+//     pays its own property plan + assignment prepass (the spec prepass
+//     is still session-cached inside the Verifier).
+//   * batch_cold  — one RunBatch over the same N properties: the spec
+//     prepass runs once, plans and GPVW skeletons dedupe across
+//     properties, and all searches share one fused shard stream.
+//   * cache_warm  — RunBatch against a persistent ResultCache populated
+//     by a prior cold batch: every verdict is served from disk, so the
+//     wall time bounds the fingerprint + lookup overhead.
+//
+// Every regime asserts verdict identity against the sequential baseline
+// before recording. BENCH_batch.json carries one row per (app, regime)
+// with {properties, cache_hits, prepass_reuses} in the counters, so the
+// cold-vs-warm trajectory stays diffable across machines.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "bench_util.h"
+#include "verifier/cache.h"
+
+namespace {
+
+using namespace wave;  // NOLINT: experiment harness
+
+struct App {
+  const char* label;
+  AppBundle (*build)();
+};
+
+std::vector<Property> CatalogOf(const AppBundle& bundle) {
+  std::vector<Property> catalog;
+  for (const ParsedProperty& p : bundle.properties) {
+    catalog.push_back(p.property);
+  }
+  return catalog;
+}
+
+// Each bundle's symbol table accumulates minted witnesses, so every
+// timed run gets a freshly built bundle: regime comparisons then start
+// from identical state.
+BatchResponse RunBatchOrDie(const App& app, ResultCache* cache) {
+  AppBundle bundle = app.build();
+  std::vector<Property> catalog = CatalogOf(bundle);
+  Verifier verifier(bundle.spec.get());
+  BatchRequest request;
+  request.properties = &catalog;
+  request.options.timeout_seconds = 300;
+  request.jobs = 1;
+  request.cache = cache;
+  StatusOr<BatchResponse> batch = verifier.RunBatch(request);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "bench: %s: %s\n", app.label,
+                 batch.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(batch);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("batch verification + persistent result cache (jobs=1)\n\n");
+  std::printf("%-4s %12s %12s %12s %10s %10s\n", "app", "seq[s]", "cold[s]",
+              "warm[s]", "hits", "reuses");
+
+  bench::JsonLinesEmitter emitter("batch");
+  const std::vector<App> apps = {
+      {"e1", BuildE1}, {"e2", BuildE2}, {"e3", BuildE3}, {"e4", BuildE4}};
+  const int kSamples = 3;
+  int failures = 0;
+
+  for (const App& app : apps) {
+    // Sequential baseline: one timed pass, verdicts kept for the
+    // equivalence check below.
+    std::vector<Verdict> baseline;
+    double sequential_s = 0;
+    {
+      AppBundle bundle = app.build();
+      std::vector<Property> catalog = CatalogOf(bundle);
+      Verifier verifier(bundle.spec.get());
+      for (const Property& p : catalog) {
+        VerifyOptions options;
+        options.timeout_seconds = 300;
+        VerifyResult r = bench::RunProperty(verifier, p, options, 1);
+        baseline.push_back(r.verdict);
+        sequential_s += r.stats.seconds;
+      }
+    }
+
+    auto check = [&](const char* regime, const BatchResponse& batch) {
+      for (size_t i = 0; i < baseline.size(); ++i) {
+        if (batch.responses[i].verdict != baseline[i]) {
+          std::fprintf(stderr, "FAIL %s/%s: verdict drift at property %zu\n",
+                       app.label, regime, i);
+          ++failures;
+        }
+      }
+    };
+
+    std::vector<double> cold_times, warm_times;
+    BatchResponse cold, warm;
+    std::filesystem::path cache_dir =
+        std::filesystem::temp_directory_path() /
+        ("wave_bench_batch_cache_" + std::string(app.label));
+    for (int i = 0; i < kSamples; ++i) {
+      // Cold batch: no cache, prepass amortization only.
+      cold = RunBatchOrDie(app, nullptr);
+      cold_times.push_back(cold.merged.seconds);
+
+      // Warm batch: populate a fresh cache dir, then time the all-hit
+      // pass. The populate run is not timed (it matches cold modulo
+      // store I/O).
+      std::filesystem::remove_all(cache_dir);
+      StatusOr<std::unique_ptr<ResultCache>> cache =
+          ResultCache::Open(cache_dir.string());
+      if (!cache.ok()) {
+        std::fprintf(stderr, "bench: %s: %s\n", app.label,
+                     cache.status().ToString().c_str());
+        return 1;
+      }
+      RunBatchOrDie(app, cache->get());
+      warm = RunBatchOrDie(app, cache->get());
+      warm_times.push_back(warm.merged.seconds);
+    }
+    std::filesystem::remove_all(cache_dir);
+    check("batch_cold", cold);
+    check("cache_warm", warm);
+
+    std::sort(cold_times.begin(), cold_times.end());
+    std::sort(warm_times.begin(), warm_times.end());
+    std::printf("%-4s %12.3f %12.3f %12.3f %10lld %10lld\n", app.label,
+                sequential_s, cold_times[cold_times.size() / 2],
+                warm_times[warm_times.size() / 2],
+                static_cast<long long>(warm.merged.cache_hits),
+                static_cast<long long>(cold.merged.prepass_reuses));
+
+    auto emit = [&](const char* regime, std::vector<double> times,
+                    const BatchResponse& batch) {
+      obs::Json params = obs::Json::Object();
+      params.Set("app", obs::Json::Str(app.label));
+      params.Set("regime", obs::Json::Str(regime));
+      params.Set("jobs", obs::Json::Int(1));
+      params.Set("properties",
+                 obs::Json::Int(static_cast<int64_t>(baseline.size())));
+      emitter.Emit(bench::TimingRecord(std::string(app.label) + "_" + regime,
+                                       std::move(params), std::move(times),
+                                       batch.merged.ToJson()));
+    };
+    obs::Json seq_params = obs::Json::Object();
+    seq_params.Set("app", obs::Json::Str(app.label));
+    seq_params.Set("regime", obs::Json::Str("sequential"));
+    seq_params.Set("jobs", obs::Json::Int(1));
+    seq_params.Set("properties",
+                   obs::Json::Int(static_cast<int64_t>(baseline.size())));
+    emitter.Emit(bench::TimingRecord(std::string(app.label) + "_sequential",
+                                     std::move(seq_params), {sequential_s},
+                                     obs::Json::Object()));
+    emit("batch_cold", std::move(cold_times), cold);
+    emit("cache_warm", std::move(warm_times), warm);
+  }
+
+  std::printf(
+      "\nexpectation: cold <= sequential (the shared prepass saving is "
+      "bounded by prepare+dataflow time, so search-dominated apps show "
+      "parity), warm << cold (hits skip search entirely)\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 #   scripts/check.sh --tsan              # TSan build, parallel suite only
 #   scripts/check.sh --stress            # tiny-budget stress run (ASan)
 #   scripts/check.sh --stress undefined  # stress under UBSan
+#   scripts/check.sh --install           # install + out-of-tree find_package smoke
 #
 # Stress mode drives wave_verify over every bundled spec with
 # deliberately tiny budgets (sub-second deadlines, 2-tuple candidate
@@ -20,10 +21,17 @@
 # output, fails the check.
 #
 # TSan mode builds with WAVE_SANITIZE=thread and runs the determinism
-# suite (tests/parallel_test.cc) — the tests that actually spin up
-# worker fleets — rather than the whole battery, since TSan slows
-# execution ~10x and the sequential tests exercise no cross-thread
-# interleavings.
+# suite (tests/parallel_test.cc) plus the batch-equivalence suite
+# (tests/session_test.cc) — the tests that actually spin up worker
+# fleets — rather than the whole battery, since TSan slows execution
+# ~10x and the sequential tests exercise no cross-thread interleavings.
+#
+# Install mode (ISSUE 4 satellite) builds a plain tree, `cmake
+# --install`s it into a throwaway prefix, then configures and runs the
+# out-of-tree consumer in scripts/install_smoke/ against that prefix via
+# `find_package(wave CONFIG REQUIRED)` — proving the exported package
+# carries the headers, the library closure, and the Threads dependency
+# without any reference to this source tree.
 #
 # Uses a separate build tree per sanitizer so the regular build/ stays
 # untouched.
@@ -36,14 +44,49 @@ if [ "${1-}" = "--stress" ]; then
 elif [ "${1-}" = "--tsan" ]; then
   MODE=tsan
   shift
+elif [ "${1-}" = "--install" ]; then
+  MODE=install
+  shift
 fi
 
 if [ "$MODE" = "tsan" ]; then
   SANITIZER="${1-thread}"
+elif [ "$MODE" = "install" ]; then
+  SANITIZER=""
 else
   SANITIZER="${1-address}"
 fi
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ "$MODE" = "install" ]; then
+  BUILD_DIR="$ROOT/build-install"
+  PREFIX="$(mktemp -d)"
+  SMOKE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$PREFIX" "$SMOKE_DIR"' EXIT
+
+  echo "== configure (plain) -> $BUILD_DIR"
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  echo "== build"
+  cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)"
+  echo "== install -> $PREFIX"
+  cmake --install "$BUILD_DIR" --prefix "$PREFIX" > /dev/null
+
+  echo "== out-of-tree find_package(wave) smoke"
+  cmake -B "$SMOKE_DIR" -S "$ROOT/scripts/install_smoke" \
+        -DCMAKE_PREFIX_PATH="$PREFIX" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$SMOKE_DIR" -j "$(nproc 2>/dev/null || echo 4)"
+  "$SMOKE_DIR/smoke"
+
+  echo "== installed wave_verify --all-properties round trip"
+  CACHE_DIR="$PREFIX/cache"
+  "$PREFIX/bin/wave_verify" "$ROOT/specs/e1_shopping.spec" \
+      --all-properties --cache-dir="$CACHE_DIR" > /dev/null
+  "$PREFIX/bin/wave_verify" "$ROOT/specs/e1_shopping.spec" \
+      --all-properties --cache-dir="$CACHE_DIR" | grep -q "cache_hits=17" \
+      || { echo "FAIL: warm cache run did not hit for every property"; exit 1; }
+  echo "== INSTALL OK"
+  exit 0
+fi
 
 if [ -n "$SANITIZER" ]; then
   BUILD_DIR="$ROOT/build-$SANITIZER"
@@ -62,7 +105,7 @@ if [ "$MODE" = "tsan" ]; then
   echo "== parallel determinism suite under ThreadSanitizer"
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
         -j "$(nproc 2>/dev/null || echo 4)" \
-        -R "Determinism|ParallelCancellation|ShardQueue|BudgetLedger|WorkerPool|VerifyRequest"
+        -R "Determinism|ParallelCancellation|ShardQueue|BudgetLedger|WorkerPool|VerifyRequest|BatchEquivalence"
   echo "== TSAN OK"
   exit 0
 fi
@@ -78,7 +121,8 @@ echo "== stress (tiny budgets, sanitizer: ${SANITIZER:-none})"
 VERIFY="$BUILD_DIR/tools/wave_verify"
 LOG="$(mktemp)"
 STATS="$(mktemp)"
-trap 'rm -f "$LOG" "$STATS" "$STATS.tmp"' EXIT
+BATCH_CACHE="$(mktemp -d)"
+trap 'rm -f "$LOG" "$STATS" "$STATS.tmp"; rm -rf "$BATCH_CACHE"' EXIT
 FAILED=0
 
 # Each row: a label and the flag set to run every spec under; every row
@@ -113,6 +157,14 @@ run_stress "memory-1mb" --keep-going --max-memory-mb=1 --timeout=5
 run_stress "ladder-tiny" --keep-going --retry-ladder --max-candidates=2 \
     --timeout=1
 run_stress "stats-json" --keep-going --timeout=0.05 --stats-json="$STATS"
+# Batch mode under tiny budgets, twice over the same cache dir: budget
+# trips must stay verdicts (never crashes) and a partly-warm cache must
+# not change exit-code semantics. Undecided verdicts are never stored,
+# so the second sweep mixes hits with live re-verification.
+run_stress "batch-tiny" --all-properties --cache-dir="$BATCH_CACHE" \
+    --max-candidates=2 --timeout=1
+run_stress "batch-warm" --all-properties --cache-dir="$BATCH_CACHE" \
+    --max-candidates=2 --timeout=1
 if [ ! -s "$STATS" ]; then
   echo "FAIL [stats-json]: no stats file written"
   FAILED=1

@@ -1,0 +1,84 @@
+// Installed-tree smoke test: parse an inline spec through the installed
+// headers and verify its properties with one `RunBatch` call. Run by
+// `scripts/check.sh --install`; exits 0 only when both verdicts come back
+// as expected, proving the installed package carries the full embedding
+// surface (parser, verifier, batch API) with a working link closure.
+#include <cstdio>
+
+#include "wave.h"
+
+namespace {
+
+constexpr char kSite[] = R"(
+app install_smoke
+
+database user(name, password)
+state session(name)
+input button(x)
+inputconst login_name
+inputconst login_pass
+
+home Home
+
+page Home {
+  input button
+  input login_name
+  input login_pass
+  rule button(x) <- x = "login" | x = "browse"
+  state +session(n) <- login_name(n) & (exists p: login_pass(p) & user(n, p))
+      & button("login")
+  target Member <- exists n: login_name(n) & (exists p: login_pass(p) & user(n, p))
+      & button("login")
+  target Home <- button("browse")
+}
+
+page Member {
+  input button
+  rule button(x) <- x = "logout"
+  state -session(n) <- session(n) & button("logout")
+  target Home <- button("logout")
+}
+
+property sessions_are_registered expect true {
+  forall n:
+  G [session(n) -> user(n, n) | !session(n)]
+}
+
+property always_logs_in expect false {
+  F [exists n: session(n)]
+}
+)";
+
+}  // namespace
+
+int main() {
+  wave::ParseResult parsed = wave::ParseSpec(kSite);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "smoke: spec error:\n%s\n",
+                 parsed.ErrorText().c_str());
+    return 1;
+  }
+
+  std::vector<wave::Property> catalog;
+  for (const wave::ParsedProperty& p : parsed.properties) {
+    catalog.push_back(p.property);
+  }
+
+  wave::Verifier verifier(parsed.spec.get());
+  wave::BatchRequest request;
+  request.properties = &catalog;
+  wave::StatusOr<wave::BatchResponse> batch = verifier.RunBatch(request);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "smoke: %s\n", batch.status().ToString().c_str());
+    return 1;
+  }
+  if (batch->responses.size() != 2 ||
+      batch->responses[0].verdict != wave::Verdict::kHolds ||
+      batch->responses[1].verdict != wave::Verdict::kViolated) {
+    std::fprintf(stderr, "smoke: unexpected verdicts\n");
+    return 1;
+  }
+  std::printf("smoke: ok (%zu properties, %.3fs)\n", batch->responses.size(),
+              batch->merged.seconds);
+  return 0;
+}

@@ -1,0 +1,271 @@
+#include "verifier/cache.h"
+
+#include <filesystem>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/io.h"
+#include "obs/json.h"
+#include "verifier/session.h"
+
+namespace wave {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+obs::Json InstanceToJson(const Instance& instance, const WebAppSpec& spec) {
+  obs::Json j = obs::Json::Object();
+  const Catalog& catalog = spec.catalog();
+  for (RelationId id = 0; id < catalog.size(); ++id) {
+    const Relation& r = instance.relation(id);
+    if (r.tuples().empty()) continue;
+    obs::Json tuples = obs::Json::Array();
+    for (const Tuple& t : r.tuples()) {
+      obs::Json tuple = obs::Json::Array();
+      for (SymbolId v : t) {
+        tuple.Append(obs::Json::Str(spec.symbols().Name(v)));
+      }
+      tuples.Append(std::move(tuple));
+    }
+    j.Set(catalog.schema(id).name, std::move(tuples));
+  }
+  return j;
+}
+
+obs::Json StepsToJson(const std::vector<CounterexampleStep>& steps,
+                      const WebAppSpec& spec) {
+  obs::Json arr = obs::Json::Array();
+  for (const CounterexampleStep& step : steps) {
+    obs::Json j = obs::Json::Object();
+    j.Set("buchi_state", obs::Json::Int(step.buchi_state));
+    j.Set("page", obs::Json::Str(spec.page(step.config.page).name));
+    j.Set("data", InstanceToJson(step.config.data, spec));
+    j.Set("previous", InstanceToJson(step.config.previous, spec));
+    arr.Append(std::move(j));
+  }
+  return arr;
+}
+
+// --- parse-or-miss readers (every failure returns false, never throws) ---
+
+bool ParseInstance(const obs::Json& j, WebAppSpec* spec, Instance* out) {
+  if (!j.is_object()) return false;
+  *out = Instance(&spec->catalog());
+  for (const auto& [name, tuples] : j.members()) {
+    RelationId id = spec->catalog().Find(name);
+    if (id == kInvalidRelation || !tuples.is_array()) return false;
+    int arity = spec->catalog().schema(id).arity;
+    for (const obs::Json& tuple : tuples.items()) {
+      if (!tuple.is_array() ||
+          static_cast<int>(tuple.size()) != arity) {
+        return false;
+      }
+      Tuple t;
+      for (const obs::Json& v : tuple.items()) {
+        if (!v.is_string()) return false;
+        t.push_back(spec->symbols().Intern(v.AsString()));
+      }
+      out->relation(id).Insert(t);
+    }
+  }
+  return true;
+}
+
+bool ParseSteps(const obs::Json& j, WebAppSpec* spec,
+                std::vector<CounterexampleStep>* out) {
+  if (!j.is_array()) return false;
+  for (const obs::Json& step_json : j.items()) {
+    if (!step_json.is_object()) return false;
+    const obs::Json* state = step_json.Find("buchi_state");
+    const obs::Json* page = step_json.Find("page");
+    const obs::Json* data = step_json.Find("data");
+    const obs::Json* previous = step_json.Find("previous");
+    if (state == nullptr || !state->is_number() || page == nullptr ||
+        !page->is_string() || data == nullptr || previous == nullptr) {
+      return false;
+    }
+    CounterexampleStep step;
+    step.buchi_state = static_cast<int>(state->AsInt());
+    step.config.page = spec->PageIndex(page->AsString());
+    if (step.config.page < 0) return false;
+    if (!ParseInstance(*data, spec, &step.config.data)) return false;
+    if (!ParseInstance(*previous, spec, &step.config.previous)) return false;
+    out->push_back(std::move(step));
+  }
+  return true;
+}
+
+int64_t JsonInt(const obs::Json& j, std::string_view key) {
+  const obs::Json* v = j.Find(key);
+  return v != nullptr && v->is_number() ? v->AsInt() : 0;
+}
+
+double JsonDouble(const obs::Json& j, std::string_view key) {
+  const obs::Json* v = j.Find(key);
+  return v != nullptr && v->is_number() ? v->AsDouble() : 0;
+}
+
+/// Inverse of `VerifyStats::ToJson`, lenient: absent fields stay zero.
+VerifyStats ParseStats(const obs::Json& j) {
+  VerifyStats s;
+  s.seconds = JsonDouble(j, "seconds");
+  s.prepare_seconds = JsonDouble(j, "prepare_seconds");
+  s.dataflow_seconds = JsonDouble(j, "dataflow_seconds");
+  s.search_seconds = JsonDouble(j, "search_seconds");
+  s.validate_seconds = JsonDouble(j, "validate_seconds");
+  s.max_pseudorun_length = static_cast<int>(JsonInt(j, "max_pseudorun_length"));
+  s.max_trie_size = static_cast<int>(JsonInt(j, "max_trie_size"));
+  s.buchi_states = static_cast<int>(JsonInt(j, "buchi_states"));
+  s.num_assignments = JsonInt(j, "num_assignments");
+  s.num_cores = JsonInt(j, "num_cores");
+  s.num_expansions = JsonInt(j, "num_expansions");
+  s.num_successors = JsonInt(j, "num_successors");
+  s.num_rejected_candidates = JsonInt(j, "num_rejected_candidates");
+  s.trie_hits = JsonInt(j, "trie_hits");
+  s.trie_misses = JsonInt(j, "trie_misses");
+  s.heartbeats = JsonInt(j, "heartbeats");
+  s.peak_memory_bytes = JsonInt(j, "peak_memory_bytes");
+  s.governor_polls = JsonInt(j, "governor_polls");
+  s.cache_hits = JsonInt(j, "cache_hits");
+  s.prepass_reuses = JsonInt(j, "prepass_reuses");
+  return s;
+}
+
+}  // namespace
+
+Fingerprint ResultCacheKey(const Fingerprint& spec_fingerprint,
+                           const Property& property,
+                           const SymbolTable& symbols,
+                           const VerifyOptions& options) {
+  FingerprintBuilder fp;
+  fp.AddTag("result_v1");
+  fp.AddInt(static_cast<int64_t>(spec_fingerprint.hi));
+  fp.AddInt(static_cast<int64_t>(spec_fingerprint.lo));
+  Fingerprint prop = FingerprintProperty(property, symbols);
+  fp.AddInt(static_cast<int64_t>(prop.hi));
+  fp.AddInt(static_cast<int64_t>(prop.lo));
+  fp.AddTag("options");
+  fp.AddBool(options.heuristic1);
+  fp.AddBool(options.heuristic2);
+  fp.AddBool(options.exhaustive_existential);
+  fp.AddInt(options.max_candidates);
+  fp.AddInt(options.max_expansions);
+  return fp.Finish();
+}
+
+StatusOr<std::unique_ptr<ResultCache>> ResultCache::Open(
+    const std::string& dir) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("cache directory path is empty", WAVE_LOC);
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Unavailable(
+        "cannot create cache directory '" + dir + "': " + ec.message(),
+        WAVE_LOC);
+  }
+  return std::unique_ptr<ResultCache>(new ResultCache(dir));
+}
+
+std::string ResultCache::PathFor(const Fingerprint& key) const {
+  return dir_ + "/" + key.ToHex() + ".json";
+}
+
+bool ResultCache::Lookup(const Fingerprint& key, WebAppSpec* spec,
+                         VerifyResponse* response) {
+  StatusOr<std::string> text = ReadFileToString(PathFor(key));
+  if (!text.ok()) {
+    ++misses_;
+    return false;
+  }
+  std::optional<obs::Json> parsed = obs::Json::Parse(*text);
+  if (!parsed.has_value() || !parsed->is_object() ||
+      JsonInt(*parsed, "format") != kFormatVersion) {
+    ++misses_;
+    return false;
+  }
+  const obs::Json& record = *parsed;
+
+  VerifyResponse out;
+  const obs::Json* verdict = record.Find("verdict");
+  if (verdict == nullptr || !verdict->is_string()) {
+    ++misses_;
+    return false;
+  }
+  if (verdict->AsString() == "holds") {
+    out.verdict = Verdict::kHolds;
+  } else if (verdict->AsString() == "violated") {
+    out.verdict = Verdict::kViolated;
+  } else {
+    ++misses_;  // undecided records are never written; treat as corrupt
+    return false;
+  }
+
+  if (out.verdict == Verdict::kViolated) {
+    const obs::Json* binding = record.Find("witness_binding");
+    const obs::Json* stick = record.Find("stick");
+    const obs::Json* candy = record.Find("candy");
+    if (binding == nullptr || !binding->is_object() || stick == nullptr ||
+        candy == nullptr) {
+      ++misses_;
+      return false;
+    }
+    for (const auto& [var, value] : binding->members()) {
+      if (!value.is_string()) {
+        ++misses_;
+        return false;
+      }
+      out.witness_binding[var] = spec->symbols().Intern(value.AsString());
+    }
+    if (!ParseSteps(*stick, spec, &out.stick) ||
+        !ParseSteps(*candy, spec, &out.candy)) {
+      ++misses_;
+      return false;
+    }
+  }
+
+  const obs::Json* stats = record.Find("stats");
+  if (stats != nullptr && stats->is_object()) {
+    out.stats = ParseStats(*stats);
+  }
+  out.stats.cache_hits = 1;
+  *response = std::move(out);
+  ++hits_;
+  return true;
+}
+
+Status ResultCache::Store(const Fingerprint& key, const WebAppSpec& spec,
+                          const VerifyResponse& response) {
+  if (response.verdict == Verdict::kUnknown) {
+    return Status::InvalidArgument(
+        "only decided verdicts are cached (kUnknown reflects budgets, not "
+        "the problem instance)",
+        WAVE_LOC);
+  }
+  obs::Json record = obs::Json::Object();
+  record.Set("format", obs::Json::Int(kFormatVersion));
+  record.Set("key", obs::Json::Str(key.ToHex()));
+  record.Set("verdict",
+             obs::Json::Str(response.verdict == Verdict::kHolds
+                                ? "holds"
+                                : "violated"));
+  if (response.verdict == Verdict::kViolated) {
+    obs::Json binding = obs::Json::Object();
+    for (const auto& [var, value] : response.witness_binding) {
+      binding.Set(var, obs::Json::Str(spec.symbols().Name(value)));
+    }
+    record.Set("witness_binding", std::move(binding));
+    record.Set("stick", StepsToJson(response.stick, spec));
+    record.Set("candy", StepsToJson(response.candy, spec));
+  }
+  record.Set("stats", response.stats.ToJson());
+
+  Status status = AtomicWriteFile(PathFor(key), record.Dump(2) + "\n");
+  if (status.ok()) ++stores_;
+  return status;
+}
+
+}  // namespace wave

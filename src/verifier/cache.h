@@ -1,0 +1,91 @@
+// Persistent cross-run result cache (ISSUE 4).
+//
+// A `ResultCache` is a directory of JSON records, one per decided
+// verification: `<fingerprint>.json` where the fingerprint is the content
+// hash of (spec structure, property content, semantics-affecting options)
+// produced by `ResultCacheKey`. A warm cache turns re-verification of an
+// unchanged (spec, property, options) triple into one file read — the
+// search is skipped entirely (`wave_verify --cache-dir`).
+//
+// What is stored: only DECIDED verdicts (kHolds / kViolated), with the
+// witness binding, the counterexample pseudorun and the original run's
+// stats. kUnknown is never stored — it reflects the budgets and machine of
+// the run that produced it, not the problem instance.
+//
+// What keys the record: `heuristic1`, `heuristic2`,
+// `exhaustive_existential`, `max_candidates` and `max_expansions` — the
+// options that shape which verdict the engine can reach. Budgets that only
+// decide *whether* the engine finishes (timeout, memory ceiling), `jobs`
+// (verdicts are jobs-invariant — docs/PARALLELISM.md) and observability
+// hooks are deliberately excluded: a decided verdict is sound regardless
+// of them.
+//
+// Portability: records never contain process-local `SymbolId`s — symbols
+// cross the file boundary by NAME and are re-interned on load (fresh
+// witness values keep their minted `$...` names). A record that fails to
+// parse, has the wrong format version, or references unknown relations or
+// pages degrades to a MISS, never to an error: a corrupted cache costs a
+// re-verification, nothing else. Writes go through `AtomicWriteFile`, so
+// records are never observed half-written.
+#ifndef WAVE_VERIFIER_CACHE_H_
+#define WAVE_VERIFIER_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/fingerprint.h"
+#include "common/status.h"
+#include "spec/web_app.h"
+#include "verifier/verifier.h"
+
+namespace wave {
+
+/// Key of one persistent record: spec fingerprint × property content ×
+/// the semantics-affecting options (see the file comment for the list).
+Fingerprint ResultCacheKey(const Fingerprint& spec_fingerprint,
+                           const Property& property,
+                           const SymbolTable& symbols,
+                           const VerifyOptions& options);
+
+/// The on-disk cache. Open once, share across calls; safe for concurrent
+/// *processes* (atomic writes, parse-or-miss reads) but, like the rest of
+/// the verifier, not for concurrent threads.
+class ResultCache {
+ public:
+  /// Opens (creating it if needed) the cache directory.
+  static StatusOr<std::unique_ptr<ResultCache>> Open(const std::string& dir);
+
+  /// Fills `response` from the record for `key` and returns true on a hit.
+  /// Returns false — a miss — when the record is absent, unparseable,
+  /// truncated, of an unknown format version, or inconsistent with `spec`
+  /// (needed to re-intern counterexample symbols; mutated only through its
+  /// symbol table).
+  bool Lookup(const Fingerprint& key, WebAppSpec* spec,
+              VerifyResponse* response);
+
+  /// Stores a DECIDED response under `key` (atomic write). Undecided
+  /// responses are rejected with InvalidArgument.
+  Status Store(const Fingerprint& key, const WebAppSpec& spec,
+               const VerifyResponse& response);
+
+  const std::string& dir() const { return dir_; }
+  std::string PathFor(const Fingerprint& key) const;
+
+  // Lifetime counters (lookups resolve to exactly one of hit/miss).
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t stores() const { return stores_; }
+
+ private:
+  explicit ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string dir_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t stores_ = 0;
+};
+
+}  // namespace wave
+
+#endif  // WAVE_VERIFIER_CACHE_H_

@@ -62,6 +62,7 @@ std::vector<RetryRung> DefaultLadder(const VerifyOptions& base);
 /// the ladder: escalates past rung k only when attempt k returned kUnknown
 /// for a budget-limited reason; any decision, timeout, memory trip or
 /// cancellation returns immediately with the history so far.
+[[deprecated("set VerifyRequest::retry and call Verifier::Run")]]
 RetryResult VerifyWithRetry(Verifier* verifier, const Property& property,
                             const VerifyOptions& base,
                             const RetryOptions& retry = {});

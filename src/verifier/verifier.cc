@@ -12,12 +12,12 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
-#include "buchi/gpvw.h"
-#include "ltl/abstraction.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "verifier/cache.h"
 #include "verifier/encode.h"
 #include "verifier/retry.h"
+#include "verifier/session.h"
 #include "verifier/shard.h"
 #include "verifier/trie.h"
 #include "verifier/worker_pool.h"
@@ -29,9 +29,11 @@ namespace {
 enum class SearchStatus { kContinue, kFound, kAbort };
 
 /// Why a runner's shard returned kAbort: a shard-local candidate overflow
-/// (recorded, siblings continue) or a global stop (ledger trip / another
-/// worker's counterexample — the runner drains no further shards).
-enum class AbortKind { kNone, kLocal, kGlobal };
+/// (recorded, siblings continue), a lost claim race on a property another
+/// worker already decided (that job's remaining shards are skipped, the
+/// rest of the batch continues), or a global stop (ledger trip / every
+/// property decided — the runner drains no further shards).
+enum class AbortKind { kNone, kLocal, kJobSettled, kGlobal };
 
 GovernorLimits GovernorLimitsFromOptions(const VerifyOptions& options) {
   GovernorLimits limits;
@@ -51,358 +53,6 @@ const char* VerdictString(Verdict v) {
   return "?";
 }
 
-/// Gathers, per free variable of the property, the attribute positions it
-/// occurs at and the constants it is directly equated to.
-struct VarOccurrences {
-  std::map<std::string, std::set<AttrPos>> positions;
-  std::map<std::string, std::set<SymbolId>> equated_constants;
-
-  void Walk(const Catalog& catalog, const FormulaPtr& f) {
-    switch (f->kind()) {
-      case Formula::Kind::kAtom: {
-        RelationId id = catalog.Find(f->relation());
-        if (id == kInvalidRelation) return;
-        for (size_t i = 0; i < f->args().size(); ++i) {
-          if (f->args()[i].is_variable()) {
-            positions[f->args()[i].variable].insert(
-                {id, static_cast<int>(i)});
-          }
-        }
-        return;
-      }
-      case Formula::Kind::kEquals: {
-        const Term& a = f->args()[0];
-        const Term& b = f->args()[1];
-        if (a.is_variable() && !b.is_variable()) {
-          equated_constants[a.variable].insert(b.constant);
-        } else if (b.is_variable() && !a.is_variable()) {
-          equated_constants[b.variable].insert(a.constant);
-        }
-        return;
-      }
-      case Formula::Kind::kNot:
-      case Formula::Kind::kExists:
-      case Formula::Kind::kForall:
-        Walk(catalog, f->body());
-        return;
-      case Formula::Kind::kAnd:
-      case Formula::Kind::kOr:
-      case Formula::Kind::kImplies:
-        Walk(catalog, f->left());
-        Walk(catalog, f->right());
-        return;
-      default:
-        return;
-    }
-  }
-};
-
-/// Property-level immutable plan: everything the search needs that does
-/// not depend on the C∃ assignment. Built once, sequentially, before any
-/// worker starts; workers only read it.
-struct PropertyPlan {
-  const WebAppSpec* spec = nullptr;
-  BuchiAutomaton automaton;
-  std::vector<FormulaPtr> raw_components;
-  std::vector<std::string> free_vars;
-  std::vector<SymbolId> fresh_values;
-  std::vector<std::vector<SymbolId>> var_candidates;
-
-  // Relevance sets (the paper's "prune the partial configurations with
-  // tuples that are irrelevant to the rules and property").
-  std::vector<bool> relevant;
-  std::vector<std::set<RelationId>> prev_read_by_page;
-  std::set<RelationId> property_prev_reads;
-  bool property_reads_prev = false;
-
-  /// Page-domain lookup table: `page_domain_table[p]` points into the
-  /// PageDomains cache, fully warmed before the workers start so the hot
-  /// loops never touch the (lazily minting, mutex-free) cache itself.
-  std::vector<const PageDomain*> page_domain_table;
-
-  GpvwStats gpvw_stats;
-};
-
-void CollectAtomUses(const Catalog& catalog, const FormulaPtr& f,
-                     bool* has_prev, std::set<RelationId>* current,
-                     std::set<RelationId>* prev) {
-  switch (f->kind()) {
-    case Formula::Kind::kAtom: {
-      RelationId id = catalog.Find(f->relation());
-      if (id == kInvalidRelation) return;
-      if (f->previous()) {
-        prev->insert(id);
-        *has_prev = true;
-      } else {
-        current->insert(id);
-      }
-      return;
-    }
-    case Formula::Kind::kNot:
-    case Formula::Kind::kExists:
-    case Formula::Kind::kForall:
-      CollectAtomUses(catalog, f->body(), has_prev, current, prev);
-      return;
-    case Formula::Kind::kAnd:
-    case Formula::Kind::kOr:
-    case Formula::Kind::kImplies:
-      CollectAtomUses(catalog, f->left(), has_prev, current, prev);
-      CollectAtomUses(catalog, f->right(), has_prev, current, prev);
-      return;
-    default:
-      return;
-  }
-}
-
-void ComputeRelevance(const WebAppSpec& spec, PropertyPlan* plan) {
-  const Catalog& catalog = spec.catalog();
-  plan->relevant.assign(catalog.size(), false);
-  plan->prev_read_by_page.assign(spec.num_pages(), {});
-  plan->property_reads_prev = false;
-
-  std::set<RelationId> property_current, property_prev;
-  for (const FormulaPtr& c : plan->raw_components) {
-    CollectAtomUses(catalog, c, &plan->property_reads_prev,
-                    &property_current, &property_prev);
-  }
-  for (RelationId id : property_current) plan->relevant[id] = true;
-  for (RelationId id : property_prev) plan->relevant[id] = true;
-  plan->property_prev_reads = property_prev;
-
-  bool dummy = false;
-  for (int p = 0; p < spec.num_pages(); ++p) {
-    const PageSchema& page = spec.page(p);
-    std::set<RelationId> current, prev;
-    auto walk = [&](const FormulaPtr& body) {
-      CollectAtomUses(catalog, body, &dummy, &current, &prev);
-    };
-    for (const InputRule& r : page.input_rules) walk(r.body);
-    for (const StateRule& r : page.state_rules) walk(r.body);
-    for (const ActionRule& r : page.action_rules) walk(r.body);
-    for (const TargetRule& r : page.target_rules) walk(r.condition);
-    for (RelationId id : current) plan->relevant[id] = true;
-    for (RelationId id : prev) plan->relevant[id] = true;
-    plan->prev_read_by_page[p] = prev;
-  }
-}
-
-/// Builds automaton, per-variable candidate constants and relevance info.
-/// Returns false when the verdict is already decided (negation
-/// unsatisfiable): `result` then carries kHolds.
-bool PreparePlan(WebAppSpec* spec, const Property& property,
-                 obs::Tracer* tracer, PropertyPlan* plan,
-                 VerifyResult* result) {
-  plan->spec = spec;
-  // ϕ := ¬ϕ0 — search for a pseudorun satisfying the negation.
-  LtlPtr negated = LtlFormula::Not(property.body);
-  Abstraction abstraction = AbstractLtl(negated, spec->symbols());
-  plan->raw_components = abstraction.components;
-  {
-    obs::ScopedSpan span(tracer, "gpvw");
-    GpvwOptions gpvw_options;
-    gpvw_options.stats = &plan->gpvw_stats;
-    plan->automaton =
-        LtlToBuchi(&abstraction.arena, abstraction.root,
-                   static_cast<int>(abstraction.components.size()),
-                   gpvw_options);
-  }
-  result->stats.buchi_states = plan->automaton.NumStates();
-  if (plan->automaton.IsEmptyLanguage()) {
-    // The negation is unsatisfiable over infinite words: ϕ0 holds on all
-    // runs of any system.
-    result->verdict = Verdict::kHolds;
-    return false;
-  }
-
-  // Free variables: the property's outermost universal block. Every free
-  // variable of the body must be declared there.
-  plan->free_vars = property.forall_vars;
-  {
-    std::set<std::string> declared(plan->free_vars.begin(),
-                                   plan->free_vars.end());
-    for (const FormulaPtr& c : plan->raw_components) {
-      for (const std::string& v : c->FreeVariables()) {
-        WAVE_CHECK_MSG(declared.count(v) > 0,
-                       "property " << property.name << ": free variable '"
-                                   << v
-                                   << "' not bound by the forall block");
-      }
-    }
-  }
-
-  // Candidate constants per free variable (dataflow-guided C∃): the
-  // constants any of the variable's attribute positions may be compared
-  // to, its directly equated constants, and one fresh value.
-  ComparisonAnalysis uninstantiated(*spec, plan->raw_components);
-  VarOccurrences occurrences;
-  for (const FormulaPtr& c : plan->raw_components) {
-    occurrences.Walk(spec->catalog(), c);
-  }
-  for (const std::string& v : plan->free_vars) {
-    std::set<SymbolId> candidates;
-    for (const AttrPos& pos : occurrences.positions[v]) {
-      const std::set<SymbolId>& cs = uninstantiated.constants(pos);
-      candidates.insert(cs.begin(), cs.end());
-    }
-    const std::set<SymbolId>& eq = occurrences.equated_constants[v];
-    candidates.insert(eq.begin(), eq.end());
-    plan->fresh_values.push_back(spec->symbols().MintFresh("free." + v));
-    plan->var_candidates.push_back(
-        std::vector<SymbolId>(candidates.begin(), candidates.end()));
-  }
-
-  ComputeRelevance(*spec, plan);
-  return true;
-}
-
-/// Enumerates the C∃ bindings in exactly the order the sequential search
-/// visited them, so shard index order reproduces the old chronology.
-void EnumerateBindings(const PropertyPlan& plan, bool exhaustive, size_t i,
-                       std::map<std::string, SymbolId>* binding,
-                       std::vector<std::map<std::string, SymbolId>>* out) {
-  if (i == plan.free_vars.size()) {
-    out->push_back(*binding);
-    return;
-  }
-  std::vector<SymbolId> values = plan.var_candidates[i];
-  values.push_back(plan.fresh_values[i]);
-  if (exhaustive) {
-    // Equality patterns among fresh values: variable i may reuse the
-    // fresh value of any earlier variable (canonical partition labels).
-    for (size_t j = 0; j < i; ++j) values.push_back(plan.fresh_values[j]);
-  }
-  for (SymbolId v : values) {
-    (*binding)[plan.free_vars[i]] = v;
-    EnumerateBindings(plan, exhaustive, i + 1, binding, out);
-  }
-  binding->erase(plan.free_vars[i]);
-}
-
-/// Everything one C∃ assignment contributes to the search, frozen before
-/// the workers start: instantiated/prepared components, the constant
-/// universe, the dataflow analysis, and — crucially — every candidate set
-/// the search can reach, pre-built into lock-free lookup tables. Lives
-/// behind a unique_ptr because the CandidateBuilder keeps a pointer to
-/// `instantiated`.
-struct AssignmentContext {
-  int index = 0;
-  std::map<std::string, SymbolId> binding;
-  std::vector<FormulaPtr> instantiated;
-  std::vector<PreparedFormula> components;
-  std::set<SymbolId> constant_universe;
-  std::vector<SymbolId> constant_vector;
-  std::unique_ptr<ComparisonAnalysis> analysis;
-  std::unique_ptr<CandidateBuilder> builder;
-
-  const CandidateSet* core_candidates = nullptr;
-  /// Cores of this assignment: 2^|core_candidates| (0 when overflowed).
-  int64_t num_cores = 0;
-  bool core_overflow = false;
-  std::string overflow_message;
-
-  /// Extension candidate sets, indexed `page * ext_stride + (prev + 1)`
-  /// for every (page, prev) pair reachable by `Advance` (prev = -1 is the
-  /// initial configuration). Overflowed sets are stored too — the search
-  /// reports them at use time, like the sequential code did.
-  std::vector<const CandidateSet*> ext_table;
-  int ext_stride = 0;
-
-  double build_us = 0;  // wall time to build this context (pre-pass)
-
-  const CandidateSet* extension(int page, int prev_page) const {
-    return ext_table[page * ext_stride + (prev_page + 1)];
-  }
-};
-
-std::unique_ptr<AssignmentContext> BuildAssignmentContext(
-    WebAppSpec* spec, PageDomains* page_domains, const PropertyPlan& plan,
-    const VerifyOptions& options,
-    const std::map<std::string, SymbolId>& binding, int index,
-    obs::Tracer* tracer, double* dataflow_us) {
-  auto ctx = std::make_unique<AssignmentContext>();
-  ctx->index = index;
-  ctx->binding = binding;
-  Stopwatch build_watch;
-
-  // Instantiate and prepare ϕ's FO components as sentences.
-  PageResolver resolver = [spec](const std::string& name) {
-    return spec->PageIndex(name);
-  };
-  for (const FormulaPtr& c : plan.raw_components) {
-    FormulaPtr inst = c->SubstituteConstants(binding);
-    ctx->instantiated.push_back(inst);
-    ctx->components.push_back(
-        PreparedFormula::Prepare(inst, spec->catalog(), {}, resolver));
-  }
-
-  // C = CW ∪ (property constants) ∪ C∃.
-  ctx->constant_universe = spec->SpecConstants();
-  for (const FormulaPtr& c : ctx->instantiated) {
-    std::set<SymbolId> cs = c->Constants();
-    ctx->constant_universe.insert(cs.begin(), cs.end());
-  }
-  for (const auto& [var, value] : binding) {
-    ctx->constant_universe.insert(value);
-  }
-  ctx->constant_vector.assign(ctx->constant_universe.begin(),
-                              ctx->constant_universe.end());
-
-  // Dataflow analysis over the instantiated property + spec, and the
-  // candidate sets it prunes.
-  obs::ScopedSpan dataflow_span(tracer, "dataflow");
-  Stopwatch dataflow_watch;
-  ctx->analysis =
-      std::make_unique<ComparisonAnalysis>(*spec, ctx->instantiated);
-  CandidateOptions candidate_options;
-  candidate_options.heuristic1 = options.heuristic1;
-  candidate_options.heuristic2 = options.heuristic2;
-  candidate_options.max_candidates = options.max_candidates;
-  ctx->builder = std::make_unique<CandidateBuilder>(
-      spec, page_domains, ctx->analysis.get(), &ctx->instantiated,
-      ctx->constant_universe, candidate_options);
-
-  const CandidateSet& core = ctx->builder->CoreCandidates();
-  ctx->core_candidates = &core;
-  // The shard address encodes the core as an int64 bitmap, so ≥ 63
-  // candidate tuples is treated as overflow too (the 2^63-core powerset
-  // could never be enumerated anyway).
-  if (core.overflow || core.tuples.size() > 62) {
-    ctx->core_overflow = true;
-    ctx->overflow_message =
-        "core candidate set overflow (" +
-        std::to_string(core.approx_tuple_count) + " candidate tuples); " +
-        "Heuristic 1 " +
-        (options.heuristic1 ? "insufficient" : "disabled");
-  } else {
-    ctx->num_cores = int64_t{1} << core.tuples.size();
-    // Warm every (page, prev_page) extension pair `Advance` can produce —
-    // the initial (home, -1), same-page stays, and every target edge — so
-    // the workers never call the memoizing builder concurrently.
-    const int stride = spec->num_pages() + 1;
-    ctx->ext_stride = stride;
-    ctx->ext_table.assign(
-        static_cast<size_t>(spec->num_pages()) * stride, nullptr);
-    auto warm = [&](int page, int prev) {
-      if (page < 0 || page >= spec->num_pages()) return;
-      const CandidateSet*& slot = ctx->ext_table[page * stride + (prev + 1)];
-      if (slot == nullptr) {
-        slot = &ctx->builder->ExtensionCandidates(page, prev);
-      }
-    };
-    warm(spec->home_page(), -1);
-    for (int q = 0; q < spec->num_pages(); ++q) {
-      warm(q, q);
-      for (const TargetRule& t : spec->page(q).target_rules) {
-        warm(t.target_page, q);
-      }
-    }
-  }
-  dataflow_span.End();
-  *dataflow_us += dataflow_watch.ElapsedMicros();
-  ctx->build_us = build_watch.ElapsedMicros();
-  return ctx;
-}
-
 /// Heartbeat counters a worker publishes for the coordinator's aggregated
 /// progress snapshots (jobs > 1 only; all relaxed — monitoring data).
 struct WorkerProgress {
@@ -413,9 +63,10 @@ struct WorkerProgress {
   std::atomic<int> max_trie{0};
 };
 
-/// State shared by every worker of one attempt, guarded by one mutex: the
-/// first-counterexample claim (plus the serialized candidate_filter) and
-/// the minimum-(assignment, core) shard-local unknown.
+/// State shared by every worker searching ONE property of the attempt,
+/// guarded by one mutex: the first-counterexample claim (plus the
+/// serialized candidate_filter) and the minimum-(assignment, core)
+/// shard-local unknown.
 struct EngineShared {
   std::mutex mu;
 
@@ -451,32 +102,63 @@ struct EngineShared {
   }
 };
 
+/// One entry of the fused batch shard stream: the shard queue addresses
+/// assignments by GLOBAL slot index, and the slot says which property
+/// ("job") the assignment belongs to and which plan/context to search
+/// under. For a single-property run there is one job and the slot index
+/// equals the assignment index — byte-for-byte the PR-3 engine.
+struct BatchSlot {
+  int job = 0;
+  const PropertyPlan* plan = nullptr;
+  const AssignmentContext* ctx = nullptr;
+};
+
+/// Cross-property shared state of one batch attempt: one EngineShared per
+/// job, a settled flag per job (set when its counterexample is claimed, so
+/// workers skip the job's remaining shards without taking its mutex), and
+/// the count of jobs still worth searching — when it hits zero the whole
+/// pool stops, even though no global budget tripped.
+struct BatchShared {
+  explicit BatchShared(int num_jobs)
+      : settled(new std::atomic<bool>[num_jobs]) {
+    for (int j = 0; j < num_jobs; ++j) {
+      jobs.push_back(std::make_unique<EngineShared>());
+      settled[j].store(false, std::memory_order_relaxed);
+    }
+  }
+
+  std::vector<std::unique_ptr<EngineShared>> jobs;
+  std::unique_ptr<std::atomic<bool>[]> settled;
+  std::atomic<int> unsettled{0};
+};
+
 /// One worker's NDFS machinery: its own visited trie, search stacks,
 /// governor front end and stats. Pops shards off the queue until it runs
-/// dry or a stop fans out. Reads the plan/contexts only; everything it
+/// dry or a stop fans out. Reads the plans/contexts only; everything it
 /// writes is thread-local except the mutex-guarded EngineShared claims.
+/// Stats are double-entry: `stats_` aggregates across the whole drain (the
+/// governor's expansion watch target), `job_stats_[j]` slices the same
+/// counters per property for the per-property merge.
 class ShardRunner {
  public:
-  ShardRunner(const PropertyPlan* plan,
-              const std::vector<std::unique_ptr<AssignmentContext>>* ctxs,
+  ShardRunner(const std::vector<BatchSlot>* slots, int num_jobs,
               const PreparedSpec* prepared, const VerifyOptions* options,
-              EngineShared* shared, BudgetLedger* ledger, int worker,
+              BatchShared* batch, BudgetLedger* ledger, int worker,
               obs::Tracer* tracer, bool heartbeat_enabled,
               WorkerProgress* progress)
-      : plan_(plan),
-        ctxs_(ctxs),
-        spec_(plan->spec),
+      : slots_(slots),
         prepared_(prepared),
         options_(options),
-        shared_(shared),
+        batch_(batch),
         ledger_(ledger),
         worker_(worker),
         tracer_(tracer),
         heartbeat_enabled_(heartbeat_enabled),
         progress_(progress),
-        gov_(ledger, worker) {
+        gov_(ledger, worker),
+        job_stats_(num_jobs) {
     gov_.WatchExpansions(&stats_.num_expansions);
-    assignment_us_.assign(ctxs->size(), 0.0);
+    assignment_us_.assign(slots->size(), 0.0);
   }
 
   void Drain(ShardQueue* queue) {
@@ -486,16 +168,21 @@ class ShardRunner {
       SearchStatus status = RunShard(shard);
       assignment_us_[shard.assignment] += shard_watch.ElapsedMicros();
       if (status == SearchStatus::kFound) {
-        found_ = true;
-        break;
+        // This property is decided, but siblings in the batch may not be:
+        // keep draining (their shards are skipped cheaply if settled).
+        continue;
       }
       if (status == SearchStatus::kAbort) {
         if (abort_kind_ == AbortKind::kLocal) {
-          shared_->RecordLocalUnknown(shard.assignment, shard.core,
+          shared_->RecordLocalUnknown(ctx_->index, shard.core,
                                       local_reason_,
                                       std::move(local_message_));
           abort_kind_ = AbortKind::kNone;
           continue;  // siblings are still worth searching
+        }
+        if (abort_kind_ == AbortKind::kJobSettled) {
+          abort_kind_ = AbortKind::kNone;
+          continue;  // lost the claim race on an already-decided property
         }
         break;  // global trip or stop fan-out
       }
@@ -506,15 +193,28 @@ class ShardRunner {
   }
 
   const VerifyStats& stats() const { return stats_; }
+  const std::vector<VerifyStats>& job_stats() const { return job_stats_; }
   const std::vector<double>& assignment_us() const { return assignment_us_; }
   int64_t heartbeats() const { return heartbeats_; }
-  bool found() const { return found_; }
 
  private:
   SearchStatus RunShard(const Shard& shard) {
-    ctx_ = (*ctxs_)[shard.assignment].get();
+    const BatchSlot& slot = (*slots_)[shard.assignment];
+    job_ = slot.job;
+    if (batch_->settled[job_].load(std::memory_order_acquire)) {
+      // The property already has its counterexample; skipped shards count
+      // toward no stats (they were never searched).
+      return SearchStatus::kContinue;
+    }
+    plan_ = slot.plan;
+    ctx_ = slot.ctx;
+    spec_ = plan_->spec;
+    shared_ = batch_->jobs[job_].get();
+    job_cur_ = &job_stats_[job_];
+
     obs::ScopedSpan span(tracer_, "core");
     ++stats_.num_cores;
+    ++job_cur_->num_cores;
     core_.clear();
     const auto& tuples = ctx_->core_candidates->tuples;
     for (size_t b = 0; b < tuples.size(); ++b) {
@@ -538,8 +238,12 @@ class ShardRunner {
           return Stick(plan_->automaton.start, c0, 1);
         });
     stats_.max_trie_size = std::max(stats_.max_trie_size, trie_->size());
+    job_cur_->max_trie_size =
+        std::max(job_cur_->max_trie_size, trie_->size());
     stats_.trie_hits += trie_->stats().hits;
     stats_.trie_misses += trie_->stats().misses;
+    job_cur_->trie_hits += trie_->stats().hits;
+    job_cur_->trie_misses += trie_->stats().misses;
     return status;
   }
 
@@ -581,6 +285,7 @@ class ShardRunner {
         prepared_->ApplyInput(choice, domain, &complete);
         FilterToUniverse(&complete.data, RelationKind::kAction);
         ++stats_.num_successors;
+        ++job_cur_->num_successors;
         SearchStatus status = fn(complete);
         if (status != SearchStatus::kContinue) return status;
       }
@@ -628,8 +333,11 @@ class ShardRunner {
     stack_bytes_ += frame_bytes;
     gov_.ReportMemory(trie_->approx_bytes() + stack_bytes_);
     ++stats_.num_expansions;
+    ++job_cur_->num_expansions;
     stats_.max_pseudorun_length =
         std::max(stats_.max_pseudorun_length, depth);
+    job_cur_->max_pseudorun_length =
+        std::max(job_cur_->max_pseudorun_length, depth);
     stick_stack_.push_back({state, config});
 
     std::vector<bool> assignment = EvalComponents(config);
@@ -671,8 +379,11 @@ class ShardRunner {
     stack_bytes_ += frame_bytes;
     gov_.ReportMemory(trie_->approx_bytes() + stack_bytes_);
     ++stats_.num_expansions;
+    ++job_cur_->num_expansions;
     stats_.max_pseudorun_length =
         std::max(stats_.max_pseudorun_length, depth);
+    job_cur_->max_pseudorun_length =
+        std::max(job_cur_->max_pseudorun_length, depth);
     candy_stack_.push_back({state, config});
 
     std::vector<bool> assignment = EvalComponents(config);
@@ -696,15 +407,18 @@ class ShardRunner {
     return SearchStatus::kContinue;
   }
 
-  /// Lollipop closed: candidate counterexample. First worker to claim it
-  /// under the engine mutex wins; the candidate_filter (if any) runs
-  /// serialized under the same mutex — paper Section 7: "If it does not
-  /// [correspond to a genuine run], the ndfs search is reactivated".
+  /// Lollipop closed: candidate counterexample. First worker to claim the
+  /// PROPERTY under its engine mutex wins; the candidate_filter (if any)
+  /// runs serialized under the same mutex — paper Section 7: "If it does
+  /// not [correspond to a genuine run], the ndfs search is reactivated".
+  /// Deciding one property only stops the pool when it was the last
+  /// undecided one; otherwise its remaining shards are skipped and the
+  /// batch keeps searching.
   SearchStatus ClaimCounterexample() {
     std::unique_lock<std::mutex> lock(shared_->mu);
     if (shared_->winner_claimed) {
-      // Another worker already reported; treat as a stop.
-      abort_kind_ = AbortKind::kGlobal;
+      // Another worker already reported this property.
+      abort_kind_ = AbortKind::kJobSettled;
       return SearchStatus::kAbort;
     }
     if (options_->candidate_filter != nullptr) {
@@ -723,7 +437,11 @@ class ShardRunner {
     shared_->candy = candy_stack_;
     shared_->witness_binding = ctx_->binding;
     lock.unlock();
-    ledger_->RequestStop();
+    batch_->settled[job_].store(true, std::memory_order_release);
+    if (batch_->unsettled.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Every property with shards is now decided: stop the whole pool.
+      ledger_->RequestStop();
+    }
     return SearchStatus::kFound;
   }
 
@@ -849,6 +567,12 @@ class ShardRunner {
       abort_kind_ = AbortKind::kGlobal;
       return SearchStatus::kAbort;
     }
+    if (batch_->settled[job_].load(std::memory_order_relaxed)) {
+      // This property was decided by a sibling mid-shard: the rest of this
+      // shard's search can no longer change any verdict.
+      abort_kind_ = AbortKind::kJobSettled;
+      return SearchStatus::kAbort;
+    }
     if (progress_ != nullptr) PublishProgress();
     if (heartbeat_enabled_) MaybeHeartbeat(ledger_->ElapsedSeconds());
     return SearchStatus::kContinue;
@@ -887,7 +611,8 @@ class ShardRunner {
       snapshot.num_successors = stats_.num_successors;
       snapshot.trie_size = trie_size;
       snapshot.max_trie_size = std::max(stats_.max_trie_size, trie_size);
-      snapshot.buchi_states = plan_->automaton.NumStates();
+      snapshot.buchi_states =
+          plan_ != nullptr ? plan_->automaton.NumStates() : 0;
       options_->heartbeat(snapshot);
     }
     if (tracer_ != nullptr) {
@@ -900,12 +625,10 @@ class ShardRunner {
     }
   }
 
-  const PropertyPlan* plan_;
-  const std::vector<std::unique_ptr<AssignmentContext>>* ctxs_;
-  const WebAppSpec* spec_;
+  const std::vector<BatchSlot>* slots_;
   const PreparedSpec* prepared_;
   const VerifyOptions* options_;
-  EngineShared* shared_;
+  BatchShared* batch_;
   BudgetLedger* ledger_;
   int worker_;
   obs::Tracer* tracer_;
@@ -913,19 +636,22 @@ class ShardRunner {
   WorkerProgress* progress_;
 
   WorkerGovernor gov_;
-  VerifyStats stats_;
-  std::vector<double> assignment_us_;  // summed shard time per assignment
+  VerifyStats stats_;                   // aggregate across the whole drain
+  std::vector<VerifyStats> job_stats_;  // per-property slices of the same
+  std::vector<double> assignment_us_;   // summed shard time per SLOT
   int64_t heartbeats_ = 0;
   double last_heartbeat_seconds_ = 0;
-  bool found_ = false;
 
   AbortKind abort_kind_ = AbortKind::kNone;
   UnknownReason local_reason_ = UnknownReason::kNone;
   std::string local_message_;
 
-  // Per-shard state. `key_scratch_` is the reused encode buffer of the
-  // search hot loop; `stack_bytes_` tracks the encoded size of every frame
-  // currently on the stick/candy stacks.
+  // Per-shard state, resolved from the slot at RunShard entry.
+  int job_ = 0;
+  const PropertyPlan* plan_ = nullptr;
+  const WebAppSpec* spec_ = nullptr;
+  EngineShared* shared_ = nullptr;
+  VerifyStats* job_cur_ = nullptr;
   const AssignmentContext* ctx_ = nullptr;
   std::vector<std::pair<RelationId, Tuple>> core_;
   std::unique_ptr<VisitedTrie> trie_;
@@ -937,106 +663,146 @@ class ShardRunner {
   Configuration base_config_;
 };
 
-/// Phase-boundary poll; fills in the kUnknown result when a limit tripped
-/// outside the search hot loop.
-bool AbortIfTripped(BudgetLedger* ledger, VerifyResult* result) {
-  if (ledger->Check() == UnknownReason::kNone) return false;
-  result->verdict = Verdict::kUnknown;
-  result->failure_reason = ledger->trip_message();
-  result->unknown_reason = ledger->trip_reason();
-  return true;
-}
 
-}  // namespace
+/// Per-attempt totals that belong to the batch rather than any single
+/// property: the attempt's wall time and (for n > 1) the heartbeats the
+/// coordinator fired while the fused search ran.
+struct AttemptTotals {
+  double wall_seconds = 0;
+  int64_t heartbeats = 0;
+};
 
-namespace {
-
-/// One verification attempt: plan, sequential pre-pass, sharded search,
-/// deterministic merge, metrics finalization. The heart of PR 3 — see
-/// docs/PARALLELISM.md for the shard model and the determinism contract.
-VerifyResult RunAttempt(WebAppSpec* spec, PreparedSpec* prepared,
-                        PageDomains* page_domains, const Property& property,
-                        const VerifyOptions& options, int jobs) {
-  VerifyResult result;
+/// One batch verification attempt over `props`: session-cached plans and
+/// pre-pass, one fused sharded search across every property, per-property
+/// deterministic merge, metrics finalization. With one property this is
+/// exactly the PR-3 single-property attempt; see docs/PARALLELISM.md for
+/// the shard model and docs/API.md for the batch semantics.
+std::vector<VerifyResult> RunBatchAttempt(
+    VerifierSession* session, WebAppSpec* spec, PreparedSpec* prepared,
+    const std::vector<const Property*>& props, const VerifyOptions& options,
+    int jobs, AttemptTotals* totals) {
+  const int n = static_cast<int>(props.size());
+  std::vector<VerifyResult> results(n);
   Stopwatch watch;
   PreparedExecStats exec_before = prepared->exec_stats();
   obs::ScopedSpan verify_span(options.tracer, "verify");
 
-  // The ledger's deadline clock starts here, covering prepare/dataflow.
+  // The ledger's deadline clock starts here, covering prepare/dataflow;
+  // every property of the batch shares the one budget envelope.
   BudgetLedger ledger(GovernorLimitsFromOptions(options), jobs);
+  const SessionStats session_before = session->stats();
 
-  PropertyPlan plan;
-  double prepare_us = 0;
-  double dataflow_us = 0;
-  double search_us = 0;
-  bool undecided;
-  {
+  /// Per-property bookkeeping across the attempt's phases.
+  struct PropertyWork {
+    const PropertyPlan* plan = nullptr;
+    PrepassResult prepass;
+    const PrepassArtifacts* artifacts = nullptr;  // prepass.get()
+    double prepare_us = 0;
+    double dataflow_us = 0;      // 0 when the contexts were session-cached
+    int64_t prepass_reuses = 0;  // session layers served instead of rebuilt
+    size_t slot_begin = 0, slot_end = 0;
+  };
+  std::vector<PropertyWork> work(n);
+
+  // --- property plans (session layer 2) -------------------------------------
+  bool any_undecided = false;
+  for (int i = 0; i < n; ++i) {
     obs::ScopedSpan span(options.tracer, "prepare");
     Stopwatch prepare_watch;
-    undecided = PreparePlan(spec, property, options.tracer, &plan, &result);
-    prepare_us = prepare_watch.ElapsedMicros();
+    int64_t reuses_before = session->stats().reuses();
+    work[i].plan = session->GetPlan(*props[i], options.tracer);
+    work[i].prepass_reuses = session->stats().reuses() - reuses_before;
+    work[i].prepare_us = prepare_watch.ElapsedMicros();
+    results[i].stats.buchi_states = work[i].plan->automaton.NumStates();
+    if (work[i].plan->decided_holds) {
+      // The negation is unsatisfiable: ϕ0 holds on all runs of any system.
+      results[i].verdict = Verdict::kHolds;
+    } else {
+      any_undecided = true;
+    }
+  }
+  int max_buchi = 0;
+  for (int i = 0; i < n; ++i) {
+    max_buchi = std::max(max_buchi, results[i].stats.buchi_states);
   }
 
-  std::vector<std::unique_ptr<AssignmentContext>> ctxs;
-  std::vector<std::unique_ptr<ShardRunner>> runners;
-  EngineShared shared;
+  BatchShared shared(n);
   const bool heartbeat_enabled =
       options.heartbeat != nullptr || options.tracer != nullptr;
   int64_t coordinator_heartbeats = 0;
   int64_t steals = 0;
+  std::vector<BatchSlot> slots;
+  std::vector<std::unique_ptr<ShardRunner>> runners;
+  double search_us = 0;
 
   // Phase boundary: a cancellation or deadline that landed during the
-  // (untickled) prepare phase must not start the search.
-  if (undecided && !AbortIfTripped(&ledger, &result)) {
+  // (untickled) prepare phase must not start the search. `Check` latches
+  // the trip, which the merge below turns into the kUnknown verdicts.
+  if (any_undecided && ledger.Check() == UnknownReason::kNone) {
     obs::ScopedSpan search_span(options.tracer, "search");
     Stopwatch search_watch;
 
-    // --- sequential pre-pass ------------------------------------------------
+    // --- sequential pre-pass (session layer 3) ------------------------------
     // Everything that mints symbols or touches a memoizing cache happens
-    // here, on one thread, in a deterministic order: page domains, C∃
-    // contexts (dataflow + candidate sets), extension tables. The workers
-    // then only read. A core-candidate overflow truncates the pre-pass at
-    // that assignment — exactly where the sequential search would have
-    // stopped — and is reported unless an earlier shard decides otherwise.
-    plan.page_domain_table.resize(spec->num_pages());
-    for (int p = 0; p < spec->num_pages(); ++p) {
-      plan.page_domain_table[p] = &page_domains->Get(p);
-    }
-
-    std::vector<std::map<std::string, SymbolId>> bindings;
-    {
-      std::map<std::string, SymbolId> binding;
-      EnumerateBindings(plan, options.exhaustive_existential, 0, &binding,
-                       &bindings);
-    }
-
-    bool prepass_tripped = false;
-    for (size_t i = 0; i < bindings.size(); ++i) {
-      if (ledger.Check() != UnknownReason::kNone) {
-        prepass_tripped = true;
-        break;
-      }
-      obs::ScopedSpan assignment_span(options.tracer, "assignment");
-      ctxs.push_back(BuildAssignmentContext(
-          spec, page_domains, plan, options, bindings[i],
-          static_cast<int>(i), options.tracer, &dataflow_us));
-      if (ctxs.back()->core_overflow) {
-        shared.RecordLocalUnknown(ctxs.back()->index, /*core=*/-1,
-                                  UnknownReason::kCandidateBudget,
-                                  ctxs.back()->overflow_message);
-        break;
-      }
-    }
-    result.stats.num_assignments = static_cast<int64_t>(ctxs.size());
-
-    // --- sharded search -----------------------------------------------------
+    // here, on one thread, in a deterministic order — or happened on an
+    // earlier attempt and is served from the session. The workers then
+    // only read. A core-candidate overflow truncates a property's context
+    // list at the offending assignment — exactly where the sequential
+    // search would have stopped — and is reported unless an earlier shard
+    // of that property decides otherwise.
     std::vector<ShardBlock> blocks;
-    for (const std::unique_ptr<AssignmentContext>& ctx : ctxs) {
-      if (!ctx->core_overflow && ctx->num_cores > 0) {
-        blocks.push_back({ctx->index, 0, ctx->num_cores});
+    bool prepass_tripped = false;
+    for (int i = 0; i < n; ++i) {
+      PropertyWork& w = work[i];
+      if (w.plan->decided_holds) continue;
+      if (prepass_tripped || ledger.Check() != UnknownReason::kNone) {
+        prepass_tripped = true;  // remaining pre-passes are pointless
+        continue;
+      }
+      int64_t reuses_before = session->stats().reuses();
+      w.prepass =
+          session->GetPrepass(*props[i], options, &ledger, options.tracer);
+      w.prepass_reuses += session->stats().reuses() - reuses_before;
+      w.artifacts = w.prepass.get();
+      if (w.prepass.tripped) prepass_tripped = true;
+      if (w.artifacts == nullptr) continue;
+      if (!w.prepass.reused) w.dataflow_us = w.artifacts->dataflow_us;
+
+      w.slot_begin = slots.size();
+      for (const std::unique_ptr<AssignmentContext>& ctx :
+           w.artifacts->ctxs) {
+        int slot = static_cast<int>(slots.size());
+        slots.push_back({i, w.plan, ctx.get()});
+        if (!ctx->core_overflow && ctx->num_cores > 0) {
+          blocks.push_back({slot, 0, ctx->num_cores});
+        }
+      }
+      w.slot_end = slots.size();
+      results[i].stats.num_assignments =
+          static_cast<int64_t>(w.artifacts->ctxs.size());
+      if (w.artifacts->truncated()) {
+        const AssignmentContext& last = *w.artifacts->ctxs.back();
+        shared.jobs[i]->RecordLocalUnknown(last.index, /*core=*/-1,
+                                           UnknownReason::kCandidateBudget,
+                                           last.overflow_message);
       }
     }
 
+    // Only properties with searchable shards participate in the "last one
+    // decided stops the pool" count.
+    {
+      std::vector<bool> has_block(n, false);
+      for (const ShardBlock& b : blocks) {
+        has_block[slots[b.assignment].job] = true;
+      }
+      int unsettled = 0;
+      for (int i = 0; i < n; ++i) {
+        if (has_block[i]) ++unsettled;
+      }
+      shared.unsettled.store(unsettled, std::memory_order_relaxed);
+    }
+
+    // --- fused sharded search -----------------------------------------------
     if (!blocks.empty() && !prepass_tripped &&
         ledger.trip_reason() == UnknownReason::kNone) {
       ShardQueue queue(blocks, jobs);
@@ -1045,7 +811,7 @@ VerifyResult RunAttempt(WebAppSpec* spec, PreparedSpec* prepared,
         // heartbeats, the verifier's own prepared runtime — byte-for-byte
         // the sequential engine.
         runners.push_back(std::make_unique<ShardRunner>(
-            &plan, &ctxs, prepared, &options, &shared, &ledger,
+            &slots, n, prepared, &options, &shared, &ledger,
             /*worker=*/0, options.tracer, heartbeat_enabled,
             /*progress=*/nullptr));
         runners[0]->Drain(&queue);
@@ -1066,7 +832,7 @@ VerifyResult RunAttempt(WebAppSpec* spec, PreparedSpec* prepared,
             progress.push_back(std::make_unique<WorkerProgress>());
           }
           runners.push_back(std::make_unique<ShardRunner>(
-              &plan, &ctxs, worker_prepared[w].get(), &options, &shared,
+              &slots, n, worker_prepared[w].get(), &options, &shared,
               &ledger, w,
               options.tracer != nullptr ? worker_tracers[w].get() : nullptr,
               /*heartbeat_enabled=*/false,
@@ -1097,13 +863,13 @@ VerifyResult RunAttempt(WebAppSpec* spec, PreparedSpec* prepared,
               HeartbeatSnapshot snapshot;
               snapshot.elapsed_seconds = ledger.ElapsedSeconds();
               snapshot.num_assignments =
-                  static_cast<int64_t>(ctxs.size());
+                  static_cast<int64_t>(slots.size());
               snapshot.num_cores = cores;
               snapshot.num_expansions = expansions;
               snapshot.num_successors = successors;
               snapshot.trie_size = trie_size;
               snapshot.max_trie_size = max_trie;
-              snapshot.buchi_states = plan.automaton.NumStates();
+              snapshot.buchi_states = max_buchi;
               options.heartbeat(snapshot);
             }
             if (options.tracer != nullptr) {
@@ -1145,43 +911,77 @@ VerifyResult RunAttempt(WebAppSpec* spec, PreparedSpec* prepared,
     }
     ledger.SyncMemoryReadings();
     search_us = search_watch.ElapsedMicros();
-
-    // --- deterministic merge ------------------------------------------------
-    // Worker-id order; precedence: counterexample > shard-local unknown
-    // (minimum (assignment, core) key — the one the sequential search
-    // would have hit first) > global budget trip > holds.
-    for (const std::unique_ptr<ShardRunner>& r : runners) {
-      const VerifyStats& s = r->stats();
-      result.stats.num_cores += s.num_cores;
-      result.stats.num_expansions += s.num_expansions;
-      result.stats.num_successors += s.num_successors;
-      result.stats.trie_hits += s.trie_hits;
-      result.stats.trie_misses += s.trie_misses;
-      result.stats.max_trie_size =
-          std::max(result.stats.max_trie_size, s.max_trie_size);
-      result.stats.max_pseudorun_length =
-          std::max(result.stats.max_pseudorun_length,
-                   s.max_pseudorun_length);
-    }
-    result.stats.num_rejected_candidates = shared.rejected;
-
-    if (shared.winner_claimed) {
-      result.verdict = Verdict::kViolated;
-      result.stick = std::move(shared.stick);
-      result.candy = std::move(shared.candy);
-      result.witness_binding = std::move(shared.witness_binding);
-    } else if (shared.has_local_unknown) {
-      result.verdict = Verdict::kUnknown;
-      result.failure_reason = shared.local_message;
-      result.unknown_reason = shared.local_reason;
-    } else if (ledger.trip_reason() != UnknownReason::kNone) {
-      result.verdict = Verdict::kUnknown;
-      result.failure_reason = ledger.trip_message();
-      result.unknown_reason = ledger.trip_reason();
-    } else {
-      result.verdict = Verdict::kHolds;
-    }
   }
+
+  // --- deterministic per-property merge --------------------------------------
+  // Worker-id order; precedence per property: counterexample > shard-local
+  // unknown (minimum (assignment, core) key — the one the sequential
+  // search would have hit first) > global budget trip > holds.
+  GovernorReadings readings = ledger.readings();
+  for (int i = 0; i < n; ++i) {
+    VerifyResult& r = results[i];
+    const PropertyWork& w = work[i];
+    r.stats.prepass_reuses = w.prepass_reuses;
+    r.stats.prepare_seconds = w.prepare_us / 1e6;
+    if (w.plan->decided_holds) {
+      r.stats.seconds = r.stats.prepare_seconds;
+      continue;
+    }
+    EngineShared& es = *shared.jobs[i];
+
+    double slot_us = 0;
+    for (const std::unique_ptr<ShardRunner>& runner : runners) {
+      const VerifyStats& s = runner->job_stats()[i];
+      r.stats.num_cores += s.num_cores;
+      r.stats.num_expansions += s.num_expansions;
+      r.stats.num_successors += s.num_successors;
+      r.stats.trie_hits += s.trie_hits;
+      r.stats.trie_misses += s.trie_misses;
+      r.stats.max_trie_size =
+          std::max(r.stats.max_trie_size, s.max_trie_size);
+      r.stats.max_pseudorun_length =
+          std::max(r.stats.max_pseudorun_length, s.max_pseudorun_length);
+      for (size_t slot = w.slot_begin; slot < w.slot_end; ++slot) {
+        slot_us += runner->assignment_us()[slot];
+      }
+    }
+    r.stats.num_rejected_candidates = es.rejected;
+
+    if (es.winner_claimed) {
+      r.verdict = Verdict::kViolated;
+      r.stick = std::move(es.stick);
+      r.candy = std::move(es.candy);
+      r.witness_binding = std::move(es.witness_binding);
+    } else if (es.has_local_unknown) {
+      r.verdict = Verdict::kUnknown;
+      r.failure_reason = es.local_message;
+      r.unknown_reason = es.local_reason;
+    } else if (ledger.trip_reason() != UnknownReason::kNone) {
+      r.verdict = Verdict::kUnknown;
+      r.failure_reason = ledger.trip_message();
+      r.unknown_reason = ledger.trip_reason();
+    } else {
+      r.verdict = Verdict::kHolds;
+    }
+
+    // Per-property phase wall-times. The search share is the property's
+    // own shard time (summed across workers), so N batched properties
+    // don't all report the whole batch's search wall.
+    r.stats.dataflow_seconds = w.dataflow_us / 1e6;
+    r.stats.validate_seconds = es.validate_us / 1e6;
+    r.stats.search_seconds =
+        std::max(0.0, slot_us - es.validate_us) / 1e6;
+    r.stats.peak_memory_bytes = readings.peak_memory_bytes;
+    r.stats.governor_polls = readings.polls;
+    r.stats.seconds = r.stats.prepare_seconds + r.stats.dataflow_seconds +
+                      r.stats.search_seconds + r.stats.validate_seconds;
+  }
+
+  int64_t heartbeats = coordinator_heartbeats;
+  for (const std::unique_ptr<ShardRunner>& runner : runners) {
+    heartbeats += runner->heartbeats();
+  }
+  double net_search_us = 0;
 
   {
     // Result validation/finalization; with a candidate_filter installed
@@ -1190,56 +990,97 @@ VerifyResult RunAttempt(WebAppSpec* spec, PreparedSpec* prepared,
     // into the caller's (possibly shared, accumulating) registry.
     obs::ScopedSpan validate_span(options.tracer, "validate");
     obs::MetricsRegistry call_metrics;
-    VerifyStats& stats = result.stats;
+
+    double prepare_us = 0, dataflow_us = 0, validate_us = 0;
+    int64_t assignments = 0, cores = 0, expansions = 0, successors = 0;
+    int64_t rejected = 0, trie_hits = 0, trie_misses = 0;
+    int max_trie = 0;
+    for (int i = 0; i < n; ++i) {
+      prepare_us += work[i].prepare_us;
+      dataflow_us += work[i].dataflow_us;
+      validate_us += shared.jobs[i]->validate_us;
+      const VerifyStats& s = results[i].stats;
+      assignments += s.num_assignments;
+      cores += s.num_cores;
+      expansions += s.num_expansions;
+      successors += s.num_successors;
+      rejected += s.num_rejected_candidates;
+      trie_hits += s.trie_hits;
+      trie_misses += s.trie_misses;
+      max_trie = std::max(max_trie, s.max_trie_size);
+    }
+    net_search_us = std::max(0.0, search_us - dataflow_us - validate_us);
+
     call_metrics.Add("verify.prepare_us", static_cast<int64_t>(prepare_us));
     call_metrics.Add("verify.dataflow_us",
                      static_cast<int64_t>(dataflow_us));
-    double net_search_us =
-        std::max(0.0, search_us - dataflow_us - shared.validate_us);
     call_metrics.Add("verify.search_us", static_cast<int64_t>(net_search_us));
     call_metrics.Add("verify.validate_us",
-                     static_cast<int64_t>(shared.validate_us));
-    call_metrics.Add("verify.assignments", stats.num_assignments);
-    call_metrics.Add("verify.cores", stats.num_cores);
-    call_metrics.Add("verify.expansions", stats.num_expansions);
-    call_metrics.Add("verify.successors", stats.num_successors);
-    call_metrics.Add("verify.rejected_candidates",
-                     stats.num_rejected_candidates);
-    int64_t heartbeats = coordinator_heartbeats;
-    for (const std::unique_ptr<ShardRunner>& r : runners) {
-      heartbeats += r->heartbeats();
-    }
+                     static_cast<int64_t>(validate_us));
+    call_metrics.Add("verify.assignments", assignments);
+    call_metrics.Add("verify.cores", cores);
+    call_metrics.Add("verify.expansions", expansions);
+    call_metrics.Add("verify.successors", successors);
+    call_metrics.Add("verify.rejected_candidates", rejected);
     call_metrics.Add("verify.heartbeats", heartbeats);
     call_metrics.Add("verify.steals", steals);
     call_metrics.Set("verify.jobs", jobs);
-    call_metrics.Add("trie.hits", stats.trie_hits);
-    call_metrics.Add("trie.misses", stats.trie_misses);
-    call_metrics.Set("trie.max_size", stats.max_trie_size);
-    call_metrics.Set("buchi.states", stats.buchi_states);
-    call_metrics.Add("gpvw.tableau_nodes", plan.gpvw_stats.tableau_nodes);
-    call_metrics.Add("gpvw.until_subformulas",
-                     plan.gpvw_stats.until_subformulas);
-    call_metrics.Set("gpvw.states_before_simplify",
-                     plan.gpvw_stats.states_before_simplify);
-    GovernorReadings readings = ledger.readings();
-    stats.peak_memory_bytes = readings.peak_memory_bytes;
-    stats.governor_polls = readings.polls;
+    call_metrics.Add("trie.hits", trie_hits);
+    call_metrics.Add("trie.misses", trie_misses);
+    call_metrics.Set("trie.max_size", max_trie);
+    call_metrics.Set("buchi.states", max_buchi);
+    int64_t gpvw_states_before = 0;
+    for (int i = 0; i < n; ++i) {
+      const GpvwStats& g = work[i].plan->gpvw_stats;
+      call_metrics.Add("gpvw.tableau_nodes", g.tableau_nodes);
+      call_metrics.Add("gpvw.until_subformulas", g.until_subformulas);
+      gpvw_states_before =
+          std::max<int64_t>(gpvw_states_before, g.states_before_simplify);
+    }
+    call_metrics.Set("gpvw.states_before_simplify", gpvw_states_before);
     call_metrics.Set("governor.peak_memory_bytes",
                      readings.peak_memory_bytes);
     call_metrics.Add("governor.polls", readings.polls);
 
-    // Per-assignment wall time, recorded in assignment-index order (so the
-    // histogram count always equals num_assignments): the pre-pass build
-    // time plus the shard time summed across workers.
-    obs::Histogram assignment_us;
-    for (size_t a = 0; a < ctxs.size(); ++a) {
-      double total = ctxs[a]->build_us;
-      for (const std::unique_ptr<ShardRunner>& r : runners) {
-        total += r->assignment_us()[a];
+    // Session-cache deltas of this attempt (verify.prepass.* proves the
+    // spec pre-pass ran exactly once across a batch: spec_builds is 1 on
+    // the session's first attempt and 0 afterwards).
+    const SessionStats& sa = session->stats();
+    call_metrics.Add("verify.prepass.spec_builds",
+                     sa.spec_builds - session_before.spec_builds);
+    call_metrics.Add("verify.prepass.spec_reuses",
+                     sa.spec_reuses - session_before.spec_reuses);
+    call_metrics.Add("verify.prepass.plan_builds",
+                     sa.plan_builds - session_before.plan_builds);
+    call_metrics.Add("verify.prepass.plan_reuses",
+                     sa.plan_reuses - session_before.plan_reuses);
+    call_metrics.Add("verify.prepass.context_builds",
+                     sa.context_builds - session_before.context_builds);
+    call_metrics.Add("verify.prepass.context_reuses",
+                     sa.context_reuses - session_before.context_reuses);
+    call_metrics.Add("verify.prepass.evictions",
+                     sa.context_evictions - session_before.context_evictions);
+    call_metrics.Add("verify.gpvw_cache.hits",
+                     sa.gpvw_hits - session_before.gpvw_hits);
+    call_metrics.Add("verify.gpvw_cache.misses",
+                     sa.gpvw_misses - session_before.gpvw_misses);
+
+    // Per-assignment wall time, recorded in slot order (so the histogram
+    // count always equals the attempt's summed num_assignments): the
+    // context build time — when this attempt actually built it — plus the
+    // shard time summed across workers.
+    obs::Histogram assignment_hist;
+    for (size_t slot = 0; slot < slots.size(); ++slot) {
+      double total = work[slots[slot].job].prepass.reused
+                         ? 0.0
+                         : slots[slot].ctx->build_us;
+      for (const std::unique_ptr<ShardRunner>& runner : runners) {
+        total += runner->assignment_us()[slot];
       }
-      assignment_us.Record(total);
+      assignment_hist.Record(total);
     }
-    call_metrics.histogram("verify.assignment_us")->MergeFrom(assignment_us);
+    call_metrics.histogram("verify.assignment_us")
+        ->MergeFrom(assignment_hist);
 
     const PreparedExecStats& exec = prepared->exec_stats();
     call_metrics.Add(
@@ -1254,24 +1095,166 @@ VerifyResult RunAttempt(WebAppSpec* spec, PreparedSpec* prepared,
     call_metrics.Add("prepared.derived_tuples",
                      exec.derived_tuples - exec_before.derived_tuples);
     if (options.metrics != nullptr) options.metrics->MergeFrom(call_metrics);
-
-    stats.prepare_seconds =
-        call_metrics.counter("verify.prepare_us")->value() / 1e6;
-    stats.dataflow_seconds =
-        call_metrics.counter("verify.dataflow_us")->value() / 1e6;
-    stats.search_seconds =
-        call_metrics.counter("verify.search_us")->value() / 1e6;
-    stats.validate_seconds =
-        call_metrics.counter("verify.validate_us")->value() / 1e6;
-    stats.heartbeats = call_metrics.counter("verify.heartbeats")->value();
   }
-  result.stats.seconds = watch.ElapsedSeconds();
-  return result;
+
+  // Release the session pins now that the merge no longer reads the
+  // cached contexts (partial artifacts are caller-owned; Unpin ignores
+  // them).
+  for (int i = 0; i < n; ++i) {
+    if (work[i].prepass.artifacts != nullptr) {
+      session->UnpinPrepass(work[i].prepass.artifacts);
+    }
+  }
+
+  double wall = watch.ElapsedSeconds();
+  if (totals != nullptr) {
+    totals->wall_seconds += wall;
+    if (n > 1) totals->heartbeats += heartbeats;
+  }
+  if (n == 1) {
+    // Single-property attempts keep the historical stats contract:
+    // `seconds` is the attempt wall time and the search phase is the
+    // attempt's whole search wall, net of the other phases.
+    results[0].stats.seconds = wall;
+    if (!work[0].plan->decided_holds) {
+      results[0].stats.search_seconds = net_search_us / 1e6;
+    }
+    results[0].stats.heartbeats = heartbeats;
+  }
+  return results;
 }
 
-}  // namespace
+/// The shared single/batch driver: persistent-cache lookups, then one
+/// fused attempt (or a batch-wide retry ladder, each rung re-running only
+/// the properties still undecided for a budget-limited reason), then
+/// persistent-cache stores of the newly decided results.
+std::vector<VerifyResponse> VerifyProperties(
+    VerifierSession* session, WebAppSpec* spec, PreparedSpec* prepared,
+    const std::vector<const Property*>& props, const VerifyOptions& base,
+    const RetryPolicy& retry, int jobs, ResultCache* cache,
+    AttemptTotals* totals) {
+  const int n = static_cast<int>(props.size());
+  std::vector<VerifyResponse> responses(n);
+  std::vector<bool> decided(n, false);
+  std::vector<bool> from_cache(n, false);
+  std::vector<Fingerprint> keys(n);
 
-namespace {
+  if (cache != nullptr) {
+    int64_t hits = 0, misses = 0;
+    for (int i = 0; i < n; ++i) {
+      keys[i] = ResultCacheKey(session->SpecFingerprint(), *props[i],
+                               spec->symbols(), base);
+      obs::ScopedSpan span(base.tracer, "cache.lookup");
+      VerifyResponse stored;
+      if (cache->Lookup(keys[i], spec, &stored)) {
+        responses[i] = std::move(stored);
+        decided[i] = true;
+        from_cache[i] = true;
+        ++hits;
+      } else {
+        ++misses;
+      }
+    }
+    if (base.metrics != nullptr) {
+      base.metrics->Add("verify.cache.hits", hits);
+      base.metrics->Add("verify.cache.misses", misses);
+    }
+  }
+
+  std::vector<int> pending;
+  for (int i = 0; i < n; ++i) {
+    if (!decided[i]) pending.push_back(i);
+  }
+
+  if (!pending.empty() && !retry.enabled) {
+    std::vector<const Property*> subset;
+    for (int j : pending) subset.push_back(props[j]);
+    std::vector<VerifyResult> rs = RunBatchAttempt(
+        session, spec, prepared, subset, base, jobs, totals);
+    for (size_t m = 0; m < pending.size(); ++m) {
+      static_cast<VerifyResult&>(responses[pending[m]]) = std::move(rs[m]);
+    }
+  } else if (!pending.empty()) {
+    // The retry ladder, batch-wide: climb while any property failed for a
+    // budget-limited reason; each rung re-runs ONLY the still-undecided
+    // budget-limited properties. Decisions, non-budget unknowns (overflow
+    // no rung can cure would still be budget-limited — but timeouts,
+    // memory trips and cancellation are final) drop out of the climb.
+    std::vector<RetryRung> ladder =
+        retry.ladder.empty() ? DefaultLadder(base) : retry.ladder;
+    double total_budget = retry.total_budget_seconds > 0
+                              ? retry.total_budget_seconds
+                              : base.timeout_seconds;
+    Stopwatch ladder_watch;
+    for (size_t k = 0; k < ladder.size() && !pending.empty(); ++k) {
+      const RetryRung& rung = ladder[k];
+      double remaining = total_budget - ladder_watch.ElapsedSeconds();
+      if (remaining <= 0 && k > 0) {
+        // Budget spent on earlier rungs; surface the last attempts' results.
+        break;
+      }
+      // Backoff split: each rung gets an even share of what is left, so a
+      // cheap early rung that returns quickly donates its unused share to
+      // the rungs after it.
+      double rung_budget =
+          std::max(0.0, remaining) / static_cast<double>(ladder.size() - k);
+
+      VerifyOptions options = base;
+      options.max_candidates = rung.max_candidates;
+      options.max_expansions = rung.max_expansions;
+      options.exhaustive_existential = rung.exhaustive_existential;
+      options.timeout_seconds = rung_budget;
+
+      obs::ScopedSpan span(base.tracer, "retry_rung");
+      Stopwatch attempt_watch;
+      std::vector<const Property*> subset;
+      for (int j : pending) subset.push_back(props[j]);
+      std::vector<VerifyResult> rs = RunBatchAttempt(
+          session, spec, prepared, subset, options, jobs, totals);
+      double elapsed = attempt_watch.ElapsedSeconds();
+
+      std::vector<int> still;
+      for (size_t m = 0; m < pending.size(); ++m) {
+        int j = pending[m];
+        AttemptRecord record;
+        record.rung = static_cast<int>(k);
+        record.rung_name = rung.name;
+        record.budget_seconds = rung_budget;
+        record.elapsed_seconds = elapsed;
+        record.verdict = rs[m].verdict;
+        record.unknown_reason = rs[m].unknown_reason;
+        record.failure_reason = rs[m].failure_reason;
+        record.stats = rs[m].stats;
+        responses[j].attempts.push_back(std::move(record));
+        static_cast<VerifyResult&>(responses[j]) = std::move(rs[m]);
+        if (responses[j].verdict != Verdict::kUnknown) {
+          responses[j].decided_rung = static_cast<int>(k);
+        } else if (IsBudgetLimited(responses[j].unknown_reason)) {
+          still.push_back(j);
+        }
+        // A non-budget-limited unknown (timeout/memory/cancel) is final:
+        // more candidate budget will not cure it.
+      }
+      pending = std::move(still);
+    }
+  }
+
+  if (cache != nullptr) {
+    int64_t stores = 0;
+    for (int i = 0; i < n; ++i) {
+      if (from_cache[i] || responses[i].verdict == Verdict::kUnknown) {
+        continue;
+      }
+      obs::ScopedSpan span(base.tracer, "cache.store");
+      // A failed store costs the next run its warm start, nothing else.
+      if (cache->Store(keys[i], *spec, responses[i]).ok()) ++stores;
+    }
+    if (base.metrics != nullptr) {
+      base.metrics->Add("verify.cache.stores", stores);
+    }
+  }
+  return responses;
+}
 
 /// Collects the embedded FO formulas (the eventual "FO components") of an
 /// LTL property body, in syntactic order.
@@ -1366,7 +1349,10 @@ Verifier::Verifier(WebAppSpec* spec)
   WAVE_CHECK_MSG(issues.empty(),
                  "spec does not validate: " << issues.front() << " (and "
                                             << issues.size() - 1 << " more)");
+  session_ = std::make_unique<VerifierSession>(spec, &page_domains_);
 }
+
+Verifier::~Verifier() = default;
 
 StatusOr<std::unique_ptr<Verifier>> Verifier::Create(WebAppSpec* spec) {
   if (spec == nullptr) {
@@ -1429,72 +1415,83 @@ StatusOr<VerifyResponse> Verifier::Run(const VerifyRequest& request) {
   WAVE_RETURN_IF_ERROR(ValidatePropertyForSpec(*spec_, *property));
 
   const int jobs = WorkerPool::ResolveJobs(request.jobs);
-  VerifyResponse response;
-  if (!request.retry.enabled) {
-    static_cast<VerifyResult&>(response) = RunAttempt(
-        spec_, &prepared_, &page_domains_, *property, request.options, jobs);
-    return response;
+  std::vector<VerifyResponse> rs = VerifyProperties(
+      session_.get(), spec_, &prepared_, {property}, request.options,
+      request.retry, jobs, request.cache, /*totals=*/nullptr);
+  return std::move(rs[0]);
+}
+
+StatusOr<BatchResponse> Verifier::RunBatch(const BatchRequest& request) {
+  if (request.properties == nullptr) {
+    return Status::InvalidArgument(
+        "BatchRequest::properties is null: point it at the property catalog",
+        WAVE_LOC);
+  }
+  const std::vector<Property>& catalog = *request.properties;
+  std::vector<int> indices = request.property_indices;
+  if (indices.empty()) {
+    indices.resize(catalog.size());
+    for (size_t i = 0; i < catalog.size(); ++i) {
+      indices[i] = static_cast<int>(i);
+    }
+  }
+  std::vector<const Property*> props;
+  props.reserve(indices.size());
+  for (int index : indices) {
+    if (index < 0 || index >= static_cast<int>(catalog.size())) {
+      return Status::InvalidArgument(
+          "BatchRequest: property index " + std::to_string(index) +
+              " out of range (catalog has " + std::to_string(catalog.size()) +
+              " properties)",
+          WAVE_LOC);
+    }
+    props.push_back(&catalog[index]);
+  }
+  // Validate every property up front: a bad property fails the whole
+  // batch before any search runs, never halfway through.
+  for (const Property* p : props) {
+    WAVE_RETURN_IF_ERROR(ValidatePropertyForSpec(*spec_, *p));
   }
 
-  // The retry ladder: climb while the attempt failed for a budget-limited
-  // reason; any decision, timeout, memory trip or cancellation returns
-  // immediately with the history so far.
-  const VerifyOptions& base = request.options;
-  std::vector<RetryRung> ladder = request.retry.ladder.empty()
-                                      ? DefaultLadder(base)
-                                      : request.retry.ladder;
-  double total_budget = request.retry.total_budget_seconds > 0
-                            ? request.retry.total_budget_seconds
-                            : base.timeout_seconds;
-  Stopwatch ladder_watch;
-  for (size_t k = 0; k < ladder.size(); ++k) {
-    const RetryRung& rung = ladder[k];
-    double remaining = total_budget - ladder_watch.ElapsedSeconds();
-    if (remaining <= 0 && k > 0) {
-      // Budget spent on earlier rungs; surface the last attempt's result.
-      break;
-    }
-    // Backoff split: each rung gets an even share of what is left, so a
-    // cheap early rung that returns quickly donates its unused share to
-    // the rungs after it.
-    double rung_budget =
-        std::max(0.0, remaining) / static_cast<double>(ladder.size() - k);
+  const int jobs = WorkerPool::ResolveJobs(request.jobs);
+  Stopwatch watch;
+  AttemptTotals totals;
+  BatchResponse batch;
+  batch.responses = VerifyProperties(session_.get(), spec_, &prepared_, props,
+                                     request.options, request.retry, jobs,
+                                     request.cache, &totals);
 
-    VerifyOptions options = base;
-    options.max_candidates = rung.max_candidates;
-    options.max_expansions = rung.max_expansions;
-    options.exhaustive_existential = rung.exhaustive_existential;
-    options.timeout_seconds = rung_budget;
-
-    obs::ScopedSpan span(base.tracer, "retry_rung");
-    Stopwatch attempt_watch;
-    VerifyResult result =
-        RunAttempt(spec_, &prepared_, &page_domains_, *property, options,
-                   jobs);
-
-    AttemptRecord record;
-    record.rung = static_cast<int>(k);
-    record.rung_name = rung.name;
-    record.budget_seconds = rung_budget;
-    record.elapsed_seconds = attempt_watch.ElapsedSeconds();
-    record.verdict = result.verdict;
-    record.unknown_reason = result.unknown_reason;
-    record.failure_reason = result.failure_reason;
-    record.stats = result.stats;
-    response.attempts.push_back(std::move(record));
-    static_cast<VerifyResult&>(response) = std::move(result);
-
-    if (response.verdict != Verdict::kUnknown) {
-      response.decided_rung = static_cast<int>(k);
-      break;
-    }
-    // Escalation is only worth it when a larger budget could change the
-    // answer; timeouts, memory trips and cancellation end the ladder. A
-    // timeout on the *final* deadline share also means the total budget is
-    // gone, so the two stop conditions agree.
-    if (!IsBudgetLimited(response.unknown_reason)) break;
+  VerifyStats& merged = batch.merged;
+  for (const VerifyResponse& r : batch.responses) {
+    const VerifyStats& s = r.stats;
+    merged.prepare_seconds += s.prepare_seconds;
+    merged.dataflow_seconds += s.dataflow_seconds;
+    merged.search_seconds += s.search_seconds;
+    merged.validate_seconds += s.validate_seconds;
+    merged.num_assignments += s.num_assignments;
+    merged.num_cores += s.num_cores;
+    merged.num_expansions += s.num_expansions;
+    merged.num_successors += s.num_successors;
+    merged.num_rejected_candidates += s.num_rejected_candidates;
+    merged.trie_hits += s.trie_hits;
+    merged.trie_misses += s.trie_misses;
+    merged.heartbeats += s.heartbeats;
+    merged.cache_hits += s.cache_hits;
+    merged.prepass_reuses += s.prepass_reuses;
+    merged.governor_polls = std::max(merged.governor_polls, s.governor_polls);
+    merged.max_trie_size = std::max(merged.max_trie_size, s.max_trie_size);
+    merged.max_pseudorun_length =
+        std::max(merged.max_pseudorun_length, s.max_pseudorun_length);
+    merged.buchi_states = std::max(merged.buchi_states, s.buchi_states);
+    merged.peak_memory_bytes =
+        std::max(merged.peak_memory_bytes, s.peak_memory_bytes);
   }
-  return response;
+  // Batch-level heartbeats fired by the fused searches' coordinators (the
+  // per-response stats carry none when n > 1: a heartbeat spans every
+  // property at once and cannot be attributed to one of them).
+  merged.heartbeats += totals.heartbeats;
+  merged.seconds = watch.ElapsedSeconds();
+  return batch;
 }
 
 VerifyResult Verifier::Verify(const Property& property,
@@ -1558,6 +1555,8 @@ obs::Json VerifyStats::ToJson() const {
   j.Set("heartbeats", obs::Json::Int(heartbeats));
   j.Set("peak_memory_bytes", obs::Json::Int(peak_memory_bytes));
   j.Set("governor_polls", obs::Json::Int(governor_polls));
+  j.Set("cache_hits", obs::Json::Int(cache_hits));
+  j.Set("prepass_reuses", obs::Json::Int(prepass_reuses));
   return j;
 }
 

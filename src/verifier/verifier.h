@@ -16,8 +16,21 @@
 // and `VerifyRequest::jobs` runs them on a work-stealing worker pool (see
 // docs/PARALLELISM.md for the shard model and the determinism contract).
 // `Verifier::Run(VerifyRequest) -> StatusOr<VerifyResponse>` is the one
-// supported entry point; `Verify`, `TryVerify` and `VerifyWithRetry`
-// survive as thin deprecated wrappers over it.
+// supported single-property entry point; `Verify`, `TryVerify` and
+// `VerifyWithRetry` survive as thin `[[deprecated]]` wrappers over it
+// (removal timeline: README "Stable vs internal headers").
+//
+// PR 4: verification sessions. Each `Verifier` owns a `VerifierSession`
+// (verifier/session.h) that memoizes the sequential pre-pass —
+// page-domain warming, property plans incl. the GPVW translation, and
+// per-(property, options) assignment contexts — so repeated `Run` calls
+// and `RunBatch` pay the spec-level work once. `RunBatch` verifies N
+// properties in one attempt: the shard queue carries a fused stream of
+// (property, assignment, core) shards across all N searches, budgets are
+// shared, and the per-property verdict/counterexample semantics are
+// exactly N sequential `Run` calls (see docs/API.md). An optional
+// persistent `ResultCache` (verifier/cache.h) short-circuits the search
+// for (spec, property, options) triples decided by an earlier run.
 #ifndef WAVE_VERIFIER_VERIFIER_H_
 #define WAVE_VERIFIER_VERIFIER_H_
 
@@ -40,6 +53,9 @@
 #include "verifier/governor.h"
 
 namespace wave {
+
+class ResultCache;     // verifier/cache.h
+class VerifierSession;  // verifier/session.h
 
 /// Periodic progress snapshot delivered by `VerifyOptions::heartbeat` so
 /// long-running verifications are observable before they finish or time
@@ -155,6 +171,16 @@ struct VerifyStats {
   int64_t peak_memory_bytes = 0;  // high-water estimate (trie + stacks)
   int64_t governor_polls = 0;     // full limit polls performed
 
+  // Caching (ISSUE 4):
+  /// 1 when this response was served from the persistent `ResultCache`
+  /// (the search was skipped entirely); summed in batch merged stats.
+  int64_t cache_hits = 0;
+  /// How many memoized pre-pass layers (spec artifacts / property plan /
+  /// assignment contexts, 0..3 per attempt) the session served instead of
+  /// rebuilding. A cold batch of N properties under one set of options
+  /// merges to N-1: every property after the first reuses the spec layer.
+  int64_t prepass_reuses = 0;
+
   /// Every field as a JSON object with stable snake_case keys (the
   /// `wave_verify --stats-json` payload).
   obs::Json ToJson() const;
@@ -249,6 +275,12 @@ struct VerifyRequest {
   /// Verdicts are run-to-run deterministic across jobs values — see
   /// docs/PARALLELISM.md for the contract and its caveats.
   int jobs = 1;
+
+  /// Optional persistent result cache (not owned; may be null). On a hit
+  /// the stored decided response is returned without searching
+  /// (`stats.cache_hits == 1`); decided results are stored back on a
+  /// miss. See verifier/cache.h for the key and portability rules.
+  ResultCache* cache = nullptr;
 };
 
 /// Outcome of `Verifier::Run`: a `VerifyResult` plus the retry history
@@ -261,6 +293,51 @@ struct VerifyResponse : VerifyResult {
   int decided_rung = -1;
 
   obs::Json AttemptsJson() const;
+};
+
+// --- the batch API (PR 4) ---------------------------------------------------
+
+/// N properties against one spec in one call. The engine performs the
+/// spec-level pre-pass once, then feeds the worker pool a fused shard
+/// stream across all N searches: a pool of J workers drains the union of
+/// every property's (assignment, core) shards, so one property's huge
+/// search cannot serialize behind another's. Budgets (`options.timeout_*`
+/// etc.) are shared by the whole batch.
+struct BatchRequest {
+  /// The property catalog (not owned; must outlive the call). Required.
+  const std::vector<Property>* properties = nullptr;
+  /// Subset of `properties` to verify, by index, in this order. Empty
+  /// verifies the whole catalog in catalog order.
+  std::vector<int> property_indices;
+
+  /// One set of options for every property (they share the pre-pass).
+  VerifyOptions options;
+  /// Escalation ladder applied batch-wide: each rung re-runs only the
+  /// properties still undecided for a budget-limited reason.
+  RetryPolicy retry;
+  /// Worker threads, as in `VerifyRequest::jobs`.
+  int jobs = 1;
+  /// Optional persistent result cache, as in `VerifyRequest::cache`.
+  ResultCache* cache = nullptr;
+};
+
+/// Outcome of `Verifier::RunBatch`.
+struct BatchResponse {
+  /// One response per requested property, in request order. Verdicts and
+  /// counterexample validity are identical to N sequential `Run` calls at
+  /// any `jobs` value (the PR-3 determinism contract, lifted to batches).
+  std::vector<VerifyResponse> responses;
+  /// Counters summed (max for the high-water marks) across `responses`;
+  /// `merged.seconds` is the batch wall time.
+  VerifyStats merged;
+
+  /// True when every response is kHolds.
+  bool all_hold() const {
+    for (const VerifyResponse& r : responses) {
+      if (r.verdict != Verdict::kHolds) return false;
+    }
+    return true;
+  }
 };
 
 /// Structured pre-flight validation of a property against a spec (ISSUE
@@ -281,6 +358,7 @@ class Verifier {
   /// (`WAVE_CHECK`ed). Prefer `Create` for untrusted input: it reports
   /// validation issues as a Status instead of aborting.
   explicit Verifier(WebAppSpec* spec);
+  ~Verifier();
 
   /// Status-returning construction path: validates `spec` first and
   /// returns FailedPrecondition (listing the issues) instead of aborting.
@@ -295,24 +373,39 @@ class Verifier {
   /// Status.
   StatusOr<VerifyResponse> Run(const VerifyRequest& request);
 
-  /// DEPRECATED — thin wrapper over `Run` kept for source compatibility.
-  /// Checks that all runs satisfy `property`; aborts (WAVE_CHECK) if the
-  /// property fails pre-flight validation. New code should build a
-  /// `VerifyRequest` and call `Run`.
+  /// The batch entry point (PR 4): validates every selected property,
+  /// serves persistent-cache hits, then verifies the rest in one fused
+  /// attempt per retry rung (see `BatchRequest`). Returns InvalidArgument
+  /// for a null/out-of-range selection or a property failing
+  /// `ValidatePropertyForSpec` — before verifying anything.
+  StatusOr<BatchResponse> RunBatch(const BatchRequest& request);
+
+  /// Thin wrapper over `Run` kept for source compatibility. Checks that
+  /// all runs satisfy `property`; aborts (WAVE_CHECK) if the property
+  /// fails pre-flight validation. Scheduled for removal — see README
+  /// "Stable vs internal headers".
+  [[deprecated("build a VerifyRequest and call Verifier::Run")]]
   VerifyResult Verify(const Property& property,
                       const VerifyOptions& options = {});
 
-  /// DEPRECATED — thin wrapper over `Run` kept for source compatibility.
-  /// Status-returning variant of `Verify`. New code should call `Run`.
+  /// Thin wrapper over `Run` kept for source compatibility. Scheduled for
+  /// removal — see README "Stable vs internal headers".
+  [[deprecated("build a VerifyRequest and call Verifier::Run")]]
   StatusOr<VerifyResult> TryVerify(const Property& property,
                                    const VerifyOptions& options = {});
 
   const PreparedSpec& prepared() const { return prepared_; }
 
+  /// The session owning this verifier's pre-pass caches (never null).
+  /// Exposed for cache inspection (`session().stats()`) — the engine
+  /// consults it automatically on every Run/RunBatch.
+  VerifierSession& session() { return *session_; }
+
  private:
   WebAppSpec* spec_;
   PreparedSpec prepared_;
   PageDomains page_domains_;
+  std::unique_ptr<VerifierSession> session_;
 };
 
 }  // namespace wave

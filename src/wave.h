@@ -20,7 +20,12 @@
 //   parser/parser.h       — the .wave spec language front end
 //   ltl/patterns.h        — LTL-FO property construction helpers
 //   verifier/verifier.h   — Verifier, VerifyRequest/VerifyResponse,
-//                           VerifyOptions, VerifyResult, RetryPolicy
+//                           BatchRequest/BatchResponse, VerifyOptions,
+//                           VerifyResult, RetryPolicy
+//   verifier/cache.h      — ResultCache, the persistent cross-run result
+//                           cache keyed by spec+property+options fingerprint
+//   verifier/session.h    — VerifierSession, the per-spec memo of pre-pass
+//                           artifacts behind Run/RunBatch (advanced use)
 //   verifier/validate.h   — counterexample validation (Section 7 mode)
 //   verifier/governor.h   — GovernorLimits, UnknownReason, CancellationToken
 //   obs/metrics.h, obs/tracer.h — observability hooks for VerifyOptions
@@ -38,7 +43,9 @@
 #include "obs/tracer.h"
 #include "parser/parser.h"
 #include "spec/web_app.h"
+#include "verifier/cache.h"
 #include "verifier/governor.h"
+#include "verifier/session.h"
 #include "verifier/validate.h"
 #include "verifier/verifier.h"
 

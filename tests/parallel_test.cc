@@ -338,7 +338,10 @@ TEST(VerifyRequestTest, BadSelectorsAreInvalidArgument) {
 }
 
 // Deliberate coverage of the deprecated wrappers: they must stay thin
-// forwards to Run with identical verdicts.
+// forwards to Run with identical verdicts until their removal (see
+// README.md "Deprecated entry points").
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(VerifyRequestTest, DeprecatedVerifyWrapperMatchesRun) {
   AppBundle bundle = BuildE2();
   Verifier verifier(bundle.spec.get());
@@ -351,6 +354,7 @@ TEST(VerifyRequestTest, DeprecatedVerifyWrapperMatchesRun) {
   ASSERT_TRUE(tried.ok());
   EXPECT_EQ(tried->verdict, direct.verdict);
 }
+#pragma GCC diagnostic pop
 
 // Parallel runs surface their shape in the metrics registry and merge
 // worker trace spans (tid >= 2) into the caller's tracer.

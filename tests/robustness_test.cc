@@ -355,7 +355,7 @@ TEST(ValidatePropertyTest, RejectsUnboundFreeVariable) {
   EXPECT_NE(s.message().find("free variable 'n'"), std::string::npos);
 }
 
-TEST(ValidatePropertyTest, TryVerifyReturnsStatusInsteadOfAborting) {
+TEST(ValidatePropertyTest, RunReturnsStatusInsteadOfAborting) {
   ParseResult home = ParseSpec(kTinySpec);
   ASSERT_TRUE(home.ok()) << home.ErrorText();
   ParseResult props = ParseProperties(
@@ -363,14 +363,17 @@ TEST(ValidatePropertyTest, TryVerifyReturnsStatusInsteadOfAborting) {
   ASSERT_TRUE(props.ok()) << props.ErrorText();
   Verifier verifier(home.spec.get());
 
-  StatusOr<VerifyResult> good =
-      verifier.TryVerify(props.properties[0].property);
+  VerifyRequest good_request;
+  good_request.property = &props.properties[0].property;
+  StatusOr<VerifyResponse> good = verifier.Run(good_request);
   ASSERT_TRUE(good.ok()) << good.status().ToString();
   EXPECT_EQ(good->verdict, Verdict::kHolds);
 
   Property bad = props.properties[0].property;
   bad.body = nullptr;
-  StatusOr<VerifyResult> rejected = verifier.TryVerify(bad);
+  VerifyRequest bad_request;
+  bad_request.property = &bad;
+  StatusOr<VerifyResponse> rejected = verifier.Run(bad_request);
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
 }
@@ -687,9 +690,14 @@ TEST(RetryLadderTest, FlipsACandidateBudgetUnknownToDecided) {
   ASSERT_EQ(plain.verdict, Verdict::kUnknown);
   ASSERT_EQ(plain.unknown_reason, UnknownReason::kCandidateBudget);
 
-  RetryResult laddered = VerifyWithRetry(&verifier, *p1, base);
-  EXPECT_EQ(laddered.result.verdict, Verdict::kHolds)
-      << laddered.result.failure_reason;
+  VerifyRequest request;
+  request.property = p1;
+  request.options = base;
+  request.retry.enabled = true;
+  StatusOr<VerifyResponse> response = verifier.Run(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const VerifyResponse& laddered = *response;
+  EXPECT_EQ(laddered.verdict, Verdict::kHolds) << laddered.failure_reason;
   ASSERT_GE(laddered.decided_rung, 0);
   ASSERT_EQ(laddered.attempts.size(),
             static_cast<size_t>(laddered.decided_rung) + 1);
@@ -715,17 +723,26 @@ TEST(RetryLadderTest, NonBudgetReasonsEndTheLadder) {
   ASSERT_NE(p5, nullptr);
   VerifyOptions base;
   base.exhaustive_existential = true;
-  RetryOptions retry;
-  retry.total_budget_seconds = 0.1;  // every rung's slice times out
-  RetryResult r = VerifyWithRetry(&verifier, *p5, base, retry);
-  EXPECT_EQ(r.result.verdict, Verdict::kUnknown);
-  EXPECT_EQ(r.decided_rung, -1);
-  ASSERT_FALSE(r.attempts.empty());
-  EXPECT_EQ(r.attempts.back().unknown_reason, UnknownReason::kTimeout);
-  EXPECT_LT(r.attempts.size(), 3u)
+  VerifyRequest request;
+  request.property = p5;
+  request.options = base;
+  request.retry.enabled = true;
+  request.retry.total_budget_seconds = 0.1;  // every rung's slice times out
+  StatusOr<VerifyResponse> response = verifier.Run(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->verdict, Verdict::kUnknown);
+  EXPECT_EQ(response->decided_rung, -1);
+  ASSERT_FALSE(response->attempts.empty());
+  EXPECT_EQ(response->attempts.back().unknown_reason, UnknownReason::kTimeout);
+  EXPECT_LT(response->attempts.size(), 3u)
       << "a timeout must stop the ladder before the last rung";
 }
 
+// Deliberate coverage of the deprecated `VerifyWithRetry` wrapper: it must
+// stay a thin forward to `Run` with `retry.enabled` until its removal (see
+// README.md "Deprecated entry points").
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(RetryLadderTest, CancellationEndsTheLadder) {
   AppBundle e1 = BuildE1();
   Verifier verifier(e1.spec.get());
@@ -739,6 +756,7 @@ TEST(RetryLadderTest, CancellationEndsTheLadder) {
   EXPECT_EQ(r.result.unknown_reason, UnknownReason::kCancelled);
   EXPECT_EQ(r.attempts.size(), 1u);
 }
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace wave

@@ -20,6 +20,13 @@
 // Parallel search (ISSUE 3): `--jobs=N` fans the (assignment, core) shard
 // space out over N worker threads via the unified VerifyRequest API; the
 // verdict is bit-identical to --jobs=1 (see docs/PARALLELISM.md).
+//
+// Sessions and caching (ISSUE 4): `--all-properties` verifies the whole
+// catalog as ONE `Verifier::RunBatch` call — the spec pre-pass runs once
+// and every property's shards share the worker pool — and `--cache-dir=P`
+// persists decided verdicts across runs keyed by a fingerprint of
+// spec + property + semantics-affecting options, so a re-run with an
+// unchanged spec skips the search entirely (see docs/API.md).
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -33,6 +40,7 @@
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "parser/parser.h"
+#include "verifier/cache.h"
 #include "verifier/governor.h"
 #include "verifier/validate.h"
 #include "verifier/verifier.h"
@@ -47,6 +55,14 @@ Without --property, every property block of the file is verified.
 
 options:
   --property=NAME       verify only this property (repeatable)
+  --all-properties      verify the whole catalog as one batch call: the
+                        spec pre-pass runs once and all properties share
+                        the worker pool (cannot combine with --property
+                        or --validated; see docs/API.md)
+  --cache-dir=PATH      persist decided verdicts under PATH, keyed by
+                        spec+property+options fingerprint; later runs with
+                        an unchanged spec report them as cache hits and
+                        skip the search (created if missing)
   --list                list the file's properties and exit
   --trace=PATH          write a Chrome trace-event JSON file (chrome://tracing, Perfetto)
   --stats-json=PATH     write verdicts + VerifyStats + metrics as JSON (atomic)
@@ -75,6 +91,8 @@ unknown, 130 interrupted (SIGINT; partial stats JSON is still written)
 struct CliOptions {
   std::string spec_path;
   std::vector<std::string> properties;
+  bool all_properties = false;
+  std::string cache_dir;
   bool list = false;
   std::string trace_path;
   std::string stats_path;
@@ -104,6 +122,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* out, std::string* error) {
       out->spec_path = arg;
     } else if ((v = value_of(arg, "--property")) != nullptr) {
       out->properties.push_back(v);
+    } else if (std::strcmp(arg, "--all-properties") == 0) {
+      out->all_properties = true;
+    } else if ((v = value_of(arg, "--cache-dir")) != nullptr) {
+      out->cache_dir = v;
     } else if (std::strcmp(arg, "--list") == 0) {
       out->list = true;
     } else if ((v = value_of(arg, "--trace")) != nullptr) {
@@ -147,6 +169,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* out, std::string* error) {
   }
   if (out->retry_ladder && out->validated) {
     *error = "--retry-ladder and --validated cannot be combined";
+    return false;
+  }
+  if (out->all_properties && out->validated) {
+    *error = "--all-properties and --validated cannot be combined";
+    return false;
+  }
+  if (out->all_properties && !out->properties.empty()) {
+    *error = "--all-properties verifies the whole catalog; drop --property";
     return false;
   }
   return true;
@@ -258,18 +288,63 @@ int Main(int argc, char** argv) {
   }
   Verifier& verifier = **verifier_or;
 
+  std::unique_ptr<ResultCache> cache;
+  if (!cli.cache_dir.empty()) {
+    StatusOr<std::unique_ptr<ResultCache>> opened =
+        ResultCache::Open(cli.cache_dir);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "wave_verify: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    cache = std::move(*opened);
+  }
+
+  // --all-properties: one RunBatch call over the whole catalog. The spec
+  // pre-pass runs once, every property's shards share the worker pool,
+  // and the responses come back in catalog order for the shared printing
+  // loop below.
+  std::optional<BatchResponse> batch;
+  std::vector<Property> catalog;  // must outlive RunBatch
+  if (cli.all_properties) {
+    catalog.reserve(parsed.properties.size());
+    for (const ParsedProperty& p : parsed.properties) {
+      catalog.push_back(p.property);
+    }
+    BatchRequest request;
+    request.properties = &catalog;
+    request.options = options;
+    request.retry.enabled = cli.retry_ladder;
+    request.jobs = cli.jobs;
+    request.cache = cache.get();
+    StatusOr<BatchResponse> response = verifier.RunBatch(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "wave_verify: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    batch = std::move(*response);
+  }
+
   obs::Json runs = obs::Json::Array();
   int undecided = 0;
   bool interrupted = false;
-  for (const ParsedProperty* p : selected) {
-    if (g_interrupt.cancelled()) {
-      // Remaining properties are skipped: the user asked us to stop.
+  for (size_t index = 0; index < selected.size(); ++index) {
+    const ParsedProperty* p = selected[index];
+    if (!batch.has_value() && g_interrupt.cancelled()) {
+      // Remaining properties are skipped: the user asked us to stop. (A
+      // batch already holds a response for every property — cancelled
+      // ones report kUnknown/kCancelled — so printing continues.)
       interrupted = true;
       break;
     }
     VerifyResult r;
     obs::Json attempts;
-    if (cli.validated) {
+    if (batch.has_value()) {
+      VerifyResponse& response = batch->responses[index];
+      if (cli.retry_ladder) attempts = response.AttemptsJson();
+      r = std::move(static_cast<VerifyResult&>(response));
+    } else if (cli.validated) {
       // The Section 7 loop installs its own candidate filter, so it keeps
       // its dedicated entry point (which routes through Run internally).
       r = VerifyValidated(&verifier, parsed.spec.get(), p->property, options,
@@ -293,10 +368,11 @@ int Main(int argc, char** argv) {
     }
     if (r.unknown_reason == UnknownReason::kCancelled) interrupted = true;
     if (r.verdict == Verdict::kUnknown) ++undecided;
-    std::printf("%-8s %-9s %8.3fs  expansions=%lld trie=%d buchi=%d%s%s\n",
+    std::printf("%-8s %-9s %8.3fs  expansions=%lld trie=%d buchi=%d%s%s%s\n",
                 p->property.name.c_str(), VerdictName(r.verdict),
                 r.stats.seconds, static_cast<long long>(r.stats.num_expansions),
                 r.stats.max_trie_size, r.stats.buchi_states,
+                r.stats.cache_hits > 0 ? "  (cached)" : "",
                 r.failure_reason.empty() ? "" : "  — ",
                 r.failure_reason.c_str());
     if (r.verdict == Verdict::kViolated) {
@@ -321,9 +397,20 @@ int Main(int argc, char** argv) {
 
     // Per-property fault isolation: without --keep-going an undecided
     // property stops the run (its partial results are still reported and
-    // written). Cancellation stops the loop regardless.
+    // written). Cancellation stops the loop regardless. A batch already
+    // paid for every verdict, so all of them are reported.
+    if (batch.has_value()) continue;
     if (interrupted) break;
     if (r.verdict == Verdict::kUnknown && !cli.keep_going) break;
+  }
+
+  if (batch.has_value()) {
+    const VerifyStats& m = batch->merged;
+    std::printf("batch    %zu properties %8.3fs  cache_hits=%lld "
+                "prepass_reuses=%lld\n",
+                batch->responses.size(), m.seconds,
+                static_cast<long long>(m.cache_hits),
+                static_cast<long long>(m.prepass_reuses));
   }
 
   if (cli.summary && tracer) {
@@ -355,6 +442,7 @@ int Main(int argc, char** argv) {
     doc.Set("spec", obs::Json::Str(cli.spec_path));
     doc.Set("app", obs::Json::Str(parsed.spec->name));
     doc.Set("interrupted", obs::Json::Bool(interrupted));
+    if (batch.has_value()) doc.Set("batch", batch->merged.ToJson());
     doc.Set("runs", std::move(runs));
     doc.Set("metrics", metrics.ToJson());
     Status written = AtomicWriteFile(cli.stats_path, doc.Dump(2) + "\n");
