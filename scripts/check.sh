@@ -11,6 +11,9 @@
 #   scripts/check.sh --stress            # tiny-budget stress run (ASan)
 #   scripts/check.sh --stress undefined  # stress under UBSan
 #   scripts/check.sh --install           # install + out-of-tree find_package smoke
+#   scripts/check.sh --fuzz              # 60s differential fuzz campaign (ASan)
+#   scripts/check.sh --fuzz=300          # longer campaign
+#   scripts/check.sh --fuzz undefined    # campaign under UBSan
 #
 # Stress mode drives wave_verify over every bundled spec with
 # deliberately tiny budgets (sub-second deadlines, 2-tuple candidate
@@ -26,6 +29,16 @@
 # fleets — rather than the whole battery, since TSan slows execution
 # ~10x and the sequential tests exercise no cross-thread interleavings.
 #
+# Fuzz mode (ISSUE 5) runs a tools/wave_fuzz differential campaign —
+# random input-bounded specs cross-checked against the explicit
+# first-cut baseline, jobs=N, RunBatch, the persistent result cache and
+# two metamorphic transforms (docs/FUZZING.md) — under the chosen
+# sanitizer for the given wall-clock budget (default 60s), with every
+# UnknownReason probed at the end. Any disagreement exits non-zero and
+# leaves minimized reproducers in the printed artifact directory; rerun
+# any logged seed with `wave_fuzz --seed-start=SEED --seed-count=1`.
+# A short campaign also rides along in --stress.
+#
 # Install mode (ISSUE 4 satellite) builds a plain tree, `cmake
 # --install`s it into a throwaway prefix, then configures and runs the
 # out-of-tree consumer in scripts/install_smoke/ against that prefix via
@@ -38,16 +51,30 @@
 set -eu
 
 MODE=test
-if [ "${1-}" = "--stress" ]; then
-  MODE=stress
-  shift
-elif [ "${1-}" = "--tsan" ]; then
-  MODE=tsan
-  shift
-elif [ "${1-}" = "--install" ]; then
-  MODE=install
-  shift
-fi
+FUZZ_BUDGET=60
+case "${1-}" in
+  --stress)
+    MODE=stress
+    shift
+    ;;
+  --tsan)
+    MODE=tsan
+    shift
+    ;;
+  --install)
+    MODE=install
+    shift
+    ;;
+  --fuzz)
+    MODE=fuzz
+    shift
+    ;;
+  --fuzz=*)
+    MODE=fuzz
+    FUZZ_BUDGET="${1#--fuzz=}"
+    shift
+    ;;
+esac
 
 if [ "$MODE" = "tsan" ]; then
   SANITIZER="${1-thread}"
@@ -117,6 +144,29 @@ if [ "$MODE" = "test" ]; then
   exit 0
 fi
 
+if [ "$MODE" = "fuzz" ]; then
+  ARTIFACTS="$ROOT/fuzz-artifacts"
+  FUZZ_LOG="$(mktemp)"
+  trap 'rm -f "$FUZZ_LOG"' EXIT
+  echo "== fuzz campaign (${FUZZ_BUDGET}s, sanitizer: ${SANITIZER:-none})"
+  echo "== artifacts -> $ARTIFACTS"
+  rc=0
+  "$BUILD_DIR/tools/wave_fuzz" --time-budget="$FUZZ_BUDGET" \
+      --out-dir="$ARTIFACTS" --probe-reasons --quiet \
+      > "$FUZZ_LOG" 2>&1 || rc=$?
+  tail -n 20 "$FUZZ_LOG"
+  if [ "$rc" -ne 0 ]; then
+    echo "== FUZZ FAILED (exit $rc): minimized reproducers in $ARTIFACTS"
+    exit 1
+  fi
+  if grep -q -e "Sanitizer" -e "runtime error:" "$FUZZ_LOG"; then
+    echo "== FUZZ FAILED: sanitizer report"
+    exit 1
+  fi
+  echo "== FUZZ OK (sanitizer: ${SANITIZER:-none})"
+  exit 0
+fi
+
 echo "== stress (tiny budgets, sanitizer: ${SANITIZER:-none})"
 VERIFY="$BUILD_DIR/tools/wave_verify"
 LOG="$(mktemp)"
@@ -169,6 +219,26 @@ if [ ! -s "$STATS" ]; then
   echo "FAIL [stats-json]: no stats file written"
   FAILED=1
 fi
+
+# Short differential fuzz campaign (ISSUE 5): 100 seeded cases across
+# every oracle axis. Any disagreement (exit 3) or sanitizer report fails
+# the stress run; `scripts/check.sh --fuzz` runs the long version.
+FUZZ_DIR="$(mktemp -d)"
+rc=0
+"$BUILD_DIR/tools/wave_fuzz" --seed-start=1 --seed-count=100 \
+    --time-budget=0 --out-dir="$FUZZ_DIR" --quiet >"$LOG" 2>&1 || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL [fuzz-100]: exit $rc"
+  tail -n 20 "$LOG"
+  FAILED=1
+elif grep -q -e "Sanitizer" -e "runtime error:" "$LOG"; then
+  echo "FAIL [fuzz-100]: sanitizer report"
+  cat "$LOG"
+  FAILED=1
+else
+  echo "ok   [fuzz-100] differential campaign clean"
+fi
+rm -rf "$FUZZ_DIR"
 
 if [ "$FAILED" -ne 0 ]; then
   echo "== STRESS FAILED"

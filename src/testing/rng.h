@@ -1,0 +1,84 @@
+// Deterministic random source for the fuzzing library (ISSUE 5).
+//
+// The old `tests/random_differential_test.cc` drew bits straight off a
+// `std::mt19937` with `& 1` and `%`; this class replaces those ad-hoc
+// draws with named, bias-free primitives so every generator site reads as
+// intent ("a coin", "an int in [lo, hi]", "one of these") instead of bit
+// twiddling.
+//
+// Determinism guarantee: the same seed produces the same draw stream on
+// every platform and standard library. Two ingredients make that true:
+//   * the engine is `std::mt19937_64`, whose output sequence is fully
+//     specified by the C++ standard ([rand.eng.mers]), and
+//   * the bounded mapping is implemented HERE, by threshold rejection
+//     sampling — deliberately NOT `std::uniform_int_distribution`, whose
+//     output-to-range mapping is implementation-defined and is the one
+//     part of <random> that differs across libstdc++/libc++/MSVC.
+// `tests/fuzzer_test.cc` pins a golden draw stream to hold this contract;
+// docs/FUZZING.md documents it for campaign reproducibility.
+#ifndef WAVE_TESTING_RNG_H_
+#define WAVE_TESTING_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wave::testing {
+
+class FuzzRng {
+ public:
+  explicit FuzzRng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform draw in [0, n); n must be positive. Threshold rejection: draws
+  /// above the largest multiple of n are re-drawn, so every residue is
+  /// exactly equally likely (no modulo bias) and the mapping is pinned by
+  /// this file, not by the standard library.
+  uint64_t Below(uint64_t n) {
+    WAVE_CHECK(n > 0);
+    uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+    uint64_t draw;
+    do {
+      draw = engine_();
+    } while (draw >= limit);
+    return draw % n;
+  }
+
+  /// Uniform int in [lo, hi] (inclusive).
+  int Range(int lo, int hi) {
+    WAVE_CHECK(lo <= hi);
+    return lo + static_cast<int>(
+                    Below(static_cast<uint64_t>(hi) - lo + 1));
+  }
+
+  /// True with probability num/den. Always consumes exactly one draw.
+  bool Chance(int num, int den) {
+    return Below(static_cast<uint64_t>(den)) < static_cast<uint64_t>(num);
+  }
+
+  bool Coin() { return Chance(1, 2); }
+
+  /// A uniformly chosen element of `v` (must be non-empty).
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    WAVE_CHECK(!v.empty());
+    return v[Below(v.size())];
+  }
+
+  /// In-place Fisher–Yates shuffle (uses `Below`, so it is as portable as
+  /// the rest of the stream; `std::shuffle` would not be).
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Below(i)]);
+    }
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace wave::testing
+
+#endif  // WAVE_TESTING_RNG_H_

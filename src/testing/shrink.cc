@@ -1,0 +1,120 @@
+#include "testing/shrink.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace wave::testing {
+
+namespace {
+
+/// Narrows `options` so a probe evaluates only `axis`.
+OracleOptions NarrowTo(OracleOptions options, OracleAxis axis) {
+  options.run_baseline = axis == OracleAxis::kBaseline;
+  options.run_jobs = axis == OracleAxis::kJobs;
+  options.run_batch = axis == OracleAxis::kBatch;
+  options.run_metamorphic =
+      axis == OracleAxis::kRename || axis == OracleAxis::kReorder;
+  if (axis != OracleAxis::kCache) options.cache_dir.clear();
+  return options;
+}
+
+}  // namespace
+
+ShrinkResult Minimize(const FuzzCase& failing,
+                      const FailurePredicate& still_fails) {
+  ShrinkResult out;
+  out.minimized = failing;
+  out.stats.initial_lines = failing.SpecLineCount();
+  FuzzCase& current = out.minimized;
+
+  ++out.stats.probes;
+  if (!still_fails(current)) {
+    out.stats.final_lines = out.stats.initial_lines;
+    return out;
+  }
+
+  auto try_adopt = [&](FuzzCase candidate) {
+    ++out.stats.probes;
+    if (!still_fails(candidate)) return false;
+    current = std::move(candidate);
+    ++out.stats.accepted;
+    return true;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Coarsest first: whole pages (always keep at least one — a spec
+    // without pages cannot validate anyway, so probing it is wasted).
+    for (size_t i = 0; current.pages.size() > 1 && i < current.pages.size();) {
+      FuzzCase candidate = current;
+      candidate.pages.erase(candidate.pages.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (try_adopt(std::move(candidate))) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // Rule lines, then input lines, page by page.
+    for (size_t p = 0; p < current.pages.size(); ++p) {
+      for (size_t i = 0; i < current.pages[p].rules.size();) {
+        FuzzCase candidate = current;
+        candidate.pages[p].rules.erase(candidate.pages[p].rules.begin() +
+                                       static_cast<std::ptrdiff_t>(i));
+        if (try_adopt(std::move(candidate))) {
+          changed = true;
+        } else {
+          ++i;
+        }
+      }
+      for (size_t i = 0; i < current.pages[p].inputs.size();) {
+        FuzzCase candidate = current;
+        candidate.pages[p].inputs.erase(candidate.pages[p].inputs.begin() +
+                                        static_cast<std::ptrdiff_t>(i));
+        if (try_adopt(std::move(candidate))) {
+          changed = true;
+        } else {
+          ++i;
+        }
+      }
+    }
+
+    // Declaration lines last (index 0, the `app` line, must stay).
+    for (size_t i = 1; i < current.decls.size();) {
+      FuzzCase candidate = current;
+      candidate.decls.erase(candidate.decls.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      if (try_adopt(std::move(candidate))) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  out.stats.final_lines = current.SpecLineCount();
+  return out;
+}
+
+FailurePredicate OracleDisagreementPredicate(const OracleOptions& options) {
+  return [options](const FuzzCase& c) {
+    OracleReport report = CheckCase(c, options);
+    return report.valid && report.disagreed();
+  };
+}
+
+FailurePredicate OracleDisagreementPredicate(const OracleOptions& options,
+                                             OracleAxis axis) {
+  OracleOptions narrowed = NarrowTo(options, axis);
+  return [narrowed, axis](const FuzzCase& c) {
+    OracleReport report = CheckCase(c, narrowed);
+    if (!report.valid) return false;
+    const AxisCheck* check = report.FindAxis(axis);
+    return check != nullptr && !check->agreed;
+  };
+}
+
+}  // namespace wave::testing

@@ -1,0 +1,63 @@
+// Failure minimizer for generated cases (ISSUE 5): greedy
+// delta-debugging over the structured `FuzzCase` representation.
+//
+// Given a failing case and a predicate that answers "does this candidate
+// still fail?", `Minimize` repeatedly deletes whole structural units —
+// pages, then rule lines, then input lines, then declaration lines —
+// keeping a deletion only when the predicate still holds, and sweeps to a
+// fixed point. Because the predicate re-checks the FULL validity contract
+// (parse + Validate + input-boundedness) before re-checking the failure,
+// the minimized reproducer is guaranteed to be a well-formed spec that
+// still exhibits the original disagreement: deletions that break
+// references (a target to a removed page, a rule over a removed input)
+// simply fail the probe and are rolled back.
+//
+// Cost model: one probe = one predicate call = one (narrowed) oracle
+// evaluation, so `OracleDisagreementPredicate` disables every axis except
+// the disagreeing one before probing.
+#ifndef WAVE_TESTING_SHRINK_H_
+#define WAVE_TESTING_SHRINK_H_
+
+#include <functional>
+
+#include "testing/oracle.h"
+#include "testing/spec_gen.h"
+
+namespace wave::testing {
+
+/// "Does this candidate still exhibit the failure?" Must be false for
+/// candidates that break the validity contract (the oracle-backed
+/// predicates below are).
+using FailurePredicate = std::function<bool(const FuzzCase&)>;
+
+struct ShrinkStats {
+  int probes = 0;     // predicate evaluations
+  int accepted = 0;   // deletions that stuck
+  int initial_lines = 0;
+  int final_lines = 0;
+};
+
+struct ShrinkResult {
+  FuzzCase minimized;
+  ShrinkStats stats;
+};
+
+/// Greedy fixed-point minimization of `failing` under `still_fails`.
+/// Precondition: `still_fails(failing)` is true (checked; a false input
+/// returns the case unchanged with one probe recorded).
+ShrinkResult Minimize(const FuzzCase& failing,
+                      const FailurePredicate& still_fails);
+
+/// Predicate: `CheckCase` under `options` reports a valid case whose
+/// report disagrees on ANY axis.
+FailurePredicate OracleDisagreementPredicate(const OracleOptions& options);
+
+/// Predicate: a valid case that disagrees on `axis` specifically. Every
+/// other axis is disabled in the probe options, so shrinking a baseline
+/// disagreement costs one WAVE run + one first-cut run per probe.
+FailurePredicate OracleDisagreementPredicate(const OracleOptions& options,
+                                             OracleAxis axis);
+
+}  // namespace wave::testing
+
+#endif  // WAVE_TESTING_SHRINK_H_

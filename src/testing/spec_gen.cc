@@ -1,0 +1,412 @@
+#include "testing/spec_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "testing/rng.h"
+
+namespace wave::testing {
+
+namespace {
+
+/// The fixed data-constant pool. Every constant a case mentions (rules
+/// and property alike) comes from here, so the baseline's bounded domain
+/// is at most pool + property-free fresh values — the knob that keeps
+/// 2^(relations × |dom|) database enumeration feasible.
+const std::vector<std::string>& ConstantPool() {
+  static const std::vector<std::string> pool = {"go", "stay", "back", "edit"};
+  return pool;
+}
+
+const std::vector<std::string>& PageNames() {
+  static const std::vector<std::string> names = {"A", "B", "C", "D"};
+  return names;
+}
+
+std::string Quoted(const std::string& c) { return "\"" + c + "\""; }
+
+/// Per-case vocabulary decided up front (before any page is generated),
+/// so rule and property templates can agree on what exists.
+struct Vocabulary {
+  std::vector<std::string> constants;  // subset of the pool
+  std::vector<std::string> page_names;
+  bool has_marked = false;
+  bool has_action = false;
+  std::vector<bool> page_has_pick;
+};
+
+std::string PickOptionsBody(FuzzRng* rng, const Vocabulary& vocab) {
+  std::vector<std::string> bodies = {"r1(x)"};
+  if (vocab.has_marked) {
+    bodies.push_back("r1(x) & marked(x)");
+    bodies.push_back("r1(x) & !marked(x)");
+  }
+  bodies.push_back("r1(x) & s0()");
+  bodies.push_back("r1(x) & !s0()");
+  // Ground state atoms are the one state shape input-boundedness allows
+  // in option rules.
+  bodies.push_back("r1(x) & s1(" + Quoted(rng->Pick(vocab.constants)) + ")");
+  return rng->Pick(bodies);
+}
+
+/// The LTL-FO property generator: a depth-bounded random skeleton over
+/// G/F/X/U/B/!/&/|/-> whose leaves are FO components drawn from the
+/// case vocabulary. `used_var` records whether any leaf mentioned the
+/// universally quantified variable `v` (the forall block is only emitted
+/// when it did).
+struct PropertyGen {
+  FuzzRng* rng;
+  const Vocabulary* vocab;
+  bool allow_var = false;
+  bool used_var = false;
+
+  std::string Leaf() {
+    const std::vector<std::string>& consts = vocab->constants;
+    // (component text, component mentions the forall variable `v`)
+    std::vector<std::pair<std::string, bool>> components;
+    for (const std::string& page : vocab->page_names) {
+      components.emplace_back("at " + page, false);
+    }
+    components.emplace_back("s0()", false);
+    components.emplace_back("!s0()", false);
+    components.emplace_back("s1(" + Quoted(rng->Pick(consts)) + ")", false);
+    components.emplace_back("btn(" + Quoted(rng->Pick(consts)) + ")", false);
+    components.emplace_back("exists x: pick(x)", false);
+    components.emplace_back("exists x: pick(x) & r1(x)", false);
+    components.emplace_back("at " + rng->Pick(vocab->page_names) + " & btn(" +
+                                Quoted(rng->Pick(consts)) + ")",
+                            false);
+    if (vocab->has_action) {
+      components.emplace_back("act1(" + Quoted(rng->Pick(consts)) + ")",
+                              false);
+    }
+    if (allow_var) {
+      // Free occurrences of `v` are bound by the property's outermost
+      // forall block (the verifier's C∃), never quantified inside a
+      // component — so state/action atoms over `v` stay input-bounded.
+      components.emplace_back("s1(v)", true);
+      components.emplace_back("pick(v)", true);
+      components.emplace_back("btn(v)", true);
+      components.emplace_back("r1(v)", true);
+      if (vocab->has_marked) components.emplace_back("pick(v) & marked(v)", true);
+      if (vocab->has_action) components.emplace_back("act1(v)", true);
+    }
+    const std::pair<std::string, bool>& chosen = rng->Pick(components);
+    used_var = used_var || chosen.second;
+    return "[" + chosen.first + "]";
+  }
+
+  std::string Gen(int depth) {
+    if (depth <= 0 || rng->Chance(3, 10)) return Leaf();
+    if (rng->Chance(4, 7)) {  // unary
+      static const char* kUnary[] = {"G", "F", "X", "!"};
+      return std::string(kUnary[rng->Below(4)]) + " (" + Gen(depth - 1) + ")";
+    }
+    static const char* kBinary[] = {"&", "|", "->", "U", "B"};
+    const char* op = kBinary[rng->Below(5)];
+    return "(" + Gen(depth - 1) + ") " + op + " (" + Gen(depth - 1) + ")";
+  }
+};
+
+}  // namespace
+
+std::string FuzzCase::SpecText() const {
+  std::string out;
+  for (const std::string& d : decls) {
+    out += d;
+    out += '\n';
+  }
+  for (const FuzzPage& page : pages) {
+    out += "page " + page.name + " {\n";
+    for (const std::string& line : page.inputs) {
+      out += line;
+      out += '\n';
+    }
+    for (const std::string& line : page.rules) {
+      out += line;
+      out += '\n';
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string FuzzCase::Text() const { return SpecText() + property + "\n"; }
+
+int FuzzCase::SpecLineCount() const {
+  std::string text = SpecText();
+  return static_cast<int>(std::count(text.begin(), text.end(), '\n'));
+}
+
+FuzzCase GenerateCase(uint64_t seed, const GeneratorConfig& config) {
+  FuzzRng rng(seed);
+  FuzzCase out;
+  out.seed = seed;
+
+  // --- vocabulary -----------------------------------------------------------
+  Vocabulary vocab;
+  int num_constants = rng.Range(
+      2, std::min<int>(std::max(config.max_constants, 2),
+                       static_cast<int>(ConstantPool().size())));
+  vocab.constants.assign(ConstantPool().begin(),
+                         ConstantPool().begin() + num_constants);
+  int num_pages =
+      rng.Range(2, std::min<int>(std::max(config.max_pages, 2),
+                                 static_cast<int>(PageNames().size())));
+  vocab.page_names.assign(PageNames().begin(),
+                          PageNames().begin() + num_pages);
+  vocab.has_marked = config.allow_second_database && rng.Chance(1, 3);
+  vocab.has_action = config.allow_actions && rng.Chance(1, 3);
+  vocab.page_has_pick.resize(num_pages);
+  for (int i = 0; i < num_pages; ++i) {
+    // The home page usually offers the database-driven input; later pages
+    // less often, so constant-only pages appear too.
+    vocab.page_has_pick[i] = rng.Chance(i == 0 ? 3 : 2, 4);
+  }
+  bool any_pick = false;
+  for (bool b : vocab.page_has_pick) any_pick = any_pick || b;
+
+  // --- declarations ---------------------------------------------------------
+  out.decls.push_back("app fuzz");
+  out.decls.push_back("database r1(a)");
+  if (vocab.has_marked) out.decls.push_back("database marked(a)");
+  out.decls.push_back("state s0()");
+  out.decls.push_back("state s1(a)");
+  out.decls.push_back("input pick(x)");
+  out.decls.push_back("input btn(x)");
+  if (vocab.has_action) out.decls.push_back("action act1(a)");
+  out.decls.push_back("home A");
+
+  // --- pages ----------------------------------------------------------------
+  for (int i = 0; i < num_pages; ++i) {
+    FuzzPage page;
+    page.name = vocab.page_names[i];
+    bool has_pick = vocab.page_has_pick[i];
+
+    // Every page requests btn over two (sometimes three) pool constants;
+    // its own rule constants are drawn from these so rules actually fire.
+    std::vector<std::string> btn_consts = vocab.constants;
+    rng.Shuffle(&btn_consts);
+    int num_btn = rng.Chance(1, 3) && btn_consts.size() > 2 ? 3 : 2;
+    btn_consts.resize(num_btn);
+    auto btn_const = [&]() { return Quoted(rng.Pick(btn_consts)); };
+
+    page.inputs.push_back("  input btn");
+    std::string btn_rule = "  rule btn(x) <- x = " + Quoted(btn_consts[0]);
+    for (int b = 1; b < num_btn; ++b) {
+      btn_rule += " | x = " + Quoted(btn_consts[b]);
+    }
+    if (has_pick) {
+      page.inputs.push_back("  input pick");
+      page.rules.push_back("  rule pick(x) <- " +
+                           PickOptionsBody(&rng, vocab));
+    }
+    page.rules.push_back(btn_rule);
+
+    // State rules: 1–3 distinct templates (all input-bounded: quantified
+    // variables are guarded by positive input atoms and never appear in
+    // state atoms; head variables equal body free variables).
+    std::vector<std::string> state_pool = {
+        "  state +s0() <- btn(" + btn_const() + ")",
+        "  state -s0() <- btn(" + btn_const() + ")",
+        "  state -s1(x) <- s1(x) & btn(" + btn_const() + ")",
+        "  state +s0() <- s1(" + Quoted(rng.Pick(vocab.constants)) +
+            ") & btn(" + btn_const() + ")",
+    };
+    if (has_pick) {
+      state_pool.push_back("  state +s1(x) <- pick(x) & btn(" + btn_const() +
+                           ")");
+      state_pool.push_back("  state +s1(x) <- pick(x)");
+      state_pool.push_back("  state +s0() <- exists x: pick(x)");
+      state_pool.push_back("  state -s1(x) <- s1(x) & (exists y: pick(y))");
+    }
+    if (any_pick) {
+      // `prev pick` reads the previous step's input, wherever it was
+      // offered — a positive input guard for boundedness purposes.
+      state_pool.push_back("  state +s1(x) <- prev pick(x) & btn(" +
+                           btn_const() + ")");
+    }
+    rng.Shuffle(&state_pool);
+    int num_state = rng.Range(1, 3);
+    for (int s = 0; s < num_state && s < static_cast<int>(state_pool.size());
+         ++s) {
+      page.rules.push_back(state_pool[s]);
+    }
+
+    if (vocab.has_action && has_pick && rng.Coin()) {
+      page.rules.push_back(rng.Coin()
+                               ? "  action act1(x) <- pick(x) & btn(" +
+                                     btn_const() + ")"
+                               : "  action act1(x) <- pick(x)");
+    }
+
+    // Targets: one per btn constant (up to two), each to a random page —
+    // self-targets and competing targets are deliberately allowed (the
+    // model says "stay unless exactly one next page wins").
+    int num_targets = rng.Range(1, 2);
+    for (int t = 0; t < num_targets && t < num_btn; ++t) {
+      std::string dest = rng.Pick(vocab.page_names);
+      std::string guard = "btn(" + Quoted(btn_consts[t]) + ")";
+      if (has_pick && rng.Chance(1, 3)) {
+        guard = "(exists x: pick(x)) & " + guard;
+      }
+      page.rules.push_back("  target " + dest + " <- " + guard);
+    }
+    out.pages.push_back(std::move(page));
+  }
+
+  // --- property -------------------------------------------------------------
+  PropertyGen prop;
+  prop.rng = &rng;
+  prop.vocab = &vocab;
+  prop.allow_var = config.max_forall_vars > 0 && rng.Coin();
+  std::string body = prop.Gen(std::max(config.max_property_depth, 1));
+  out.property = "property p { " +
+                 std::string(prop.used_var ? "forall v: " : "") + body + " }";
+  return out;
+}
+
+namespace {
+
+/// Identifier-level rewriter: lexes `text` the way the parser does
+/// (identifiers are [A-Za-z_][A-Za-z0-9_.]*, data constants are quoted)
+/// and maps whole identifier tokens through `map`, leaving strings and
+/// everything else untouched.
+std::string RenameIdentifiers(const std::string& text,
+                              const std::map<std::string, std::string>& map) {
+  auto is_ident_start = [](char c) {
+    return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c == '_';
+  };
+  auto is_ident = [&](char c) {
+    return is_ident_start(c) || (c >= '0' && c <= '9') || c == '.';
+  };
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size();) {
+    char c = text[i];
+    if (c == '"') {  // skip quoted data constants verbatim
+      size_t end = text.find('"', i + 1);
+      end = end == std::string::npos ? text.size() : end + 1;
+      out.append(text, i, end - i);
+      i = end;
+    } else if (is_ident_start(c)) {
+      size_t end = i;
+      while (end < text.size() && is_ident(text[end])) ++end;
+      std::string token = text.substr(i, end - i);
+      auto it = map.find(token);
+      out += it != map.end() ? it->second : token;
+      i = end;
+    } else {
+      out += c;
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// Property-block variant of `RenameIdentifiers`. Renamable identifiers
+/// only occur inside `[...]` FO components (plus the property's own name,
+/// right after the `property` keyword); everything at bracket depth 0 is
+/// LTL syntax — and the single-letter operators G/F/X/U/B would otherwise
+/// collide with the single-letter page names (`B` is both "before" and a
+/// page), which is exactly how an unrestricted rename corrupts `... B
+/// ...` into `... PB ...`.
+std::string RenamePropertyText(const std::string& text,
+                               const std::map<std::string, std::string>& map) {
+  auto is_ident_start = [](char c) {
+    return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c == '_';
+  };
+  auto is_ident = [&](char c) {
+    return is_ident_start(c) || (c >= '0' && c <= '9') || c == '.';
+  };
+  std::string out;
+  out.reserve(text.size());
+  int bracket_depth = 0;
+  bool prev_was_property_kw = false;
+  for (size_t i = 0; i < text.size();) {
+    char c = text[i];
+    if (c == '"') {
+      size_t end = text.find('"', i + 1);
+      end = end == std::string::npos ? text.size() : end + 1;
+      out.append(text, i, end - i);
+      i = end;
+    } else if (is_ident_start(c)) {
+      size_t end = i;
+      while (end < text.size() && is_ident(text[end])) ++end;
+      std::string token = text.substr(i, end - i);
+      if (bracket_depth > 0 || prev_was_property_kw) {
+        auto it = map.find(token);
+        if (it != map.end()) token = it->second;
+      }
+      prev_was_property_kw = token == "property";
+      out += token;
+      i = end;
+    } else {
+      if (c == '[') ++bracket_depth;
+      if (c == ']') --bracket_depth;
+      out += c;
+      ++i;
+    }
+  }
+  return out;
+}
+
+const std::map<std::string, std::string>& RenameMap() {
+  // Fixed 1:1 identifier map; keys cover every identifier the generator
+  // can emit except variables (x, y, v) and attribute names, which carry
+  // no cross-rule identity.
+  static const std::map<std::string, std::string> map = {
+      {"fuzz", "renamed_app"}, {"r1", "items"},     {"marked", "flagged"},
+      {"s0", "busy"},          {"s1", "held"},      {"pick", "choose"},
+      {"btn", "press"},        {"act1", "emitted"}, {"A", "PA"},
+      {"B", "PB"},             {"C", "PC"},         {"D", "PD"},
+      {"p", "p_renamed"},
+  };
+  return map;
+}
+
+}  // namespace
+
+FuzzCase RenameCase(const FuzzCase& c) {
+  const std::map<std::string, std::string>& map = RenameMap();
+  FuzzCase out;
+  out.seed = c.seed;
+  for (const std::string& d : c.decls) {
+    out.decls.push_back(RenameIdentifiers(d, map));
+  }
+  for (const FuzzPage& page : c.pages) {
+    FuzzPage renamed;
+    renamed.name = RenameIdentifiers(page.name, map);
+    for (const std::string& line : page.inputs) {
+      renamed.inputs.push_back(RenameIdentifiers(line, map));
+    }
+    for (const std::string& line : page.rules) {
+      renamed.rules.push_back(RenameIdentifiers(line, map));
+    }
+    out.pages.push_back(std::move(renamed));
+  }
+  out.property = RenamePropertyText(c.property, map);
+  return out;
+}
+
+FuzzCase ReorderCase(const FuzzCase& c, uint64_t salt) {
+  FuzzRng rng(salt ^ (c.seed * 0x9e3779b97f4a7c15ull));
+  FuzzCase out = c;
+  if (out.decls.size() > 2) {
+    // Keep the `app` line first; every other declaration (including
+    // `home`) is order-free for the parser.
+    std::vector<std::string> rest(out.decls.begin() + 1, out.decls.end());
+    rng.Shuffle(&rest);
+    std::copy(rest.begin(), rest.end(), out.decls.begin() + 1);
+  }
+  rng.Shuffle(&out.pages);  // page references resolve late
+  for (FuzzPage& page : out.pages) {
+    rng.Shuffle(&page.inputs);
+    rng.Shuffle(&page.rules);
+  }
+  return out;
+}
+
+}  // namespace wave::testing

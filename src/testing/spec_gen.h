@@ -1,0 +1,99 @@
+// Grammar-based generator of random WAVE specs and LTL-FO properties
+// (ISSUE 5). Every case it emits is, by construction:
+//
+//   * syntactically valid (parses under parser/parser.h),
+//   * structurally valid (`WebAppSpec::Validate` is clean),
+//   * input-bounded (`CheckInputBoundedness` is empty — the completeness
+//     precondition of Theorems 3.2/3.3/3.8, so WAVE and the explicit
+//     first-cut baseline must agree exactly on it), and
+//   * first-cut feasible: database relations are unary and the constant
+//     pool is small, so the baseline's 2^(relations × |dom|)
+//     representative-database enumeration stays in the hundreds.
+//
+// The grammar (pages, relation vocabulary, rule templates, property
+// skeletons) is documented in docs/FUZZING.md. `tests/fuzzer_test.cc`
+// sweeps seeds to hold the four bullets above.
+//
+// Determinism: a `FuzzCase` is a pure function of (seed, config) — see
+// testing/rng.h for why the draw stream is platform-independent. Any
+// failure a campaign logs can be regenerated from its seed alone.
+#ifndef WAVE_TESTING_SPEC_GEN_H_
+#define WAVE_TESTING_SPEC_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wave::testing {
+
+/// Shape knobs for the generator. Defaults keep the explicit baseline
+/// cheap (tier-1-friendly); campaigns may widen them.
+struct GeneratorConfig {
+  /// Pages generated: uniform in [2, max_pages].
+  int max_pages = 3;
+  /// Data constants drawn from the fixed pool, uniform in
+  /// [2, max_constants]; the pool has 4 entries. More constants enlarge
+  /// the baseline's bounded domain (and its 2^n database count).
+  int max_constants = 3;
+  /// Allow a second unary database relation (`marked`). Doubles the
+  /// baseline's candidate-tuple count when drawn.
+  bool allow_second_database = true;
+  /// Allow an action relation (`act1`) plus action rules/atoms.
+  bool allow_actions = true;
+  /// Maximum depth of the random LTL skeleton (leaves are depth 0).
+  int max_property_depth = 3;
+  /// Universally quantified property variables (C∃), 0 or 1. Kept at one
+  /// by default: with a single fresh witness the default (non-exhaustive)
+  /// C∃ enumeration is complete, so a WAVE/baseline disagreement is
+  /// always a bug, never a missed fresh-value equality pattern (see
+  /// `VerifyOptions::exhaustive_existential`).
+  int max_forall_vars = 1;
+};
+
+/// One page of the intermediate representation: `input` declarations
+/// followed by rule lines, rendered verbatim. Kept structured (not flat
+/// text) so the metamorphic transforms and the shrinker can drop or
+/// permute whole units.
+struct FuzzPage {
+  std::string name;
+  std::vector<std::string> inputs;  // "  input btn"
+  std::vector<std::string> rules;   // "  rule ..." / "  state ..." / ...
+};
+
+/// A generated (spec, property) pair plus the seed that made it.
+struct FuzzCase {
+  uint64_t seed = 0;
+  std::vector<std::string> decls;  // app/database/state/input/action/home
+  std::vector<FuzzPage> pages;
+  std::string property;  // full "property p { ... }" block
+
+  std::string SpecText() const;
+  /// Spec followed by the property block — what the parser consumes.
+  std::string Text() const;
+  /// Lines in `SpecText()` (the shrinker's size metric and the
+  /// acceptance bound for minimized reproducers).
+  int SpecLineCount() const;
+};
+
+/// The pure generator: same (seed, config) in, same case out, on every
+/// platform.
+FuzzCase GenerateCase(uint64_t seed, const GeneratorConfig& config = {});
+
+/// Metamorphic transform 1: systematically rename every generated
+/// identifier (relations, pages, app and property names) via a fixed
+/// 1:1 map, leaving structure, variables and data constants untouched.
+/// Verdicts must be invariant (PR 4's fingerprints are rename-sensitive
+/// by name rendering, so the renamed case also exercises distinct
+/// result-cache keys).
+FuzzCase RenameCase(const FuzzCase& c);
+
+/// Metamorphic transform 2: permute the rule lines of every page (and
+/// the declaration block) with the stream seeded by `salt`. Rules within
+/// a page are disjunctive contributions per relation and targets are
+/// "stay unless exactly one page wins", so order is semantically inert:
+/// verdicts must be invariant.
+FuzzCase ReorderCase(const FuzzCase& c, uint64_t salt);
+
+}  // namespace wave::testing
+
+#endif  // WAVE_TESTING_SPEC_GEN_H_

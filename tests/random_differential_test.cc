@@ -1,121 +1,148 @@
-// Randomized end-to-end differential test: generate small random
-// input-bounded specs and random LTL-FO properties, verify with WAVE's
-// pseudorun search, and cross-check the verdict against the explicit
-// first-cut baseline (which enumerates every database over its bounded
-// domain). A disagreement would expose a soundness or completeness bug in
-// the pseudorun machinery (Theorems 3.2 / 3.3 / 3.8).
+// Randomized end-to-end differential sweep (ISSUE 5), rebuilt on the
+// src/testing fuzzing library: a deterministic seeded run of 320
+// generated (spec, property) cases, each cross-checked along every
+// oracle axis —
+//
+//   pseudorun verdict vs the explicit first-cut enumeration
+//     (Theorems 3.2 / 3.3 / 3.8 made executable),
+//   jobs=1 vs jobs=N on the work-stealing pool,
+//   RunBatch vs sequential Run,
+//   cold vs warm persistent ResultCache,
+//   identifier renaming and rule reordering (metamorphic invariances).
+//
+// The sweep is sharded so ctest can spread it over workers; any failure
+// names its seed, and `wave_fuzz --seed-start=SEED --seed-count=1`
+// reproduces the exact case (the generator draw stream is pinned — see
+// src/testing/rng.h and the fingerprint test below).
+//
+// The harness itself is under test too: every `UnknownReason` is probed
+// under starved budgets so decided-vs-decided comparison never silently
+// becomes vacuous, and an intentionally injected verdict bug must be
+// caught AND minimized to a reproducer under 30 spec lines.
 #include <gtest/gtest.h>
 
-#include <random>
+#include <cstdint>
 #include <string>
+#include <vector>
 
-#include "baseline/firstcut.h"
-#include "parser/parser.h"
-#include "verifier/verifier.h"
-
-#include "verify_helpers.h"
+#include "testing/oracle.h"
+#include "testing/shrink.h"
+#include "testing/spec_gen.h"
+#include "verifier/governor.h"
 
 namespace wave {
 namespace {
 
-/// Builds a random two-page spec from safe rule templates. All generated
-/// specs parse, validate and are input bounded.
-std::string RandomSpecText(std::mt19937* rng) {
-  auto coin = [&]() { return ((*rng)() & 1) != 0; };
-  // Only a unary database relation: the explicit baseline enumerates
-  // 2^(|dom|^arity) databases per relation, so binary relations make the
-  // cross-check infeasible.
-  std::string spec = R"(
-app random
-database r1(a)
-database marked(a)
-state s0()
-state s1(a)
-input pick(x)
-input btn(x)
-home A
-)";
-  // Page A.
-  spec += "page A {\n  input pick\n  input btn\n";
-  spec += coin() ? "  rule pick(x) <- r1(x)\n"
-                 : "  rule pick(x) <- r1(x) & marked(x)\n";
-  spec += "  rule btn(x) <- x = \"go\" | x = \"stay\"\n";
-  if (coin()) spec += "  state +s1(x) <- pick(x) & btn(\"go\")\n";
-  if (coin()) spec += "  state +s0() <- exists x: pick(x)\n";
-  if (coin()) spec += "  state -s1(x) <- s1(x) & btn(\"stay\")\n";
-  spec += coin() ? "  target B <- (exists x: pick(x)) & btn(\"go\")\n"
-                 : "  target B <- btn(\"go\")\n";
-  if (coin()) spec += "  target A <- btn(\"stay\")\n";
-  spec += "}\n";
-  // Page B.
-  spec += "page B {\n  input btn\n";
-  spec += "  rule btn(x) <- x = \"back\" | x = \"go\"\n";
-  if (coin()) spec += "  state -s0() <- btn(\"go\")\n";
-  if (coin()) spec += "  state +s1(x) <- prev pick(x) & btn(\"back\")\n";
-  spec += "  target A <- btn(\"back\")\n";
-  spec += "}\n";
-  return spec;
+constexpr int kShards = 16;
+constexpr int kSeedsPerShard = 20;  // 16 × 20 = 320 cases
+
+class RandomDifferentialSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDifferentialSweep, AllAxesAgree) {
+  const int shard = GetParam();
+  testing::OracleOptions options;
+  // Sharing one cache directory inside the shard exercises repeated
+  // store/hit cycles; per-shard directories keep parallel ctest workers
+  // independent.
+  options.cache_dir =
+      ::testing::TempDir() + "wave_rdt_cache_" + std::to_string(shard);
+
+  int decided = 0;
+  for (int i = 0; i < kSeedsPerShard; ++i) {
+    const uint64_t seed =
+        static_cast<uint64_t>(shard) * kSeedsPerShard + i + 1;
+    testing::FuzzCase c = testing::GenerateCase(seed);
+    testing::OracleReport report = testing::CheckCase(c, options);
+    ASSERT_TRUE(report.valid)
+        << "generator emitted an invalid case: " << report.Summary() << "\n"
+        << c.Text();
+    EXPECT_FALSE(report.disagreed()) << report.Summary() << "\n" << c.Text();
+    EXPECT_EQ(report.axes.size(), 6u);
+    if (report.reference != Verdict::kUnknown) ++decided;
+  }
+  // The sweep must not be vacuous: nearly every generated case decides
+  // within the default budgets (empirically all of them do).
+  EXPECT_GE(decided, kSeedsPerShard - 2);
 }
 
-/// One random property from a pool of parametric templates.
-std::string RandomPropertyText(std::mt19937* rng) {
-  static const char* kTemplates[] = {
-      "property p expect false { F [at B] }",
-      "property p expect false { G [!(at B)] }",
-      "property p expect false { F [s0()] }",
-      "property p expect false { G (F [at A]) }",
-      "property p expect false { F (G [at A]) }",
-      "property p expect false { forall v: F [s1(v)] -> F [at B] }",
-      "property p expect false { forall v: F [pick(v)] -> F [s1(v)] }",
-      "property p expect false { [at A & btn(\"go\")] B [at B] }",
-      "property p expect false { G ([s0()] -> X [s0()]) }",
-      "property p expect false { forall v: G ([s1(v)] -> F [!s1(v)]) }",
-      "property p expect false { G ([at A] -> X ([at A] | [at B])) }",
-      "property p expect false { forall v: [pick(v)] B [s1(v)] }",
-  };
-  return kTemplates[(*rng)() % (sizeof(kTemplates) / sizeof(kTemplates[0]))];
-}
+INSTANTIATE_TEST_SUITE_P(Shards, RandomDifferentialSweep,
+                         ::testing::Range(0, kShards));
 
-class RandomDifferentialTest : public ::testing::TestWithParam<int> {};
-
-TEST_P(RandomDifferentialTest, WaveAgreesWithExplicitBaseline) {
-  std::mt19937 rng(GetParam());
-  for (int trial = 0; trial < 2; ++trial) {
-    std::string spec_text = RandomSpecText(&rng);
-    std::string property_text = RandomPropertyText(&rng);
-    ParseResult parsed = ParseSpec(spec_text + property_text);
-    ASSERT_TRUE(parsed.ok()) << parsed.ErrorText() << "\n" << spec_text;
-    ASSERT_TRUE(parsed.spec->CheckInputBoundedness().empty()) << spec_text;
-
-    Verifier wave_verifier(parsed.spec.get());
-    VerifyOptions wave_options;
-    wave_options.timeout_seconds = 60;
-    VerifyResult wave_result =
-        RunVerify(wave_verifier, parsed.properties[0].property, wave_options);
-    ASSERT_NE(wave_result.verdict, Verdict::kUnknown)
-        << wave_result.failure_reason << "\n" << spec_text << property_text;
-
-    FirstCutVerifier baseline(parsed.spec.get());
-    FirstCutOptions baseline_options;
-    baseline_options.extra_domain_values = 1;
-    baseline_options.timeout_seconds = 120;
-    FirstCutResult baseline_result =
-        baseline.Verify(parsed.properties[0].property, baseline_options);
-    ASSERT_NE(baseline_result.verdict, Verdict::kUnknown)
-        << baseline_result.failure_reason << "\n" << spec_text;
-
-    // The baseline enumerates databases over a *bounded* domain, so it can
-    // miss violations that need more fresh values — but with one extra
-    // value beyond the property constants the templates above are all
-    // decidable either way, and WAVE must agree exactly.
-    EXPECT_EQ(wave_result.verdict, baseline_result.verdict)
-        << "seed " << GetParam() << " trial " << trial << "\n"
-        << spec_text << property_text;
+// The "decided-vs-decided only" rule needs the undecided side exercised
+// too: every UnknownReason must be reachable from generated cases under
+// a starved budget, so a future regression that quietly turns the whole
+// sweep into skipped comparisons cannot pass unnoticed.
+TEST(RandomDifferentialTest, EveryUnknownReasonIsProbed) {
+  std::vector<testing::ReasonProbe> probes =
+      testing::ProbeUnknownReasons(testing::GeneratorConfig{}, /*seed_start=*/1,
+                                   /*max_seeds=*/50);
+  ASSERT_EQ(probes.size(), 6u);
+  for (const testing::ReasonProbe& probe : probes) {
+    EXPECT_TRUE(probe.covered)
+        << UnknownReasonName(probe.reason) << ": " << probe.detail;
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RandomDifferentialTest,
-                         ::testing::Range(0, 12));
+// End-to-end self-test of the failure pipeline: inject a verdict bug
+// (flip the reference verdict of cases whose spec mentions `marked`),
+// and the oracle must catch it, the shrinker must minimize it below 30
+// spec lines, and the minimized case must still be a valid reproducer.
+TEST(RandomDifferentialTest, InjectedVerdictBugIsCaughtAndMinimized) {
+  testing::OracleOptions options;
+  options.inject_flip_marker = "marked";
+  options.run_metamorphic = false;  // the baseline axis is the catcher
+
+  bool caught = false;
+  for (uint64_t seed = 1; seed <= 50 && !caught; ++seed) {
+    testing::FuzzCase c = testing::GenerateCase(seed);
+    testing::OracleReport report = testing::CheckCase(c, options);
+    if (!report.flip_injected) continue;
+    caught = true;
+
+    EXPECT_TRUE(report.disagreed()) << report.Summary();
+    const testing::AxisCheck* baseline =
+        report.FindAxis(testing::OracleAxis::kBaseline);
+    ASSERT_NE(baseline, nullptr);
+    EXPECT_TRUE(baseline->compared);
+    EXPECT_FALSE(baseline->agreed);
+
+    testing::FailurePredicate still_fails = testing::OracleDisagreementPredicate(
+        options, testing::OracleAxis::kBaseline);
+    testing::ShrinkResult shrunk = testing::Minimize(c, still_fails);
+    EXPECT_LT(shrunk.stats.final_lines, 30)
+        << shrunk.minimized.SpecText();
+    EXPECT_LE(shrunk.stats.final_lines, shrunk.stats.initial_lines);
+    // The minimized case must itself still parse, validate, stay
+    // input-bounded and disagree — the predicate enforces all four.
+    EXPECT_TRUE(still_fails(shrunk.minimized)) << shrunk.minimized.Text();
+  }
+  EXPECT_TRUE(caught)
+      << "no generated case in seeds 1..50 contained the flip marker";
+}
+
+// Reproducibility contract: the generator (and both metamorphic
+// transforms) are pure functions of the seed with a platform-pinned draw
+// stream, so a seed logged by any campaign regenerates byte-identical
+// text anywhere. This fingerprint moves only when the grammar itself is
+// deliberately changed (then: update the constant, and note that logged
+// seeds from older campaigns no longer replay).
+TEST(RandomDifferentialTest, GeneratorFingerprintIsPinned) {
+  auto fnv1a = [](const std::string& s, uint64_t h) {
+    for (unsigned char ch : s) {
+      h ^= ch;
+      h *= 1099511628211ull;
+    }
+    return h;
+  };
+  uint64_t h = 1469598103934665603ull;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    testing::FuzzCase c = testing::GenerateCase(seed);
+    h = fnv1a(c.Text(), h);
+    h = fnv1a(testing::RenameCase(c).Text(), h);
+    h = fnv1a(testing::ReorderCase(c, 0x5eedf00dull).Text(), h);
+  }
+  EXPECT_EQ(h, 0x4252da856899b033ull);
+}
 
 }  // namespace
 }  // namespace wave
