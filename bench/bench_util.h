@@ -21,6 +21,12 @@ namespace wave::bench {
 // its text output: one `BENCH_<name>.json` file per binary, one JSON object
 // per line. This is the perf-trajectory format future PRs diff against.
 
+/// Version stamped on every emitted record (ISSUE 6). History:
+///   1 — implicit (PR 1 records carried no version field);
+///   2 — `schema_version` on every record; wave_bench suite records add
+///       min/median-of-N timing, counters and env/git-sha capture.
+inline constexpr int kBenchSchemaVersion = 2;
+
 /// `"e1 table"` → `"e1_table"` (safe file-name component).
 inline std::string SanitizeBenchName(const std::string& name) {
   std::string out;
@@ -48,6 +54,7 @@ inline obs::Json TimingRecord(const std::string& name, obs::Json params,
     return times_seconds[lo] * (1 - frac) + times_seconds[hi] * frac;
   };
   obs::Json record = obs::Json::Object();
+  record.Set("schema_version", obs::Json::Int(kBenchSchemaVersion));
   record.Set("name", obs::Json::Str(name));
   record.Set("params", std::move(params));
   record.Set("n", obs::Json::Int(static_cast<int64_t>(times_seconds.size())));

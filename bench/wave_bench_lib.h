@@ -1,0 +1,122 @@
+// The wave_bench regression-gating harness (ISSUE 6).
+//
+// A suite registry over the paper's E1–E4 workloads (apps/apps.h): each
+// suite verifies every property of one bundle with `--warmup` discarded
+// runs followed by `--repeat` timed runs, and emits one schema-versioned
+// JSON-lines record per property (min/median/max-of-N wall time, the
+// deterministic search counters, the verdict, and an env/git-sha capture
+// block). `CompareRecords` diffs a fresh run against a committed baseline
+// file (bench/baselines/BENCH_verify.json) under configurable
+// thresholds:
+//
+//   * times compare relatively (`time_frac`), but only for records whose
+//     baseline min time clears `min_time_s` — sub-floor records are
+//     noise-dominated on small hosts and compare counters only;
+//   * counters (expansions, cores, successors, trie/automaton sizes) are
+//     deterministic per the PR-3 contract and compare exactly by
+//     default (`counter_frac` relaxes them);
+//   * a verdict change is always a regression.
+//
+// The library is test-facing on purpose: tests/bench_gate_test.cc drives
+// RunBenchSuite + CompareRecords hermetically (self-baseline must pass,
+// a synthetic `slowdown` of 2 must trip the gate) — the same code path
+// `tools/wave_bench --compare` and `scripts/check.sh --bench` run.
+#ifndef WAVE_BENCH_WAVE_BENCH_LIB_H_
+#define WAVE_BENCH_WAVE_BENCH_LIB_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace wave::bench {
+
+/// Knobs of one suite run.
+struct BenchConfig {
+  int warmup = 1;       // discarded runs per property
+  int repeat = 3;       // timed runs per property (min/median over these)
+  int jobs = 1;         // worker count handed to the engine
+  double timeout_seconds = 120;
+  /// Synthetic multiplier applied to every *measured* time before it is
+  /// recorded — the regression-gate self-test hook (`--slowdown=2` must
+  /// make `--compare` against a fresh baseline exit non-zero). 1 = off.
+  double slowdown = 1.0;
+};
+
+/// Registered suite names: "e1".."e4" plus "verify" (all four — the
+/// committed bench/baselines/BENCH_verify.json baseline).
+std::vector<std::string> BenchSuiteNames();
+bool IsBenchSuite(const std::string& name);
+
+/// Host/build capture stamped on every record: git sha (when the working
+/// directory is a repo), hostname/OS, hardware thread count, compiler.
+obs::Json BenchEnvJson();
+
+/// Runs one registered suite. Appends one record per property to
+/// `records`:
+///   {"schema_version": 2, "suite": "e1", "name": "e1/P1",
+///    "n": R, "warmup": W, "jobs": J,
+///    "min_s": ..., "median_s": ..., "max_s": ...,
+///    "verdict": "holds", "expected_ok": true,
+///    "counters": {...deterministic search counters...},
+///    "env": {...BenchEnvJson()...}}
+/// Returns the number of verdict mismatches vs the bundle's expected
+/// verdicts (0 on a healthy tree), or -1 for an unknown suite name
+/// (`error` explains).
+int RunBenchSuite(const std::string& suite, const BenchConfig& config,
+                  std::vector<obs::Json>* records, std::string* error,
+                  bool verbose = false);
+
+/// Reads a JSON-lines file (one record per line, blank lines ignored).
+/// False on I/O or parse failure (`error` explains, with line number).
+bool LoadJsonLines(const std::string& path, std::vector<obs::Json>* records,
+                   std::string* error);
+
+/// Regression thresholds of `CompareRecords`.
+struct CompareThresholds {
+  /// Relative wall-time regression bound: current min_s (and median_s)
+  /// may grow to baseline * (1 + time_frac) before gating.
+  double time_frac = 0.75;
+  /// Relative counter drift bound; 0 (default) = counters must match
+  /// exactly. Values differing by more than baseline * counter_frac
+  /// (with an absolute slack of 0 — integers compare directly) regress.
+  double counter_frac = 0.0;
+  /// Absolute floor below which baseline times are considered
+  /// noise-dominated and not compared (counters still are).
+  double min_time_s = 0.005;
+};
+
+/// One compared metric of one record pair.
+struct MetricDelta {
+  std::string name;    // record name, e.g. "e1/P4"
+  std::string metric;  // "min_s", "median_s", "counters.num_expansions", ...
+  double baseline = 0;
+  double current = 0;
+  bool regressed = false;
+  std::string detail;  // human form, e.g. "+123% (limit +75%)"
+};
+
+/// Outcome of one baseline/current diff.
+struct CompareResult {
+  std::vector<MetricDelta> deltas;       // every compared metric
+  std::vector<std::string> regressions;  // human lines, one per regression
+  /// Baseline records (of suites present in `current`) with no current
+  /// counterpart — renamed/dropped benchmarks. Reported, not gated.
+  std::vector<std::string> missing;
+  int compared_records = 0;
+
+  bool ok() const { return regressions.empty(); }
+  /// Multi-line human summary (always non-empty).
+  std::string Summary() const;
+};
+
+/// Diffs `current` against `baseline`. Records pair by their "name"
+/// field; baseline records whose suite was not run are ignored (so a
+/// single-suite run can gate against the all-suite committed baseline).
+CompareResult CompareRecords(const std::vector<obs::Json>& baseline,
+                             const std::vector<obs::Json>& current,
+                             const CompareThresholds& thresholds);
+
+}  // namespace wave::bench
+
+#endif  // WAVE_BENCH_WAVE_BENCH_LIB_H_

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "obs/alloc.h"
 
 namespace wave {
 
@@ -159,6 +160,8 @@ void CandidateBuilder::AppendProduct(
         out->overflow = true;
       } else {
         out->tuples.emplace_back(relation, tuple);
+        obs::CountAlloc(static_cast<int64_t>(
+            sizeof(out->tuples.back()) + tuple.size() * sizeof(SymbolId)));
       }
     }
     // Advance the mixed-radix counter.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/alloc.h"
 
 namespace wave {
 
@@ -83,6 +84,7 @@ class Expander {
       GNode succ;
       succ.incoming.insert(node.name);
       succ.nnew = node.next;
+      obs::CountAlloc(static_cast<int64_t>(sizeof(GNode)));
       done_.push_back(std::move(node));
       pending_.push_back(std::move(succ));
       return;

@@ -1,0 +1,7 @@
+#include "obs/alloc.h"
+
+namespace wave::obs::internal {
+
+thread_local AllocStats* tls_alloc_sink = nullptr;
+
+}  // namespace wave::obs::internal

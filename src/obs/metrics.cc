@@ -1,30 +1,94 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace wave::obs {
 
-void Histogram::Record(double v) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (count_ == 0 || v < min_) min_ = v;
-  if (count_ == 0 || v > max_) max_ = v;
-  ++count_;
-  sum_ += v;
-  if (samples_.size() < kMaxSamples) samples_.push_back(v);
+// --- HistogramData -----------------------------------------------------------
+
+int HistogramData::BucketIndex(double v) {
+  if (!(v > 0)) return 0;  // non-positive and NaN land in the underflow bucket
+  int exp = 0;
+  double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac in [0.5, 1)
+  --exp;                              // rewrite as m * 2^exp, m in [1, 2)
+  if (exp < kMinExp) return 0;
+  if (exp >= kMaxExp) return kNumBuckets - 1;
+  int sub = static_cast<int>((frac * 2 - 1) * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // guard fp rounding at m→2
+  return (exp - kMinExp) * kSubBuckets + sub + 1;
 }
 
-double Histogram::Quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (samples_.empty()) return 0;
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  double pos = q * (sorted.size() - 1);
-  size_t lo = static_cast<size_t>(pos);
-  size_t hi = std::min(lo + 1, sorted.size() - 1);
-  double frac = pos - lo;
-  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+double HistogramData::BucketLow(int bucket) {
+  int i = bucket - 1;
+  int exp = kMinExp + i / kSubBuckets;
+  int sub = i % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, exp);
 }
+
+void HistogramData::Record(double v) {
+  if (count == 0 || v < min) min = v;
+  if (count == 0 || v > max) max = v;
+  ++count;
+  sum += v;
+  ++buckets[BucketIndex(v)];
+}
+
+void HistogramData::MergeFrom(const HistogramData& other) {
+  if (other.count == 0) return;
+  if (count == 0 || other.min < min) min = other.min;
+  if (count == 0 || other.max > max) max = other.max;
+  count += other.count;
+  sum += other.sum;
+  for (int i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+double HistogramData::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q <= 0) return min;
+  if (q >= 1) return max;
+  // Continuous rank in [0, count-1]; walk buckets to the one containing
+  // it, then interpolate linearly inside the bucket's value range.
+  double rank = q * static_cast<double>(count - 1);
+  int64_t below = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    double in_bucket = static_cast<double>(buckets[b]);
+    if (rank < static_cast<double>(below) + in_bucket) {
+      double lo, hi;
+      if (b == 0) {
+        lo = min;
+        hi = std::min(max, BucketLow(1));
+      } else if (b == kNumBuckets - 1) {
+        lo = std::ldexp(1.0, kMaxExp);
+        hi = max;
+      } else {
+        lo = BucketLow(b);
+        hi = BucketLow(b + 1);
+      }
+      double frac = (rank - static_cast<double>(below)) / in_bucket;
+      return std::clamp(lo + frac * (hi - lo), min, max);
+    }
+    below += buckets[b];
+  }
+  return max;
+}
+
+Json HistogramData::ToJson() const {
+  Json entry = Json::Object();
+  entry.Set("count", Json::Int(count));
+  entry.Set("sum", Json::Number(sum));
+  entry.Set("min", Json::Number(count > 0 ? min : 0));
+  entry.Set("max", Json::Number(count > 0 ? max : 0));
+  entry.Set("mean", Json::Number(mean()));
+  entry.Set("p50", Json::Number(Quantile(0.5)));
+  entry.Set("p90", Json::Number(Quantile(0.9)));
+  entry.Set("p99", Json::Number(Quantile(0.99)));
+  return entry;
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
 
 namespace {
 
@@ -56,19 +120,6 @@ Histogram* MetricsRegistry::histogram(std::string_view name) {
   return FindOrCreate(&histograms_, name);
 }
 
-void Histogram::MergeFrom(const Histogram& other) {
-  std::scoped_lock lock(mu_, other.mu_);
-  if (other.count_ == 0) return;
-  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
-  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
-  count_ += other.count_;
-  sum_ += other.sum_;
-  for (double v : other.samples_) {
-    if (samples_.size() >= kMaxSamples) break;
-    samples_.push_back(v);
-  }
-}
-
 void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
   std::lock_guard<std::mutex> lock(other.mu_);
   for (const auto& [name, c] : other.counters_) {
@@ -80,7 +131,7 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
     mine->Set(g->value());  // ...then land on the latest value
   }
   for (const auto& [name, h] : other.histograms_) {
-    histogram(name)->MergeFrom(*h);
+    histogram(name)->MergeData(h->snapshot());
   }
 }
 
@@ -102,16 +153,7 @@ Json MetricsRegistry::ToJson() const {
   out.Set("gauges", std::move(gauges));
   Json histograms = Json::Object();
   for (const auto& [name, h] : histograms_) {
-    Json entry = Json::Object();
-    entry.Set("count", Json::Int(h->count()));
-    entry.Set("sum", Json::Number(h->sum()));
-    entry.Set("min", Json::Number(h->min()));
-    entry.Set("max", Json::Number(h->max()));
-    entry.Set("mean", Json::Number(h->mean()));
-    entry.Set("p50", Json::Number(h->Quantile(0.5)));
-    entry.Set("p90", Json::Number(h->Quantile(0.9)));
-    entry.Set("p99", Json::Number(h->Quantile(0.99)));
-    histograms.Set(name, std::move(entry));
+    histograms.Set(name, h->snapshot().ToJson());
   }
   out.Set("histograms", std::move(histograms));
   return out;
@@ -132,10 +174,11 @@ std::string MetricsRegistry::Summary() const {
     out += line;
   }
   for (const auto& [name, h] : histograms_) {
+    HistogramData d = h->snapshot();
     std::snprintf(line, sizeof(line),
                   "%-44s n=%lld mean=%.3f p50=%.3f p90=%.3f max=%.3f\n",
-                  name.c_str(), static_cast<long long>(h->count()), h->mean(),
-                  h->Quantile(0.5), h->Quantile(0.9), h->max());
+                  name.c_str(), static_cast<long long>(d.count), d.mean(),
+                  d.Quantile(0.5), d.Quantile(0.9), d.count > 0 ? d.max : 0.0);
     out += line;
   }
   return out;

@@ -13,9 +13,15 @@
 // The parallel search engine still prefers per-worker registries merged
 // after the join (cheaper and deterministic), but a registry shared by a
 // worker pool no longer races.
+//
+// Histograms (ISSUE 6) are log-bucketed: `HistogramData` is a plain
+// value type the search engine embeds in `VerifyStats` and merges
+// across shards/workers without locks; `Histogram` is the thread-safe
+// registry instrument wrapping one.
 #ifndef WAVE_OBS_METRICS_H_
 #define WAVE_OBS_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -23,7 +29,6 @@
 #include <mutex>
 #include <string>
 #include <string_view>
-#include <vector>
 
 #include "obs/json.h"
 
@@ -67,46 +72,86 @@ class Gauge {
   double max_ = 0;
 };
 
-/// Distribution of recorded samples: count/sum/min/max plus quantile
-/// estimates from a bounded reservoir (the first `kMaxSamples` values —
-/// adequate for phase-duration distributions, which is what we record).
-/// Thread-safe (per-instrument mutex).
+/// Log-linear bucketed distribution: a plain value type with no locks.
+///
+/// Bucket layout: `kSubBuckets` linear sub-buckets per power of two,
+/// covering [2^kMinExp, 2^kMaxExp) — sub-microsecond latencies up to
+/// trillion-scale counts — plus an underflow bucket (index 0) for
+/// values below the range (including <= 0) and an overflow bucket at
+/// the top. `count`/`sum`/`min`/`max` are exact; quantile estimates
+/// interpolate inside one bucket, so their relative error is bounded by
+/// the bucket width (~1/kSubBuckets). Merging adds bucket counts, so
+/// unlike a sample reservoir it is exact and order-independent — the
+/// property the per-shard search telemetry relies on.
+struct HistogramData {
+  static constexpr int kSubBuckets = 4;
+  static constexpr int kMinExp = -8;   // smallest bucketed magnitude: 2^-8
+  static constexpr int kMaxExp = 40;   // values >= 2^40 overflow
+  static constexpr int kNumBuckets = (kMaxExp - kMinExp) * kSubBuckets + 2;
+
+  int64_t count = 0;
+  double sum = 0;
+  double min = 0;  // meaningful only when count > 0
+  double max = 0;
+  std::array<int64_t, kNumBuckets> buckets{};
+
+  /// Bucket index for a value (0 = underflow, kNumBuckets-1 = overflow).
+  static int BucketIndex(double v);
+  /// Inclusive lower bound of a regular bucket (1..kNumBuckets-2).
+  static double BucketLow(int bucket);
+
+  void Record(double v);
+  void MergeFrom(const HistogramData& other);
+
+  bool empty() const { return count == 0; }
+  double mean() const { return count > 0 ? sum / count : 0; }
+  /// Quantile estimate, q in [0,1]; 0 when no samples were recorded.
+  /// Exact at q=0 (min) and q=1 (max); elsewhere interpolated within
+  /// the containing bucket and clamped to [min, max].
+  double Quantile(double q) const;
+
+  /// Summary object: {count,sum,min,max,mean,p50,p90,p99}. The shape
+  /// every exporter (VerifyStats, MetricsRegistry, bench records) emits.
+  Json ToJson() const;
+};
+
+/// Thread-safe registry instrument over `HistogramData` (per-instrument
+/// mutex). Hot paths record into a private `HistogramData` instead and
+/// fold it in afterwards with `MergeData`.
 class Histogram {
  public:
-  void Record(double v);
-  int64_t count() const { return Locked(&Histogram::count_); }
-  double sum() const { return Locked(&Histogram::sum_); }
-  double min() const {
+  void Record(double v) {
     std::lock_guard<std::mutex> lock(mu_);
-    return count_ > 0 ? min_ : 0;
+    data_.Record(v);
+  }
+  /// Folds a locally accumulated distribution in (one lock, exact).
+  void MergeData(const HistogramData& data) {
+    std::lock_guard<std::mutex> lock(mu_);
+    data_.MergeFrom(data);
+  }
+  void MergeFrom(const Histogram& other) { MergeData(other.snapshot()); }
+  HistogramData snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return data_;
+  }
+
+  int64_t count() const { return snapshot().count; }
+  double sum() const { return snapshot().sum; }
+  double min() const {
+    HistogramData d = snapshot();
+    return d.count > 0 ? d.min : 0;
   }
   double max() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return count_ > 0 ? max_ : 0;
+    HistogramData d = snapshot();
+    return d.count > 0 ? d.max : 0;
   }
-  double mean() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return count_ > 0 ? sum_ / count_ : 0;
-  }
+  double mean() const { return snapshot().mean(); }
   /// Quantile estimate, q in [0,1]; 0 when no samples were recorded.
-  double Quantile(double q) const;
-  /// Folds `other`'s samples into this histogram (reservoir permitting).
-  void MergeFrom(const Histogram& other);
+  double Quantile(double q) const { return snapshot().Quantile(q); }
 
  private:
-  template <typename T>
-  T Locked(T Histogram::* field) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return this->*field;
-  }
-
-  static constexpr size_t kMaxSamples = 4096;
   mutable std::mutex mu_;
-  int64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
-  std::vector<double> samples_;
+  HistogramData data_;
 };
 
 /// Instrument namespace. Instruments live as long as the registry and keep
@@ -124,7 +169,7 @@ class MetricsRegistry {
   void Record(std::string_view name, double v) { histogram(name)->Record(v); }
 
   /// Folds `other` into this registry: counters add, gauges re-`Set` (so
-  /// the running max survives), histograms merge their reservoirs.
+  /// the running max survives), histograms merge bucket-exactly.
   void MergeFrom(const MetricsRegistry& other);
 
   /// Snapshot: {"counters": {...}, "gauges": {name: {value,max}},

@@ -58,6 +58,16 @@ void Tracer::Counter(std::string_view name, double value) {
   events_.push_back(std::move(e));
 }
 
+void Tracer::CounterHistogram(std::string_view name, const HistogramData& h) {
+  if (h.empty()) return;
+  std::string base(name);
+  Counter(base + ".p50", h.Quantile(0.5));
+  Counter(base + ".p90", h.Quantile(0.9));
+  Counter(base + ".p99", h.Quantile(0.99));
+  Counter(base + ".mean", h.mean());
+  Counter(base + ".count", static_cast<double>(h.count));
+}
+
 void Tracer::MergeFrom(const Tracer& other, int tid, double ts_offset_us) {
   for (const TraceEvent& e : other.events_) {
     if (events_.size() >= max_events_) {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace wave::obs {
 
@@ -61,6 +62,11 @@ class Tracer {
 
   /// Sample of a named numeric series (renders as a counter track).
   void Counter(std::string_view name, double value);
+
+  /// Exports a histogram summary as counter samples on derived tracks:
+  /// `<name>.p50/.p90/.p99/.mean` plus `<name>.count` — the Chrome-trace
+  /// face of the log-bucketed histograms (ISSUE 6). No-op when empty.
+  void CounterHistogram(std::string_view name, const HistogramData& h);
 
   const std::vector<TraceEvent>& events() const { return events_; }
   int64_t dropped_events() const { return dropped_; }

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "parser/parser.h"
 #include "verifier/cache.h"
 
@@ -139,10 +140,12 @@ AxisCheck CheckVariant(OracleAxis axis, const FuzzCase& variant,
                        const VerifyOptions& options) {
   AxisCheck check;
   check.axis = axis;
+  Stopwatch watch;
   ParsedCase parsed = ParseAndValidate(variant.Text());
   if (!parsed.ok) {
     FailAxis(&check, std::string(OracleAxisName(axis)) +
                          " variant invalid: " + parsed.error);
+    check.seconds = watch.ElapsedSeconds();
     return check;
   }
   std::string error;
@@ -150,9 +153,11 @@ AxisCheck CheckVariant(OracleAxis axis, const FuzzCase& variant,
                                 options, /*jobs=*/1, nullptr, &error);
   if (!error.empty()) {
     FailAxis(&check, "Run failed: " + error);
+    check.seconds = watch.ElapsedSeconds();
     return check;
   }
   CompareVerdicts(&check, reference, reference_reason, result);
+  check.seconds = watch.ElapsedSeconds();
   return check;
 }
 
@@ -203,6 +208,7 @@ obs::Json OracleReport::ToJson() const {
             obs::Json::Str(UnknownReasonName(reference_reason)));
   }
   if (flip_injected) doc.Set("flip_injected", obs::Json::Bool(true));
+  doc.Set("reference_seconds", obs::Json::Number(reference_seconds));
   doc.Set("disagreed", obs::Json::Bool(disagreed()));
   obs::Json axes_json = obs::Json::Array();
   for (const AxisCheck& check : axes) {
@@ -213,6 +219,7 @@ obs::Json OracleReport::ToJson() const {
     a.Set("agreed", obs::Json::Bool(check.agreed));
     a.Set("expected", obs::Json::Str(VerdictName(check.expected)));
     a.Set("actual", obs::Json::Str(VerdictName(check.actual)));
+    a.Set("seconds", obs::Json::Number(check.seconds));
     if (!check.detail.empty()) a.Set("detail", obs::Json::Str(check.detail));
     axes_json.Append(std::move(a));
   }
@@ -233,11 +240,19 @@ OracleReport CheckCase(const FuzzCase& c, const OracleOptions& options) {
   const Property& property = parsed.property();
 
   // The reference verdict every axis compares against: WAVE itself,
-  // jobs=1, base options.
+  // jobs=1, base options — with a local metrics registry attached so the
+  // reference runs telemetry-ON while every axis runs telemetry-off.
+  // Each campaign case thereby differentially confirms the search
+  // histograms / allocation profiling (ISSUE 6) do not perturb verdicts.
   std::string error;
+  obs::MetricsRegistry reference_metrics;
+  VerifyOptions reference_options = options.verify;
+  reference_options.metrics = &reference_metrics;
+  Stopwatch reference_watch;
   VerifyResult reference = RunOnce(parsed.verifier.get(), property,
-                                   options.verify, /*jobs=*/1, nullptr,
+                                   reference_options, /*jobs=*/1, nullptr,
                                    &error);
+  report.reference_seconds = reference_watch.ElapsedSeconds();
   if (!error.empty()) {
     report.valid = false;
     report.invalid_reason = "reference Run failed: " + error;
@@ -260,6 +275,7 @@ OracleReport CheckCase(const FuzzCase& c, const OracleOptions& options) {
   if (options.run_baseline) {
     AxisCheck check;
     check.axis = OracleAxis::kBaseline;
+    Stopwatch watch;
     FirstCutVerifier baseline(parsed.parsed.spec.get());
     FirstCutResult result = baseline.Verify(property, options.baseline);
     VerifyResult as_verify;
@@ -267,6 +283,7 @@ OracleReport CheckCase(const FuzzCase& c, const OracleOptions& options) {
     as_verify.failure_reason = result.failure_reason;
     CompareVerdicts(&check, report.reference, report.reference_reason,
                     as_verify);
+    check.seconds = watch.ElapsedSeconds();
     report.axes.push_back(std::move(check));
   }
 
@@ -274,6 +291,7 @@ OracleReport CheckCase(const FuzzCase& c, const OracleOptions& options) {
   if (options.run_jobs) {
     AxisCheck check;
     check.axis = OracleAxis::kJobs;
+    Stopwatch watch;
     VerifyResult result = RunOnce(parsed.verifier.get(), property,
                                   options.verify, options.jobs, nullptr,
                                   &error);
@@ -283,6 +301,7 @@ OracleReport CheckCase(const FuzzCase& c, const OracleOptions& options) {
       CompareVerdicts(&check, report.reference, report.reference_reason,
                       result);
     }
+    check.seconds = watch.ElapsedSeconds();
     report.axes.push_back(std::move(check));
   }
 
@@ -290,6 +309,7 @@ OracleReport CheckCase(const FuzzCase& c, const OracleOptions& options) {
   if (options.run_batch) {
     AxisCheck check;
     check.axis = OracleAxis::kBatch;
+    Stopwatch watch;
     std::vector<Property> catalog = {property};
     BatchRequest request;
     request.properties = &catalog;
@@ -302,6 +322,7 @@ OracleReport CheckCase(const FuzzCase& c, const OracleOptions& options) {
       CompareVerdicts(&check, report.reference, report.reference_reason,
                       response->responses[0]);
     }
+    check.seconds = watch.ElapsedSeconds();
     report.axes.push_back(std::move(check));
   }
 
@@ -312,6 +333,7 @@ OracleReport CheckCase(const FuzzCase& c, const OracleOptions& options) {
   if (!options.cache_dir.empty()) {
     AxisCheck check;
     check.axis = OracleAxis::kCache;
+    Stopwatch watch;
     StatusOr<std::unique_ptr<ResultCache>> cache =
         ResultCache::Open(options.cache_dir);
     if (!cache.ok()) {
@@ -342,6 +364,7 @@ OracleReport CheckCase(const FuzzCase& c, const OracleOptions& options) {
         }
       }
     }
+    check.seconds = watch.ElapsedSeconds();
     report.axes.push_back(std::move(check));
   }
 

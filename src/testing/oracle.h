@@ -97,6 +97,7 @@ struct AxisCheck {
   bool agreed = true;     // false only when compared and different
   Verdict expected = Verdict::kUnknown;  // reference side
   Verdict actual = Verdict::kUnknown;    // axis side
+  double seconds = 0;  // axis wall time (engine runs + comparison)
   std::string detail;  // skip reason / failure reasons / diagnostics
 };
 
@@ -107,9 +108,13 @@ struct OracleReport {
   /// bug — the grammar promises validity).
   bool valid = false;
   std::string invalid_reason;
-  /// The reference verdict: WAVE, jobs=1, base options.
+  /// The reference verdict: WAVE, jobs=1, base options — run with a
+  /// local metrics registry attached, so every campaign case doubles as
+  /// a telemetry-on vs telemetry-off differential (the ISSUE-6 search
+  /// histograms must not perturb verdicts).
   Verdict reference = Verdict::kUnknown;
   UnknownReason reference_reason = UnknownReason::kNone;
+  double reference_seconds = 0;  // reference-run wall time
   /// True when the fault-injection marker flipped `reference`.
   bool flip_injected = false;
   std::vector<AxisCheck> axes;

@@ -1,6 +1,7 @@
 #include "verifier/encode.h"
 
 #include "common/check.h"
+#include "obs/alloc.h"
 
 namespace wave {
 
@@ -68,12 +69,18 @@ void AppendInstance(const Instance& instance, std::vector<uint8_t>* out) {
 void EncodeVisitedKeyInto(int flag, int buchi_state,
                           const Configuration& config,
                           std::vector<uint8_t>* out) {
+  size_t capacity_before = out->capacity();
   out->clear();
   out->push_back(static_cast<uint8_t>(flag));
   AppendVarint(static_cast<uint32_t>(buchi_state), out);
   AppendVarint(static_cast<uint32_t>(config.page), out);
   AppendInstance(config.data, out);
   AppendInstance(config.previous, out);
+  // The scratch buffer amortizes to zero growth; report the rare
+  // reallocation so the allocation profile sees encode's footprint.
+  if (out->capacity() > capacity_before) {
+    obs::CountAlloc(static_cast<int64_t>(out->capacity() - capacity_before));
+  }
 }
 
 std::vector<uint8_t> EncodeVisitedKey(int flag, int buchi_state,

@@ -1,8 +1,10 @@
 #include "verifier/trie.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
+#include "obs/alloc.h"
 
 namespace wave {
 
@@ -38,6 +40,7 @@ bool VisitedTrie::InsertImpl(const std::vector<uint8_t>& key) {
       int leaf = NewNode();
       nodes_[leaf].edge.assign(key.begin() + pos, key.end());
       approx_bytes_ += static_cast<int64_t>(key.size() - pos);
+      obs::CountAlloc(static_cast<int64_t>(key.size() - pos));
       nodes_[leaf].terminal = true;
       AddChild(node, key[pos], leaf);
       ++num_keys_;
@@ -77,6 +80,7 @@ bool VisitedTrie::InsertImpl(const std::vector<uint8_t>& key) {
     int leaf = NewNode();
     nodes_[leaf].edge.assign(key.begin() + pos + match, key.end());
     approx_bytes_ += static_cast<int64_t>(key.size() - pos - match);
+    obs::CountAlloc(static_cast<int64_t>(key.size() - pos - match));
     nodes_[leaf].terminal = true;
     AddChild(child, key[pos + match], leaf);
     ++num_keys_;
@@ -114,6 +118,7 @@ int VisitedTrie::NewNode() {
   int id = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
   approx_bytes_ += static_cast<int64_t>(sizeof(Node));
+  obs::CountAlloc(static_cast<int64_t>(sizeof(Node)));
   return id;
 }
 
@@ -126,6 +131,23 @@ void VisitedTrie::AddChild(int parent, uint8_t label, int child) {
   p.children.insert(p.children.begin() + pos, child);
   approx_bytes_ +=
       static_cast<int64_t>(sizeof(uint8_t) + sizeof(int32_t));
+  obs::CountAlloc(static_cast<int64_t>(sizeof(uint8_t) + sizeof(int32_t)));
+}
+
+void VisitedTrie::VisitKeyDepths(const std::function<void(int)>& fn) const {
+  // Iterative DFS; depth counts nodes below the root, so a fully
+  // path-compressed key (root -> one leaf) reports depth 1.
+  std::vector<std::pair<int32_t, int>> stack;  // (node, depth)
+  stack.emplace_back(0, 0);
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[node];
+    if (n.terminal) fn(depth);
+    for (int32_t child : n.children) {
+      stack.emplace_back(child, depth + 1);
+    }
+  }
 }
 
 }  // namespace wave

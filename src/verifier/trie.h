@@ -10,6 +10,7 @@
 #define WAVE_VERIFIER_TRIE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace wave {
@@ -48,6 +49,12 @@ class VisitedTrie {
 
   /// Cumulative lookup counters (reset by `Clear`).
   const TrieStats& stats() const { return stats_; }
+
+  /// Calls `fn(depth)` once per stored key with its depth in trie nodes
+  /// (root = 0) — the key-depth distribution, i.e. how much path
+  /// compression shortens the encoded bitmaps. O(nodes); telemetry only,
+  /// never on the search hot path.
+  void VisitKeyDepths(const std::function<void(int)>& fn) const;
 
   void Clear() {
     nodes_.clear();

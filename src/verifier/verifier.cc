@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -12,6 +13,7 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "obs/alloc.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "verifier/cache.h"
@@ -145,7 +147,7 @@ class ShardRunner {
               const PreparedSpec* prepared, const VerifyOptions* options,
               BatchShared* batch, BudgetLedger* ledger, int worker,
               obs::Tracer* tracer, bool heartbeat_enabled,
-              WorkerProgress* progress)
+              WorkerProgress* progress, bool telemetry)
       : slots_(slots),
         prepared_(prepared),
         options_(options),
@@ -155,6 +157,7 @@ class ShardRunner {
         tracer_(tracer),
         heartbeat_enabled_(heartbeat_enabled),
         progress_(progress),
+        telemetry_(telemetry),
         gov_(ledger, worker),
         job_stats_(num_jobs) {
     gov_.WatchExpansions(&stats_.num_expansions);
@@ -162,6 +165,12 @@ class ShardRunner {
   }
 
   void Drain(ShardQueue* queue) {
+    // Route the search structures' counting-allocator reports (trie
+    // nodes/edges, key-scratch growth, stack frames) to this worker while
+    // telemetry is on; with telemetry off no sink is installed and every
+    // CountAlloc site is a predicted-not-taken branch.
+    std::optional<obs::ScopedAllocTracking> alloc_scope;
+    if (telemetry_) alloc_scope.emplace(&alloc_);
     Shard shard;
     while (!ledger_->stop_requested() && queue->Pop(worker_, &shard)) {
       Stopwatch shard_watch;
@@ -211,6 +220,8 @@ class ShardRunner {
     spec_ = plan_->spec;
     shared_ = batch_->jobs[job_].get();
     job_cur_ = &job_stats_[job_];
+    const int64_t expansions_before = job_cur_->num_expansions;
+    const obs::AllocStats alloc_before = alloc_;
 
     obs::ScopedSpan span(tracer_, "core");
     ++stats_.num_cores;
@@ -244,7 +255,42 @@ class ShardRunner {
     stats_.trie_misses += trie_->stats().misses;
     job_cur_->trie_hits += trie_->stats().hits;
     job_cur_->trie_misses += trie_->stats().misses;
+    if (telemetry_) {
+      // Per-shard search telemetry (ISSUE 6): key-depth distribution of
+      // this shard's trie, expansion count, and tracked allocation bytes.
+      trie_->VisitKeyDepths(
+          [this](int depth) { job_cur_->trie_depth.Record(depth); });
+      job_cur_->trie_nodes += trie_->node_count();
+      job_cur_->shard_expansions.Record(
+          static_cast<double>(job_cur_->num_expansions - expansions_before));
+      job_cur_->shard_alloc_bytes.Record(
+          static_cast<double>(alloc_.bytes - alloc_before.bytes));
+      job_cur_->alloc_bytes += alloc_.bytes - alloc_before.bytes;
+      job_cur_->alloc_count += alloc_.count - alloc_before.count;
+    }
     return status;
+  }
+
+  /// Trie ops with sampled latency: every 64th visited-set operation is
+  /// timed (telemetry on only), so `trie_lookup_us` reflects hit/miss
+  /// latency without putting a clock read on every expansion.
+  bool TimedInsert(const std::vector<uint8_t>& key) {
+    if (telemetry_ && (++lookup_tick_ & 63) == 0) {
+      Stopwatch watch;
+      bool added = trie_->Insert(key);
+      job_cur_->trie_lookup_us.Record(watch.ElapsedMicros());
+      return added;
+    }
+    return trie_->Insert(key);
+  }
+  bool TimedContains(const std::vector<uint8_t>& key) {
+    if (telemetry_ && (++lookup_tick_ & 63) == 0) {
+      Stopwatch watch;
+      bool found = trie_->Contains(key);
+      job_cur_->trie_lookup_us.Record(watch.ElapsedMicros());
+      return found;
+    }
+    return trie_->Contains(key);
   }
 
   /// Enumerates extensions and input choices completing `skeleton` (whose
@@ -323,7 +369,7 @@ class ShardRunner {
       return status;
     }
     EncodeVisitedKeyInto(0, state, config, &key_scratch_);
-    if (!trie_->Insert(key_scratch_)) {
+    if (!TimedInsert(key_scratch_)) {
       return SearchStatus::kContinue;
     }
     // The encoded key length doubles as this frame's share of the memory
@@ -331,6 +377,7 @@ class ShardRunner {
     // skip the matching subtraction deliberately: the search is over.
     const int64_t frame_bytes = static_cast<int64_t>(key_scratch_.size());
     stack_bytes_ += frame_bytes;
+    obs::CountAlloc(frame_bytes);
     gov_.ReportMemory(trie_->approx_bytes() + stack_bytes_);
     ++stats_.num_expansions;
     ++job_cur_->num_expansions;
@@ -339,6 +386,11 @@ class ShardRunner {
     job_cur_->max_pseudorun_length =
         std::max(job_cur_->max_pseudorun_length, depth);
     stick_stack_.push_back({state, config});
+    if (telemetry_) {
+      job_cur_->search_depth.Record(depth);
+      job_cur_->frontier_size.Record(
+          static_cast<double>(stick_stack_.size() + candy_stack_.size()));
+    }
 
     std::vector<bool> assignment = EvalComponents(config);
     for (const BuchiTransition& t : plan_->automaton.adj[state]) {
@@ -346,7 +398,7 @@ class ShardRunner {
       SearchStatus status = ForEachSuccessor(
           config, [&](const Configuration& next) -> SearchStatus {
             EncodeVisitedKeyInto(0, t.to, next, &key_scratch_);
-            if (!trie_->Contains(key_scratch_)) {
+            if (!TimedContains(key_scratch_)) {
               SearchStatus s = Stick(t.to, next, depth + 1);
               if (s != SearchStatus::kContinue) return s;
             }
@@ -372,11 +424,12 @@ class ShardRunner {
       return status;
     }
     EncodeVisitedKeyInto(1, state, config, &key_scratch_);
-    if (!trie_->Insert(key_scratch_)) {
+    if (!TimedInsert(key_scratch_)) {
       return SearchStatus::kContinue;
     }
     const int64_t frame_bytes = static_cast<int64_t>(key_scratch_.size());
     stack_bytes_ += frame_bytes;
+    obs::CountAlloc(frame_bytes);
     gov_.ReportMemory(trie_->approx_bytes() + stack_bytes_);
     ++stats_.num_expansions;
     ++job_cur_->num_expansions;
@@ -385,6 +438,11 @@ class ShardRunner {
     job_cur_->max_pseudorun_length =
         std::max(job_cur_->max_pseudorun_length, depth);
     candy_stack_.push_back({state, config});
+    if (telemetry_) {
+      job_cur_->search_depth.Record(depth);
+      job_cur_->frontier_size.Record(
+          static_cast<double>(stick_stack_.size() + candy_stack_.size()));
+    }
 
     std::vector<bool> assignment = EvalComponents(config);
     for (const BuchiTransition& t : plan_->automaton.adj[state]) {
@@ -395,7 +453,7 @@ class ShardRunner {
               return ClaimCounterexample();
             }
             EncodeVisitedKeyInto(1, t.to, next, &key_scratch_);
-            if (!trie_->Contains(key_scratch_)) {
+            if (!TimedContains(key_scratch_)) {
               return Candy(t.to, next, depth + 1);
             }
             return SearchStatus::kContinue;
@@ -634,11 +692,14 @@ class ShardRunner {
   obs::Tracer* tracer_;
   bool heartbeat_enabled_;
   WorkerProgress* progress_;
+  bool telemetry_;
 
   WorkerGovernor gov_;
   VerifyStats stats_;                   // aggregate across the whole drain
   std::vector<VerifyStats> job_stats_;  // per-property slices of the same
   std::vector<double> assignment_us_;   // summed shard time per SLOT
+  obs::AllocStats alloc_;               // tracked allocs across the drain
+  int lookup_tick_ = 0;                 // 1/64 trie-latency sampling phase
   int64_t heartbeats_ = 0;
   double last_heartbeat_seconds_ = 0;
 
@@ -687,6 +748,14 @@ std::vector<VerifyResult> RunBatchAttempt(
   PreparedExecStats exec_before = prepared->exec_stats();
   obs::ScopedSpan verify_span(options.tracer, "verify");
 
+  // Search telemetry (ISSUE 6) is tied to the observability surfaces:
+  // with neither a registry nor a tracer installed, no histogram is
+  // recorded and no allocation sink is installed anywhere.
+  const bool telemetry =
+      options.metrics != nullptr || options.tracer != nullptr;
+  obs::AllocStats prepare_alloc;   // tracked allocs: plan/Büchi building
+  obs::AllocStats dataflow_alloc;  // tracked allocs: pre-pass/candidates
+
   // The ledger's deadline clock starts here, covering prepare/dataflow;
   // every property of the batch shares the one budget envelope.
   BudgetLedger ledger(GovernorLimitsFromOptions(options), jobs);
@@ -706,19 +775,24 @@ std::vector<VerifyResult> RunBatchAttempt(
 
   // --- property plans (session layer 2) -------------------------------------
   bool any_undecided = false;
-  for (int i = 0; i < n; ++i) {
-    obs::ScopedSpan span(options.tracer, "prepare");
-    Stopwatch prepare_watch;
-    int64_t reuses_before = session->stats().reuses();
-    work[i].plan = session->GetPlan(*props[i], options.tracer);
-    work[i].prepass_reuses = session->stats().reuses() - reuses_before;
-    work[i].prepare_us = prepare_watch.ElapsedMicros();
-    results[i].stats.buchi_states = work[i].plan->automaton.NumStates();
-    if (work[i].plan->decided_holds) {
-      // The negation is unsatisfiable: ϕ0 holds on all runs of any system.
-      results[i].verdict = Verdict::kHolds;
-    } else {
-      any_undecided = true;
+  {
+    std::optional<obs::ScopedAllocTracking> alloc_scope;
+    if (telemetry) alloc_scope.emplace(&prepare_alloc);
+    for (int i = 0; i < n; ++i) {
+      obs::ScopedSpan span(options.tracer, "prepare");
+      Stopwatch prepare_watch;
+      int64_t reuses_before = session->stats().reuses();
+      work[i].plan = session->GetPlan(*props[i], options.tracer);
+      work[i].prepass_reuses = session->stats().reuses() - reuses_before;
+      work[i].prepare_us = prepare_watch.ElapsedMicros();
+      results[i].stats.buchi_states = work[i].plan->automaton.NumStates();
+      if (work[i].plan->decided_holds) {
+        // The negation is unsatisfiable: ϕ0 holds on all runs of any
+        // system.
+        results[i].verdict = Verdict::kHolds;
+      } else {
+        any_undecided = true;
+      }
     }
   }
   int max_buchi = 0;
@@ -752,6 +826,8 @@ std::vector<VerifyResult> RunBatchAttempt(
     // of that property decides otherwise.
     std::vector<ShardBlock> blocks;
     bool prepass_tripped = false;
+    std::optional<obs::ScopedAllocTracking> dataflow_alloc_scope;
+    if (telemetry) dataflow_alloc_scope.emplace(&dataflow_alloc);
     for (int i = 0; i < n; ++i) {
       PropertyWork& w = work[i];
       if (w.plan->decided_holds) continue;
@@ -787,6 +863,7 @@ std::vector<VerifyResult> RunBatchAttempt(
                                            last.overflow_message);
       }
     }
+    dataflow_alloc_scope.reset();
 
     // Only properties with searchable shards participate in the "last one
     // decided stops the pool" count.
@@ -813,7 +890,7 @@ std::vector<VerifyResult> RunBatchAttempt(
         runners.push_back(std::make_unique<ShardRunner>(
             &slots, n, prepared, &options, &shared, &ledger,
             /*worker=*/0, options.tracer, heartbeat_enabled,
-            /*progress=*/nullptr));
+            /*progress=*/nullptr, telemetry));
         runners[0]->Drain(&queue);
       } else {
         // Per-worker prepared runtimes (the exec-stats counters are
@@ -836,7 +913,7 @@ std::vector<VerifyResult> RunBatchAttempt(
               &ledger, w,
               options.tracer != nullptr ? worker_tracers[w].get() : nullptr,
               /*heartbeat_enabled=*/false,
-              heartbeat_enabled ? progress[w].get() : nullptr));
+              heartbeat_enabled ? progress[w].get() : nullptr, telemetry));
         }
 
         WorkerPool pool(jobs);
@@ -941,6 +1018,17 @@ std::vector<VerifyResult> RunBatchAttempt(
           std::max(r.stats.max_trie_size, s.max_trie_size);
       r.stats.max_pseudorun_length =
           std::max(r.stats.max_pseudorun_length, s.max_pseudorun_length);
+      // Search telemetry histograms merge bucket-exactly across workers
+      // (all empty when telemetry was off).
+      r.stats.trie_depth.MergeFrom(s.trie_depth);
+      r.stats.frontier_size.MergeFrom(s.frontier_size);
+      r.stats.search_depth.MergeFrom(s.search_depth);
+      r.stats.trie_lookup_us.MergeFrom(s.trie_lookup_us);
+      r.stats.shard_expansions.MergeFrom(s.shard_expansions);
+      r.stats.shard_alloc_bytes.MergeFrom(s.shard_alloc_bytes);
+      r.stats.trie_nodes += s.trie_nodes;
+      r.stats.alloc_bytes += s.alloc_bytes;
+      r.stats.alloc_count += s.alloc_count;
       for (size_t slot = w.slot_begin; slot < w.slot_end; ++slot) {
         slot_us += runner->assignment_us()[slot];
       }
@@ -1041,6 +1129,69 @@ std::vector<VerifyResult> RunBatchAttempt(
     call_metrics.Set("governor.peak_memory_bytes",
                      readings.peak_memory_bytes);
     call_metrics.Add("governor.polls", readings.polls);
+
+    if (telemetry) {
+      // Batch-wide search telemetry: per-property histograms merged, the
+      // per-phase counting-allocator tallies, and (jobs > 1) the steal
+      // balance across workers.
+      obs::HistogramData trie_depth, frontier_size, search_depth;
+      obs::HistogramData trie_lookup_us, shard_expansions, shard_alloc;
+      int64_t trie_nodes = 0, search_alloc_bytes = 0, search_alloc_count = 0;
+      for (int i = 0; i < n; ++i) {
+        const VerifyStats& s = results[i].stats;
+        trie_depth.MergeFrom(s.trie_depth);
+        frontier_size.MergeFrom(s.frontier_size);
+        search_depth.MergeFrom(s.search_depth);
+        trie_lookup_us.MergeFrom(s.trie_lookup_us);
+        shard_expansions.MergeFrom(s.shard_expansions);
+        shard_alloc.MergeFrom(s.shard_alloc_bytes);
+        trie_nodes += s.trie_nodes;
+        search_alloc_bytes += s.alloc_bytes;
+        search_alloc_count += s.alloc_count;
+      }
+      call_metrics.histogram("trie.depth")->MergeData(trie_depth);
+      call_metrics.histogram("trie.lookup_us")->MergeData(trie_lookup_us);
+      call_metrics.histogram("search.frontier_size")
+          ->MergeData(frontier_size);
+      call_metrics.histogram("search.depth")->MergeData(search_depth);
+      call_metrics.histogram("search.shard_expansions")
+          ->MergeData(shard_expansions);
+      call_metrics.histogram("alloc.search.shard_bytes")
+          ->MergeData(shard_alloc);
+      call_metrics.Add("trie.nodes", trie_nodes);
+      call_metrics.Add("alloc.prepare.bytes", prepare_alloc.bytes);
+      call_metrics.Add("alloc.prepare.count", prepare_alloc.count);
+      call_metrics.Add("alloc.dataflow.bytes", dataflow_alloc.bytes);
+      call_metrics.Add("alloc.dataflow.count", dataflow_alloc.count);
+      call_metrics.Add("alloc.search.bytes", search_alloc_bytes);
+      call_metrics.Add("alloc.search.count", search_alloc_count);
+      if (options.tracer != nullptr) {
+        options.tracer->CounterHistogram("trie.depth", trie_depth);
+        options.tracer->CounterHistogram("trie.lookup_us", trie_lookup_us);
+        options.tracer->CounterHistogram("search.frontier_size",
+                                         frontier_size);
+        options.tracer->CounterHistogram("search.depth", search_depth);
+        options.tracer->CounterHistogram("alloc.search.shard_bytes",
+                                         shard_alloc);
+      }
+      if (runners.size() > 1) {
+        // Work-stealing balance: max worker expansion share over the
+        // mean (1.0 = perfectly balanced).
+        int64_t total = 0, worker_max = 0;
+        for (const std::unique_ptr<ShardRunner>& runner : runners) {
+          int64_t e = runner->stats().num_expansions;
+          total += e;
+          worker_max = std::max(worker_max, e);
+          call_metrics.Record("verify.worker_expansions",
+                              static_cast<double>(e));
+        }
+        double mean =
+            static_cast<double>(total) / static_cast<double>(runners.size());
+        call_metrics.Set("verify.steal_imbalance",
+                         mean > 0 ? static_cast<double>(worker_max) / mean
+                                  : 1.0);
+      }
+    }
 
     // Session-cache deltas of this attempt (verify.prepass.* proves the
     // spec pre-pass ran exactly once across a batch: spec_builds is 1 on
@@ -1485,6 +1636,15 @@ StatusOr<BatchResponse> Verifier::RunBatch(const BatchRequest& request) {
     merged.buchi_states = std::max(merged.buchi_states, s.buchi_states);
     merged.peak_memory_bytes =
         std::max(merged.peak_memory_bytes, s.peak_memory_bytes);
+    merged.trie_depth.MergeFrom(s.trie_depth);
+    merged.frontier_size.MergeFrom(s.frontier_size);
+    merged.search_depth.MergeFrom(s.search_depth);
+    merged.trie_lookup_us.MergeFrom(s.trie_lookup_us);
+    merged.shard_expansions.MergeFrom(s.shard_expansions);
+    merged.shard_alloc_bytes.MergeFrom(s.shard_alloc_bytes);
+    merged.trie_nodes += s.trie_nodes;
+    merged.alloc_bytes += s.alloc_bytes;
+    merged.alloc_count += s.alloc_count;
   }
   // Batch-level heartbeats fired by the fused searches' coordinators (the
   // per-response stats carry none when n > 1: a heartbeat spans every
@@ -1557,6 +1717,17 @@ obs::Json VerifyStats::ToJson() const {
   j.Set("governor_polls", obs::Json::Int(governor_polls));
   j.Set("cache_hits", obs::Json::Int(cache_hits));
   j.Set("prepass_reuses", obs::Json::Int(prepass_reuses));
+  // Search telemetry (ISSUE 6): histogram summaries + allocation tallies.
+  // All-zero objects when the run had telemetry off.
+  j.Set("trie_depth", trie_depth.ToJson());
+  j.Set("frontier_size", frontier_size.ToJson());
+  j.Set("search_depth", search_depth.ToJson());
+  j.Set("trie_lookup_us", trie_lookup_us.ToJson());
+  j.Set("shard_expansions", shard_expansions.ToJson());
+  j.Set("shard_alloc_bytes", shard_alloc_bytes.ToJson());
+  j.Set("trie_nodes", obs::Json::Int(trie_nodes));
+  j.Set("alloc_bytes", obs::Json::Int(alloc_bytes));
+  j.Set("alloc_count", obs::Json::Int(alloc_count));
   return j;
 }
 

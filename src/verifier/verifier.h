@@ -181,8 +181,23 @@ struct VerifyStats {
   /// merges to N-1: every property after the first reuses the spec layer.
   int64_t prepass_reuses = 0;
 
+  // Search telemetry (ISSUE 6). Populated only when telemetry is on
+  // (`VerifyOptions::metrics` or `tracer` set); all-empty otherwise —
+  // the recording sites reduce to a predicted branch, which is the
+  // zero-overhead guard the disabled-path micro-test pins down.
+  obs::HistogramData trie_depth;     // terminal-key depth per shard trie
+  obs::HistogramData frontier_size;  // live NDFS frames at each expansion
+  obs::HistogramData search_depth;   // nesting depth at each expansion
+  obs::HistogramData trie_lookup_us; // sampled (1/64) visited-set op latency
+  obs::HistogramData shard_expansions;   // expansions per (C∃, core) shard
+  obs::HistogramData shard_alloc_bytes;  // tracked alloc bytes per shard
+  int64_t trie_nodes = 0;   // trie nodes summed over shard tries
+  int64_t alloc_bytes = 0;  // counting-allocator bytes, search phase
+  int64_t alloc_count = 0;  // counting-allocator events, search phase
+
   /// Every field as a JSON object with stable snake_case keys (the
-  /// `wave_verify --stats-json` payload).
+  /// `wave_verify --stats-json` payload). Histograms render as their
+  /// {count,sum,min,max,mean,p50,p90,p99} summaries.
   obs::Json ToJson() const;
 };
 

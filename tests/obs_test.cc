@@ -110,10 +110,61 @@ TEST(MetricsTest, HistogramQuantiles) {
   EXPECT_DOUBLE_EQ(h->sum(), 5050);
   EXPECT_DOUBLE_EQ(h->min(), 1);
   EXPECT_DOUBLE_EQ(h->max(), 100);
-  EXPECT_NEAR(h->Quantile(0.5), 50.5, 1e-9);
-  EXPECT_NEAR(h->Quantile(0.9), 90.1, 1e-9);
-  EXPECT_NEAR(h->Quantile(0.0), 1, 1e-9);
-  EXPECT_NEAR(h->Quantile(1.0), 100, 1e-9);
+  // Log-bucketed estimates: relative error is bounded by the sub-bucket
+  // width (1/kSubBuckets of an octave); endpoints are exact.
+  EXPECT_NEAR(h->Quantile(0.5), 50.5, 50.5 / HistogramData::kSubBuckets);
+  EXPECT_NEAR(h->Quantile(0.9), 90.1, 90.1 / HistogramData::kSubBuckets);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.0), 1);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 100);
+  // Quantiles are monotone in q.
+  double prev = h->Quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    double cur = h->Quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(MetricsTest, HistogramDataBucketsAndExactMerge) {
+  // Bucket boundaries: each value maps into a bucket whose range
+  // contains it; the underflow bucket takes non-positive values.
+  EXPECT_EQ(HistogramData::BucketIndex(0), 0);
+  EXPECT_EQ(HistogramData::BucketIndex(-3.5), 0);
+  for (double v : {0.01, 1.0, 1.1, 7.0, 1024.0, 1e9}) {
+    int b = HistogramData::BucketIndex(v);
+    ASSERT_GT(b, 0) << v;
+    ASSERT_LT(b, HistogramData::kNumBuckets - 1) << v;
+    EXPECT_LE(HistogramData::BucketLow(b), v) << v;
+    EXPECT_GT(HistogramData::BucketLow(b + 1), v) << v;
+  }
+  EXPECT_EQ(HistogramData::BucketIndex(1e18), HistogramData::kNumBuckets - 1);
+
+  // Merging adds bucket counts: two halves merged == everything recorded
+  // into one histogram, bit-for-bit (the per-shard merge invariant).
+  HistogramData all, lo, hi;
+  for (int i = 1; i <= 1000; ++i) {
+    all.Record(i);
+    (i <= 500 ? lo : hi).Record(i);
+  }
+  lo.MergeFrom(hi);
+  EXPECT_EQ(lo.count, all.count);
+  EXPECT_DOUBLE_EQ(lo.sum, all.sum);
+  EXPECT_DOUBLE_EQ(lo.min, all.min);
+  EXPECT_DOUBLE_EQ(lo.max, all.max);
+  EXPECT_EQ(lo.buckets, all.buckets);
+  for (double q : {0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(lo.Quantile(q), all.Quantile(q)) << q;
+  }
+  // Merging an empty histogram is the identity.
+  HistogramData empty;
+  all.MergeFrom(empty);
+  EXPECT_EQ(all.count, 1000);
+  // ToJson carries the standard summary keys.
+  Json j = all.ToJson();
+  for (const char* key :
+       {"count", "sum", "min", "max", "mean", "p50", "p90", "p99"}) {
+    EXPECT_NE(j.Find(key), nullptr) << key;
+  }
 }
 
 TEST(MetricsTest, MergeFromFoldsAllInstruments) {
@@ -237,6 +288,23 @@ TEST(TracerTest, ChromeTraceJsonRoundTripsWithRequiredFields) {
   EXPECT_TRUE(saw_span);
   EXPECT_TRUE(saw_instant);
   EXPECT_TRUE(saw_counter);
+}
+
+TEST(TracerTest, CounterHistogramEmitsSummaryTracks) {
+  Tracer tracer;
+  HistogramData h;
+  for (int i = 1; i <= 10; ++i) h.Record(i);
+  tracer.CounterHistogram("trie.depth", h);
+  ASSERT_EQ(tracer.events().size(), 5u);
+  for (const TraceEvent& e : tracer.events()) {
+    EXPECT_EQ(e.phase, TraceEvent::Phase::kCounter);
+  }
+  EXPECT_EQ(tracer.events()[0].name, "trie.depth.p50");
+  EXPECT_EQ(tracer.events()[4].name, "trie.depth.count");
+  EXPECT_DOUBLE_EQ(tracer.events()[4].value, 10);
+  // Empty histograms emit nothing.
+  tracer.CounterHistogram("empty", HistogramData{});
+  EXPECT_EQ(tracer.events().size(), 5u);
 }
 
 TEST(TracerTest, PhaseSummaryAggregatesByName) {

@@ -1,0 +1,158 @@
+// VerifyStats::ToJson round-trip coverage (ISSUE 6 satellite): every
+// stats field grown across PR 1–6 must surface in the JSON payload with
+// its stable snake_case key, parse back with obs::Json::Parse, and — in
+// a telemetry-on end-to-end run — the ISSUE-6 search histograms must be
+// populated. A field silently dropped from ToJson breaks the
+// `wave_verify --stats-json` contract external tooling diffs against.
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "gtest/gtest.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "verifier/verifier.h"
+
+namespace wave {
+namespace {
+
+VerifyResult RunWithMetrics(Verifier& verifier, const Property& property,
+                            obs::MetricsRegistry* metrics) {
+  VerifyRequest request;
+  request.property = &property;
+  request.options.metrics = metrics;
+  StatusOr<VerifyResponse> response = verifier.Run(request);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  return *response;
+}
+
+// The full key inventory, PR by PR. Kept explicit (not derived from the
+// struct) so removing a field from ToJson fails this test by name.
+const char* const kScalarKeys[] = {
+    // PR 1 (paper columns + phase times + trie/heartbeat telemetry):
+    "seconds", "prepare_seconds", "dataflow_seconds", "search_seconds",
+    "validate_seconds", "max_pseudorun_length", "max_trie_size",
+    "buchi_states", "num_assignments", "num_cores", "num_expansions",
+    "num_successors", "num_rejected_candidates", "trie_hits", "trie_misses",
+    "heartbeats",
+    // PR 2 (resource governor):
+    "peak_memory_bytes", "governor_polls",
+    // PR 4 (sessions + persistent cache):
+    "cache_hits", "prepass_reuses",
+    // PR 6 (allocation profiling):
+    "trie_nodes", "alloc_bytes", "alloc_count",
+};
+
+const char* const kHistogramKeys[] = {
+    "trie_depth",      "frontier_size",    "search_depth",
+    "trie_lookup_us",  "shard_expansions", "shard_alloc_bytes",
+};
+
+const char* const kHistogramSummaryKeys[] = {
+    "count", "sum", "min", "max", "mean", "p50", "p90", "p99",
+};
+
+TEST(StatsJsonTest, EveryFieldPresentAndRoundTrips) {
+  AppBundle bundle = BuildE2();
+  Verifier verifier(bundle.spec.get());
+  obs::MetricsRegistry metrics;
+  VerifyResult result =
+      RunWithMetrics(verifier, bundle.properties.front().property, &metrics);
+
+  obs::Json j = result.stats.ToJson();
+  ASSERT_TRUE(j.is_object());
+  for (const char* key : kScalarKeys) {
+    const obs::Json* v = j.Find(key);
+    ASSERT_NE(v, nullptr) << "missing scalar key: " << key;
+    EXPECT_TRUE(v->is_number()) << key;
+  }
+  for (const char* key : kHistogramKeys) {
+    const obs::Json* h = j.Find(key);
+    ASSERT_NE(h, nullptr) << "missing histogram key: " << key;
+    ASSERT_TRUE(h->is_object()) << key;
+    for (const char* summary : kHistogramSummaryKeys) {
+      EXPECT_TRUE(h->Has(summary)) << key << "." << summary;
+    }
+  }
+
+  // Round trip: the compact dump parses back and numeric fields agree.
+  std::string error;
+  std::optional<obs::Json> parsed = obs::Json::Parse(j.Dump(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Find("num_expansions")->AsInt(),
+            result.stats.num_expansions);
+  EXPECT_EQ(parsed->Find("max_trie_size")->AsInt(),
+            result.stats.max_trie_size);
+  EXPECT_EQ(parsed->Find("peak_memory_bytes")->AsInt(),
+            result.stats.peak_memory_bytes);
+  EXPECT_EQ(parsed->Find("cache_hits")->AsInt(), result.stats.cache_hits);
+  EXPECT_EQ(parsed->Find("prepass_reuses")->AsInt(),
+            result.stats.prepass_reuses);
+  EXPECT_DOUBLE_EQ(parsed->Find("trie_depth")->Find("count")->AsDouble(),
+                   static_cast<double>(result.stats.trie_depth.count));
+}
+
+TEST(StatsJsonTest, TelemetryOnRunPopulatesSearchHistograms) {
+  AppBundle bundle = BuildE1();
+  Verifier verifier(bundle.spec.get());
+  obs::MetricsRegistry metrics;
+  // P1 is tiny; any property with a real search populates the telemetry.
+  VerifyResult result =
+      RunWithMetrics(verifier, bundle.properties.front().property, &metrics);
+
+  EXPECT_GT(result.stats.trie_depth.count, 0);
+  EXPECT_GT(result.stats.frontier_size.count, 0);
+  EXPECT_GT(result.stats.search_depth.count, 0);
+  EXPECT_GT(result.stats.shard_expansions.count, 0);
+  EXPECT_GT(result.stats.trie_nodes, 0);
+  EXPECT_GT(result.stats.alloc_bytes, 0);
+  EXPECT_GT(result.stats.alloc_count, 0);
+
+  // The same telemetry lands in the shared registry under the ISSUE-6
+  // metric names.
+  EXPECT_GT(metrics.histogram("trie.depth")->count(), 0);
+  EXPECT_GT(metrics.histogram("search.frontier_size")->count(), 0);
+  EXPECT_GT(metrics.histogram("search.depth")->count(), 0);
+  EXPECT_GT(metrics.histogram("search.shard_expansions")->count(), 0);
+  EXPECT_GT(metrics.counter("trie.nodes")->value(), 0);
+  EXPECT_GT(metrics.counter("alloc.search.bytes")->value(), 0);
+  EXPECT_GT(metrics.counter("alloc.search.count")->value(), 0);
+
+  // And the JSON summaries reflect the recorded data.
+  obs::Json j = result.stats.ToJson();
+  EXPECT_GT(j.Find("trie_depth")->Find("count")->AsInt(), 0);
+  EXPECT_GT(j.Find("frontier_size")->Find("max")->AsDouble(), 0);
+  EXPECT_GE(j.Find("search_depth")->Find("p99")->AsDouble(),
+            j.Find("search_depth")->Find("p50")->AsDouble());
+}
+
+TEST(StatsJsonTest, BatchMergedStatsCarryTelemetry) {
+  AppBundle bundle = BuildE2();
+  Verifier verifier(bundle.spec.get());
+  obs::MetricsRegistry metrics;
+  BatchRequest request;
+  std::vector<Property> properties;
+  for (const ParsedProperty& p : bundle.properties) {
+    properties.push_back(p.property);
+  }
+  request.properties = &properties;
+  request.options.metrics = &metrics;
+  StatusOr<BatchResponse> response = verifier.RunBatch(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  // Merged histograms are the exact bucket-sum of the per-property ones.
+  int64_t per_property_expansion_records = 0;
+  for (const VerifyResponse& r : response->responses) {
+    per_property_expansion_records += r.stats.shard_expansions.count;
+  }
+  EXPECT_EQ(response->merged.shard_expansions.count,
+            per_property_expansion_records);
+  EXPECT_GT(response->merged.search_depth.count, 0);
+  EXPECT_GT(response->merged.trie_nodes, 0);
+  EXPECT_TRUE(response->merged.ToJson().Has("shard_alloc_bytes"));
+}
+
+}  // namespace
+}  // namespace wave

@@ -192,6 +192,8 @@ int Main(int argc, char** argv) {
   uint64_t cases = 0, disagreements = 0, invalid = 0;
   uint64_t holds = 0, violated = 0, undecided = 0;
   uint64_t compared[6] = {0, 0, 0, 0, 0, 0};
+  double axis_seconds[6] = {0, 0, 0, 0, 0, 0};
+  double reference_seconds = 0;
 
   uint64_t seed = cli.seed_start;
   for (;; ++seed) {
@@ -210,7 +212,9 @@ int Main(int argc, char** argv) {
     }
     for (const AxisCheck& check : report.axes) {
       if (check.compared) ++compared[static_cast<int>(check.axis)];
+      axis_seconds[static_cast<int>(check.axis)] += check.seconds;
     }
+    reference_seconds += report.reference_seconds;
 
     obs::Json line = report.ToJson();
     line.Set("spec_lines", obs::Json::Int(c.SpecLineCount()));
@@ -305,6 +309,15 @@ int Main(int argc, char** argv) {
            obs::Json::Int(static_cast<int64_t>(compared[axis])));
   }
   summary.Set("compared", std::move(cj));
+  // Per-axis wall time across the campaign, so a slow oracle axis is
+  // visible in the JSON-lines output rather than buried in the total.
+  obs::Json tj = obs::Json::Object();
+  tj.Set("reference", obs::Json::Number(reference_seconds));
+  for (int axis = 0; axis < 6; ++axis) {
+    tj.Set(testing::OracleAxisName(static_cast<testing::OracleAxis>(axis)),
+           obs::Json::Number(axis_seconds[axis]));
+  }
+  summary.Set("axis_seconds", std::move(tj));
   summary.Set("seconds", obs::Json::Number(elapsed()));
   std::printf("%s\n", summary.Dump().c_str());
   std::fprintf(stderr,
