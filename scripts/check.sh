@@ -15,6 +15,9 @@
 #   scripts/check.sh --fuzz=300          # longer campaign
 #   scripts/check.sh --fuzz undefined    # campaign under UBSan
 #   scripts/check.sh --bench             # wave_bench e1 smoke vs committed baseline
+#   scripts/check.sh --faults            # fault-injection battery + 200-kill crash campaign
+#   scripts/check.sh --faults=30         # shorter crash campaign (~3 kills/sec)
+#   scripts/check.sh --faults undefined  # fault battery under UBSan
 #
 # Stress mode drives wave_verify over every bundled spec with
 # deliberately tiny budgets (sub-second deadlines, 2-tuple candidate
@@ -39,6 +42,16 @@
 # leaves minimized reproducers in the printed artifact directory; rerun
 # any logged seed with `wave_fuzz --seed-start=SEED --seed-count=1`.
 # A short campaign also rides along in --stress.
+#
+# Faults mode (ISSUE 7) proves the robustness layer end to end: the
+# `faults`-labelled ctest suites (the per-site fault sweep, the crash-safe
+# cache format/lock/concurrency battery and a wave_crash smoke), a
+# WAVE_FAULT_SPEC environment-arming round trip through wave_verify, and
+# the long tools/wave_crash campaign — SIGKILLing child verifier runs at
+# randomized armed crash-points until the kill target (default 200, the
+# acceptance budget; --faults=SECONDS scales it at ~3 kills/sec) and
+# proving the shared cache directory recovers to a consistent state with
+# warm-equals-cold verdicts every time. See docs/ROBUSTNESS.md.
 #
 # Install mode (ISSUE 4 satellite) builds a plain tree, `cmake
 # --install`s it into a throwaway prefix, then configures and runs the
@@ -79,7 +92,17 @@ case "${1-}" in
     MODE=bench
     shift
     ;;
+  --faults)
+    MODE=faults
+    shift
+    ;;
+  --faults=*)
+    MODE=faults
+    FAULT_KILLS=$(( ${1#--faults=} * 3 ))
+    shift
+    ;;
 esac
+FAULT_KILLS="${FAULT_KILLS-200}"
 
 if [ "$MODE" = "tsan" ]; then
   SANITIZER="${1-thread}"
@@ -166,6 +189,38 @@ if [ "$MODE" = "bench" ]; then
       --compare "$ROOT/bench/baselines/BENCH_verify.json" \
       --threshold-time 1.5
   echo "== BENCH OK"
+  exit 0
+fi
+
+if [ "$MODE" = "faults" ]; then
+  echo "== faults-labelled tests (sanitizer: ${SANITIZER:-none})"
+  ctest --test-dir "$BUILD_DIR" -L faults --output-on-failure
+
+  echo "== WAVE_FAULT_SPEC environment arming round trip"
+  FAULT_STATS="$(mktemp)"
+  FAULT_CACHE="$(mktemp -d)"
+  trap 'rm -f "$FAULT_STATS"; rm -rf "$FAULT_CACHE"' EXIT
+  # Inject a transient EIO on the first cache-entry write: the run must
+  # still decide everything (exit 0), and the armed site must show up in
+  # the exported fault.injected.* metrics.
+  WAVE_FAULT_SPEC="io.write.data=eio@1" \
+      "$BUILD_DIR/tools/wave_verify" "$ROOT/specs/e1_shopping.spec" \
+      --cache-dir="$FAULT_CACHE" --keep-going \
+      --stats-json="$FAULT_STATS" > /dev/null
+  grep -q "fault.injected.io.write.data" "$FAULT_STATS" \
+      || { echo "FAIL: armed fault not visible in stats metrics"; exit 1; }
+  # A malformed spec must be rejected up front, not ignored.
+  if WAVE_FAULT_SPEC="not a spec" \
+      "$BUILD_DIR/tools/wave_verify" "$ROOT/specs/e1_shopping.spec" \
+      > /dev/null 2>&1; then
+    echo "FAIL: malformed WAVE_FAULT_SPEC was not rejected"; exit 1
+  fi
+
+  echo "== wave_crash kill-point campaign (target: $FAULT_KILLS kills)"
+  "$BUILD_DIR/tools/wave_crash" --kills="$FAULT_KILLS" \
+      --max-rounds=$(( FAULT_KILLS * 8 )) --seed=1 \
+      --work-dir="$BUILD_DIR/wave_crash.work"
+  echo "== FAULTS OK (sanitizer: ${SANITIZER:-none})"
   exit 0
 fi
 

@@ -1,0 +1,48 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+
+namespace wave {
+namespace {
+
+uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double UnitUniform(uint64_t* state) {
+  return static_cast<double>(SplitMix64Next(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Backoff::Backoff(const BackoffPolicy& policy, uint64_t seed)
+    : policy_(policy), rng_(seed), next_base_(policy.initial_seconds) {}
+
+std::optional<double> Backoff::NextDelaySeconds() {
+  if (policy_.max_attempts > 0 && attempts_ >= policy_.max_attempts) {
+    return std::nullopt;
+  }
+  if (policy_.total_budget_seconds > 0 &&
+      total_ >= policy_.total_budget_seconds) {
+    return std::nullopt;
+  }
+  double base = std::min(next_base_, policy_.max_delay_seconds);
+  double delay = base;
+  if (policy_.jitter > 0) {
+    double lo = base * (1.0 - policy_.jitter);
+    delay = lo + (base - lo) * UnitUniform(&rng_);
+  }
+  if (policy_.total_budget_seconds > 0) {
+    delay = std::min(delay, policy_.total_budget_seconds - total_);
+  }
+  delay = std::max(delay, 0.0);
+  next_base_ = base * std::max(policy_.multiplier, 1.0);
+  ++attempts_;
+  total_ += delay;
+  return delay;
+}
+
+}  // namespace wave

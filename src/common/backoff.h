@@ -1,0 +1,67 @@
+// Bounded jittered exponential backoff (ISSUE 7).
+//
+// Contended locks and transient I/O failures want the same retry shape:
+// start fast, slow down geometrically, randomize a little so competing
+// processes de-synchronize, and give up after a bounded number of
+// attempts / total sleep budget. `Backoff` computes that schedule; the
+// caller owns the actual sleeping and retrying:
+//
+//   Backoff backoff(policy, seed);
+//   while (true) {
+//     if (TryAcquire()) break;
+//     std::optional<double> d = backoff.NextDelaySeconds();
+//     if (!d) return Status::Unavailable("lock: backoff exhausted");
+//     SleepSeconds(*d);
+//   }
+//
+// The jitter draws from a SplitMix64 stream seeded by the caller, so the
+// full schedule is DETERMINISTIC for a given (policy, seed) — unit tests
+// pin exact sequences, and fault-injection runs replay identically.
+// Production callers seed from pid/time to de-synchronize for real.
+#ifndef WAVE_COMMON_BACKOFF_H_
+#define WAVE_COMMON_BACKOFF_H_
+
+#include <cstdint>
+#include <optional>
+
+namespace wave {
+
+struct BackoffPolicy {
+  /// First delay, before multiplication.
+  double initial_seconds = 0.001;
+  /// Geometric growth factor per attempt (>= 1).
+  double multiplier = 2.0;
+  /// Per-delay ceiling; growth saturates here.
+  double max_delay_seconds = 0.25;
+  /// Jitter fraction in [0, 1]: each delay is drawn uniformly from
+  /// [d * (1 - jitter), d]. 0 disables jitter.
+  double jitter = 0.5;
+  /// Max delays handed out; <= 0 means unlimited (bounded by budget).
+  int max_attempts = 10;
+  /// Cap on the SUM of handed-out delays; <= 0 means unlimited. The last
+  /// delay is clipped so the total never exceeds the budget.
+  double total_budget_seconds = 5.0;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(const BackoffPolicy& policy, uint64_t seed = 0);
+
+  /// The next sleep length, or nullopt when the schedule is exhausted
+  /// (attempts or budget). Never returns a negative value.
+  std::optional<double> NextDelaySeconds();
+
+  int attempts() const { return attempts_; }
+  double total_slept_seconds() const { return total_; }
+
+ private:
+  BackoffPolicy policy_;
+  uint64_t rng_;
+  double next_base_;   // un-jittered delay for the upcoming attempt
+  int attempts_ = 0;
+  double total_ = 0;
+};
+
+}  // namespace wave
+
+#endif  // WAVE_COMMON_BACKOFF_H_

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault.h"
+
 namespace wave {
 
 namespace {
@@ -19,6 +21,9 @@ std::string ErrnoSuffix() {
 }  // namespace
 
 StatusOr<std::string> ReadFileToString(const std::string& path) {
+  if (fault::Action a = WAVE_FAULT("io.read.open"); fault::IsError(a)) {
+    return fault::ToStatus(a, "open '" + path + "'");
+  }
   errno = 0;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -32,11 +37,17 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
                                    ErrnoSuffix(),
                                WAVE_LOC);
   }
+  if (fault::Action a = WAVE_FAULT("io.read.data"); fault::IsError(a)) {
+    return fault::ToStatus(a, "read '" + path + "'");
+  }
   return buffer.str();
 }
 
 Status AtomicWriteFile(const std::string& path, std::string_view content) {
   const std::string tmp = path + ".tmp";
+  if (fault::Action a = WAVE_FAULT("io.write.open"); fault::IsError(a)) {
+    return fault::ToStatus(a, "create '" + tmp + "'");
+  }
   errno = 0;
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -44,6 +55,24 @@ Status AtomicWriteFile(const std::string& path, std::string_view content) {
       return Status::Unavailable("cannot create '" + tmp + "'" +
                                      ErrnoSuffix(),
                                  WAVE_LOC);
+    }
+    if (fault::Action a = WAVE_FAULT("io.write.data"); fault::IsError(a)) {
+      if (a.kind == fault::Kind::kShortWrite) {
+        // A torn write: a prefix lands, the error hits, and the partial
+        // temp file is deliberately LEFT behind — the on-disk state a
+        // crashed or out-of-space writer produces. Recovery/audit paths
+        // must cope with (and clean up) exactly this.
+        size_t keep = static_cast<size_t>(
+            static_cast<double>(content.size()) * a.short_write_keep);
+        out.write(content.data(), static_cast<std::streamsize>(keep));
+        out.flush();
+        return fault::ToStatus(
+            a, "short write '" + tmp + "' (" + std::to_string(keep) + "/" +
+                   std::to_string(content.size()) + " bytes)");
+      }
+      out.close();
+      std::remove(tmp.c_str());
+      return fault::ToStatus(a, "write '" + tmp + "'");
     }
     out.write(content.data(),
               static_cast<std::streamsize>(content.size()));
@@ -56,12 +85,18 @@ Status AtomicWriteFile(const std::string& path, std::string_view content) {
                                  WAVE_LOC);
     }
   }
+  if (fault::Action a = WAVE_FAULT("io.write.commit"); fault::IsError(a)) {
+    // Failed before the rename: the destination is untouched, the temp
+    // file stays (as it would after a real pre-rename crash).
+    return fault::ToStatus(a, "commit '" + tmp + "' -> '" + path + "'");
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::Unavailable("cannot rename '" + tmp + "' to '" + path +
                                    "'" + ErrnoSuffix(),
                                WAVE_LOC);
   }
+  WAVE_FAULT("io.write.done");  // crash-after-commit kill-point
   return Status::Ok();
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/stopwatch.h"
 #include "parser/parser.h"
 #include "verifier/cache.h"
@@ -260,12 +261,17 @@ OracleReport CheckCase(const FuzzCase& c, const OracleOptions& options) {
   }
   report.reference = reference.verdict;
   report.reference_reason = reference.unknown_reason;
-  if (!options.inject_flip_marker.empty() && Decided(report.reference) &&
-      c.SpecText().find(options.inject_flip_marker) != std::string::npos) {
-    report.reference = report.reference == Verdict::kHolds
-                           ? Verdict::kViolated
-                           : Verdict::kHolds;
-    report.flip_injected = true;
+  // ISSUE-7 self-test hook: an armed `oracle.flip_verdict` flip fault
+  // corrupts the reference verdict so the disagreement-detection and
+  // shrink machinery can prove they would catch a real engine bug.
+  if (Decided(report.reference)) {
+    if (fault::Action a = WAVE_FAULT("oracle.flip_verdict");
+        a.fire && a.kind == fault::Kind::kFlip) {
+      report.reference = report.reference == Verdict::kHolds
+                             ? Verdict::kViolated
+                             : Verdict::kHolds;
+      report.flip_injected = true;
+    }
   }
 
   // Axis 1: the explicit first-cut enumeration. Sound AND complete up to

@@ -75,12 +75,14 @@ struct OracleOptions {
   bool run_batch = true;
   bool run_metamorphic = true;
 
-  /// TEST-ONLY fault injection: when non-empty and the spec text contains
-  /// this marker, the reference verdict is flipped (kHolds <-> kViolated)
-  /// before the axes compare. Simulates a verdict bug in the engine so
-  /// the disagreement + shrink machinery itself stays tested; see
-  /// docs/FUZZING.md §"Self-test".
-  std::string inject_flip_marker;
+  // Fault injection (ISSUE 7): the reference-flip self-test hook that
+  // used to live here as `inject_flip_marker` is now the registered
+  // `oracle.flip_verdict` fault site (kind `flip`, common/fault.h) — arm
+  //   fault::Plan plan; plan.rules.push_back({.site="oracle.flip_verdict",
+  //                                           .kind=fault::Kind::kFlip});
+  // (or `wave_fuzz --inject-flip`, or WAVE_FAULT_SPEC) to simulate a
+  // verdict bug and exercise the disagreement + shrink machinery; see
+  // docs/FUZZING.md §"Self-test".
 
   OracleOptions() {
     verify.timeout_seconds = 30;
@@ -115,7 +117,7 @@ struct OracleReport {
   Verdict reference = Verdict::kUnknown;
   UnknownReason reference_reason = UnknownReason::kNone;
   double reference_seconds = 0;  // reference-run wall time
-  /// True when the fault-injection marker flipped `reference`.
+  /// True when the armed `oracle.flip_verdict` fault flipped `reference`.
   bool flip_injected = false;
   std::vector<AxisCheck> axes;
 

@@ -1,11 +1,12 @@
-// Persistent cross-run result cache (ISSUE 4).
+// Persistent cross-run result cache (ISSUE 4; on-disk format v2 and
+// multi-process hardening in ISSUE 7 — see docs/ROBUSTNESS.md).
 //
-// A `ResultCache` is a directory of JSON records, one per decided
-// verification: `<fingerprint>.json` where the fingerprint is the content
-// hash of (spec structure, property content, semantics-affecting options)
-// produced by `ResultCacheKey`. A warm cache turns re-verification of an
-// unchanged (spec, property, options) triple into one file read — the
-// search is skipped entirely (`wave_verify --cache-dir`).
+// A `ResultCache` is a directory of JSON records keyed by the content
+// hash of (spec structure, property content, semantics-affecting
+// options) produced by `ResultCacheKey`. A warm cache turns
+// re-verification of an unchanged (spec, property, options) triple into
+// one file read — the search is skipped entirely
+// (`wave_verify --cache-dir`).
 //
 // What is stored: only DECIDED verdicts (kHolds / kViolated), with the
 // witness binding, the counterexample pseudorun and the original run's
@@ -20,20 +21,55 @@
 // hooks are deliberately excluded: a decided verdict is sound regardless
 // of them.
 //
+// On-disk format v2 — built for concurrent multi-process use:
+//
+//   <dir>/MANIFEST            atomically-renamed JSON index:
+//                             {"format":2, "generation":N,
+//                              "entries":{<hex>:{"file","crc","gen"}}}
+//   <dir>/.lock               permanent advisory-flock fixture; writers
+//                             hold it across store/recovery (the kernel
+//                             releases it when a process dies, so a
+//                             SIGKILLed writer can never deadlock peers)
+//   <dir>/entries/<hex>.g<gen>.json
+//                             immutable entry files: one header line
+//                             "WAVECACHE2 crc32=XXXXXXXX len=N" + payload
+//                             JSON. A new store writes a NEW generation
+//                             file and retires the old one only after the
+//                             manifest rename publishes it.
+//   <dir>/quarantine/         corrupt files moved aside (never silently
+//                             discarded), counted in `health().corrupt` /
+//                             `.quarantined` and the `verify.cache.*`
+//                             metrics.
+//
+// Readers take NO lock: they snapshot the manifest (atomic rename makes
+// that a consistent point-in-time view) and read immutable entry files.
+// An entry missing underfoot is a benign lost race with a concurrent
+// writer retiring an old generation: the reader retries once against a
+// fresh manifest, then degrades to a miss. A CRC or parse failure, by
+// contrast, is real corruption: the file is quarantined and counted.
+//
+// `Open` heals a directory that a crashed process left mid-store:
+// stray `*.tmp` files are removed, a missing/corrupt manifest is rebuilt
+// from the (self-validating) entry files, fully-written orphan entries
+// are adopted, superseded generations retired, and legacy v1 flat
+// `<hex>.json` records migrated in place. `AuditCacheDir` checks the
+// same invariants without mutating anything — `tools/wave_crash` calls
+// it after every SIGKILL.
+//
 // Portability: records never contain process-local `SymbolId`s — symbols
 // cross the file boundary by NAME and are re-interned on load (fresh
 // witness values keep their minted `$...` names). A record that fails to
-// parse, has the wrong format version, or references unknown relations or
-// pages degrades to a MISS, never to an error: a corrupted cache costs a
-// re-verification, nothing else. Writes go through `AtomicWriteFile`, so
-// records are never observed half-written.
+// parse degrades to a MISS, never to an error: a corrupted cache costs a
+// re-verification (plus a quarantine entry), nothing else.
 #ifndef WAVE_VERIFIER_CACHE_H_
 #define WAVE_VERIFIER_CACHE_H_
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/backoff.h"
 #include "common/fingerprint.h"
 #include "common/status.h"
 #include "spec/web_app.h"
@@ -48,43 +84,110 @@ Fingerprint ResultCacheKey(const Fingerprint& spec_fingerprint,
                            const SymbolTable& symbols,
                            const VerifyOptions& options);
 
-/// The on-disk cache. Open once, share across calls; safe for concurrent
-/// *processes* (atomic writes, parse-or-miss reads) but, like the rest of
-/// the verifier, not for concurrent threads.
+/// Tuning knobs for the multi-process machinery. The defaults suit both
+/// tests and production; only the backoff seeds matter for determinism
+/// (0 = derive from the pid, so real processes de-synchronize).
+struct CacheOptions {
+  /// Writer-lock acquisition: patient (a peer may be mid-store).
+  BackoffPolicy lock_backoff{/*initial_seconds=*/0.002, /*multiplier=*/2.0,
+                             /*max_delay_seconds=*/0.25, /*jitter=*/0.5,
+                             /*max_attempts=*/0,
+                             /*total_budget_seconds=*/5.0};
+  /// Transient-I/O retry inside load/store: tight (fail fast, the cache
+  /// is an optimization).
+  BackoffPolicy io_retry{/*initial_seconds=*/0.001, /*multiplier=*/4.0,
+                         /*max_delay_seconds=*/0.05, /*jitter=*/0.5,
+                         /*max_attempts=*/3,
+                         /*total_budget_seconds=*/0.5};
+  uint64_t backoff_seed = 0;
+};
+
+/// The on-disk cache. Open once, share across calls. Safe for concurrent
+/// *processes* on one directory (advisory flock for writers, lock-free
+/// manifest-snapshot readers, crash recovery on open); like the rest of
+/// the verifier, one `ResultCache` object is not for concurrent threads.
 class ResultCache {
  public:
-  /// Opens (creating it if needed) the cache directory.
-  static StatusOr<std::unique_ptr<ResultCache>> Open(const std::string& dir);
+  /// Opens the cache directory (creating it if needed) and heals any
+  /// crash debris left by a previous process. Recovery runs under the
+  /// writer lock; if a peer holds it past the backoff budget, healing is
+  /// skipped (the peer is alive and responsible) rather than blocking.
+  static StatusOr<std::unique_ptr<ResultCache>> Open(
+      const std::string& dir, const CacheOptions& options = {});
 
   /// Fills `response` from the record for `key` and returns true on a hit.
-  /// Returns false — a miss — when the record is absent, unparseable,
-  /// truncated, of an unknown format version, or inconsistent with `spec`
+  /// Returns false — a miss — when the record is absent, quarantined as
+  /// corrupt, of an unknown format version, or inconsistent with `spec`
   /// (needed to re-intern counterexample symbols; mutated only through its
-  /// symbol table).
+  /// symbol table). Lock-free.
   bool Lookup(const Fingerprint& key, WebAppSpec* spec,
               VerifyResponse* response);
 
-  /// Stores a DECIDED response under `key` (atomic write). Undecided
-  /// responses are rejected with InvalidArgument.
+  /// Stores a DECIDED response under `key`: takes the writer lock, writes
+  /// an immutable new-generation entry file, publishes it with an atomic
+  /// manifest rename, then retires the old generation. Undecided
+  /// responses are rejected with InvalidArgument; lock/I-O trouble
+  /// surfaces as kUnavailable (the caller loses a warm start, nothing
+  /// else).
   Status Store(const Fingerprint& key, const WebAppSpec& spec,
                const VerifyResponse& response);
 
   const std::string& dir() const { return dir_; }
-  std::string PathFor(const Fingerprint& key) const;
 
   // Lifetime counters (lookups resolve to exactly one of hit/miss).
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
   int64_t stores() const { return stores_; }
 
+  /// Robustness counters, surfaced as `verify.cache.*` metric deltas by
+  /// the verify driver and as a warning line by `wave_verify`.
+  struct HealthCounters {
+    int64_t corrupt = 0;      // entries that failed CRC/parse validation
+    int64_t quarantined = 0;  // files moved into <dir>/quarantine/
+    int64_t lock_waits = 0;   // backoff sleeps while acquiring the lock
+    int64_t recovered = 0;    // healing actions taken by Open/recovery
+  };
+  const HealthCounters& health() const { return health_; }
+
  private:
-  explicit ResultCache(std::string dir) : dir_(std::move(dir)) {}
+  ResultCache(std::string dir, const CacheOptions& options);
+
+  class Impl;
+  friend class Impl;
 
   std::string dir_;
+  CacheOptions options_;
+  uint64_t rng_ = 0;  // seeds per-acquisition backoff jitter
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t stores_ = 0;
+  HealthCounters health_;
 };
+
+/// Read-only consistency check of a cache directory — what
+/// `tools/wave_crash` asserts after every SIGKILL and recovery cycle.
+struct CacheAudit {
+  bool manifest_present = false;
+  bool manifest_ok = false;      // parsed, format 2, all refs accounted for
+  int64_t manifested_entries = 0;
+  int64_t torn_entries = 0;      // manifested but failing CRC/header checks
+  int64_t missing_entries = 0;   // manifested but no file on disk
+  int64_t orphan_files = 0;      // entry files the manifest doesn't know
+  int64_t tmp_files = 0;         // stray *.tmp anywhere in the tree
+  int64_t legacy_files = 0;      // un-migrated v1 flat records
+  int64_t quarantined_files = 0; // informational (not an inconsistency)
+  std::vector<std::string> problems;  // human-readable, one per defect
+
+  /// True when the directory is safe to serve reads from as-is. A healed
+  /// directory (post-`Open`) must additionally have no orphans/tmps —
+  /// `clean()` checks that stricter bar.
+  bool consistent() const { return problems.empty(); }
+  bool clean() const {
+    return consistent() && orphan_files == 0 && tmp_files == 0 &&
+           legacy_files == 0;
+  }
+};
+CacheAudit AuditCacheDir(const std::string& dir);
 
 }  // namespace wave
 

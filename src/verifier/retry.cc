@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault.h"
 
 namespace wave {
 
@@ -31,6 +32,7 @@ obs::Json RetryResult::AttemptsJson() const {
 }
 
 std::vector<RetryRung> DefaultLadder(const VerifyOptions& base) {
+  WAVE_FAULT("retry.ladder.build");
   RetryRung tight;
   tight.name = "tight";
   tight.max_candidates = std::max(4, base.max_candidates / 2);

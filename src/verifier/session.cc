@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/stopwatch.h"
 #include "ltl/abstraction.h"
 
@@ -257,6 +258,7 @@ const PropertyPlan* VerifierSession::GetPlan(const Property& property,
     return &it->second->plan;
   }
   ++stats_.plan_builds;
+  WAVE_FAULT("session.plan.build");  // delay: a slow cold plan build
 
   auto entry = std::make_unique<PlanEntry>();
   PropertyPlan* plan = &entry->plan;
@@ -493,6 +495,7 @@ PrepassResult VerifierSession::GetPrepass(const Property& property,
     return result;
   }
 
+  WAVE_FAULT("session.prepass.build");  // delay: a slow cold pre-pass
   // Build — everything that mints symbols or touches a memoizing cache
   // happens here, on one thread, in a deterministic order: C∃ contexts
   // (dataflow + candidate sets), extension tables. The workers then only

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/stopwatch.h"
 #include "obs/alloc.h"
 #include "obs/metrics.h"
@@ -1290,6 +1291,11 @@ std::vector<VerifyResponse> VerifyProperties(
   std::vector<bool> from_cache(n, false);
   std::vector<Fingerprint> keys(n);
 
+  // Health-counter snapshot: the deltas across this call become metrics,
+  // so a driver sharing one cache across calls reports per-call numbers.
+  const ResultCache::HealthCounters health_before =
+      cache != nullptr ? cache->health() : ResultCache::HealthCounters{};
+
   if (cache != nullptr) {
     int64_t hits = 0, misses = 0;
     for (int i = 0; i < n; ++i) {
@@ -1357,6 +1363,7 @@ std::vector<VerifyResponse> VerifyProperties(
       options.timeout_seconds = rung_budget;
 
       obs::ScopedSpan span(base.tracer, "retry_rung");
+      WAVE_FAULT("retry.rung.attempt");  // delay: a stalled ladder rung
       Stopwatch attempt_watch;
       std::vector<const Property*> subset;
       for (int j : pending) subset.push_back(props[j]);
@@ -1402,6 +1409,15 @@ std::vector<VerifyResponse> VerifyProperties(
     }
     if (base.metrics != nullptr) {
       base.metrics->Add("verify.cache.stores", stores);
+      const ResultCache::HealthCounters after = cache->health();
+      base.metrics->Add("verify.cache.corrupt",
+                        after.corrupt - health_before.corrupt);
+      base.metrics->Add("verify.cache.quarantined",
+                        after.quarantined - health_before.quarantined);
+      base.metrics->Add("verify.cache.lock_waits",
+                        after.lock_waits - health_before.lock_waits);
+      base.metrics->Add("verify.cache.recovered",
+                        after.recovered - health_before.recovered);
     }
   }
   return responses;

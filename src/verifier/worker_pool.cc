@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/fault.h"
+
 namespace wave {
 
 int WorkerPool::ResolveJobs(int jobs) {
@@ -18,6 +20,8 @@ void WorkerPool::Start(std::function<void(int)> fn) {
   threads_.reserve(num_workers_);
   for (int w = 0; w < num_workers_; ++w) {
     threads_.emplace_back([this, fn, w] {
+      // delay: stagger worker startup (scheduling-jitter rehearsal)
+      WAVE_FAULT("worker.start");
       fn(w);
       std::lock_guard<std::mutex> lock(mu_);
       if (--active_ == 0) done_cv_.notify_all();
@@ -26,6 +30,7 @@ void WorkerPool::Start(std::function<void(int)> fn) {
 }
 
 bool WorkerPool::WaitDone(double seconds) {
+  WAVE_FAULT("worker.wait_done");
   std::unique_lock<std::mutex> lock(mu_);
   if (seconds < 0) {
     done_cv_.wait(lock, [this] { return active_ == 0; });

@@ -1,0 +1,313 @@
+// Crash-safe, multi-process ResultCache (ISSUE 7).
+//
+// The v2 on-disk contract under test (see verifier/cache.h and
+// docs/ROBUSTNESS.md):
+//  - a store publishes an immutable generation file and atomically
+//    renames the manifest, so readers never observe a torn entry;
+//  - Open heals crash debris (stray temp files, unpublished
+//    generations, un-migrated or junk legacy records) and quarantines —
+//    never silently deletes — anything corrupt;
+//  - the writer lock is advisory flock with bounded jittered backoff:
+//    contention is counted, bounded, and auto-released by the kernel
+//    when the holder dies;
+//  - N concurrent wave_verify processes hammering ONE cache directory
+//    finish with identical verdicts, zero corrupt entries, no leftover
+//    temp files and no deadlock (the ISSUE-7 satellite ctest case);
+//  - the tools/wave_crash kill-point harness (SIGKILLed children at
+//    randomized armed crash-points) passes a smoke budget.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "common/backoff.h"
+#include "common/io.h"
+#include "obs/json.h"
+#include "verifier/cache.h"
+#include "verifier/verifier.h"
+
+#include "verify_helpers.h"
+
+namespace wave {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& tag) {
+  static int counter = 0;
+  std::string dir = ::testing::TempDir() + "wave_cache_conc_" + tag + "_" +
+                    std::to_string(counter++);
+  fs::remove_all(dir);
+  return dir;
+}
+
+const Property* FindP1(const AppBundle& bundle) {
+  for (const ParsedProperty& p : bundle.properties) {
+    if (p.property.name == "P1") return &p.property;
+  }
+  return nullptr;
+}
+
+/// Runs E1/P1 once through `cache`; returns the verdict.
+Verdict VerifyP1(const AppBundle& e1, ResultCache* cache) {
+  Verifier verifier(e1.spec.get());
+  VerifyRequest request;
+  request.property = FindP1(e1);
+  request.cache = cache;
+  StatusOr<VerifyResponse> response = verifier.Run(request);
+  WAVE_CHECK_MSG(response.ok(), response.status().message());
+  return response->verdict;
+}
+
+// --- on-disk format v2 -------------------------------------------------------
+
+TEST(CacheFormatTest, StorePublishesAManifestedCleanLayout) {
+  const std::string dir = FreshDir("layout");
+  AppBundle e1 = BuildE1();
+  StatusOr<std::unique_ptr<ResultCache>> cache = ResultCache::Open(dir);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+
+  Verdict cold = VerifyP1(e1, cache->get());
+  ASSERT_NE(cold, Verdict::kUnknown);
+  EXPECT_EQ((*cache)->stores(), 1);
+
+  CacheAudit audit = AuditCacheDir(dir);
+  EXPECT_TRUE(audit.manifest_present);
+  EXPECT_TRUE(audit.manifest_ok);
+  EXPECT_EQ(audit.manifested_entries, 1);
+  EXPECT_TRUE(audit.consistent());
+  EXPECT_TRUE(audit.clean());
+  EXPECT_EQ(audit.quarantined_files, 0);
+
+  // A second process (fresh handle) sees the published entry.
+  StatusOr<std::unique_ptr<ResultCache>> peer = ResultCache::Open(dir);
+  ASSERT_TRUE(peer.ok());
+  EXPECT_EQ(VerifyP1(e1, peer->get()), cold);
+  EXPECT_EQ((*peer)->hits(), 1);
+  EXPECT_EQ((*peer)->stores(), 0);
+}
+
+TEST(CacheFormatTest, OpenHealsCrashDebrisAndQuarantinesJunk) {
+  const std::string dir = FreshDir("heal");
+  fs::create_directories(dir + "/entries");
+  // Crash debris: interrupted atomic writes at both levels.
+  std::ofstream(dir + "/MANIFEST.tmp") << "half a manifest";
+  std::ofstream(dir + "/entries/aaaa.g3.json.tmp") << "half an entry";
+  // A junk legacy-named record: migration must fail -> quarantine, not
+  // silent deletion, not a crash.
+  std::ofstream(dir + "/deadbeef.json") << "not a cache record at all";
+
+  StatusOr<std::unique_ptr<ResultCache>> cache = ResultCache::Open(dir);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  EXPECT_GE((*cache)->health().recovered, 1);
+  EXPECT_EQ((*cache)->health().corrupt, 1);
+  EXPECT_EQ((*cache)->health().quarantined, 1);
+
+  CacheAudit audit = AuditCacheDir(dir);
+  EXPECT_TRUE(audit.consistent());
+  EXPECT_EQ(audit.tmp_files, 0) << "temp debris must be removed";
+  EXPECT_EQ(audit.legacy_files, 0);
+  EXPECT_EQ(audit.quarantined_files, 1) << "the junk record, preserved";
+  EXPECT_TRUE(fs::exists(dir + "/quarantine"));
+
+  // The healed directory still works end to end.
+  AppBundle e1 = BuildE1();
+  EXPECT_NE(VerifyP1(e1, cache->get()), Verdict::kUnknown);
+}
+
+// --- advisory locking --------------------------------------------------------
+
+TEST(CacheLockTest, ContentionIsBoundedCountedAndRecoverable) {
+  const std::string dir = FreshDir("lock");
+  CacheOptions options;
+  options.lock_backoff.initial_seconds = 0.001;
+  options.lock_backoff.max_delay_seconds = 0.005;
+  options.lock_backoff.jitter = 0;
+  options.lock_backoff.max_attempts = 4;
+  options.lock_backoff.total_budget_seconds = 0.1;
+  options.backoff_seed = 7;
+  StatusOr<std::unique_ptr<ResultCache>> cache =
+      ResultCache::Open(dir, options);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+
+  // Hold the writer lock the way a peer process would (flock locks
+  // attach to the open file description, so a second descriptor in this
+  // process contends exactly like another process).
+  int held = ::open((dir + "/.lock").c_str(), O_CREAT | O_RDWR, 0644);
+  ASSERT_GE(held, 0);
+  ASSERT_EQ(::flock(held, LOCK_EX), 0);
+
+  // The store inside this run cannot acquire the lock: it must back off
+  // a bounded number of times, give up, and degrade (no stored entry) —
+  // never deadlock and never corrupt anything.
+  AppBundle e1 = BuildE1();
+  Verdict contended = VerifyP1(e1, cache->get());
+  ASSERT_NE(contended, Verdict::kUnknown);
+  EXPECT_EQ((*cache)->stores(), 0) << "lock held: the store must give up";
+  EXPECT_GE((*cache)->health().lock_waits, 1)
+      << "bounded backoff must be counted";
+  EXPECT_LE((*cache)->health().lock_waits, 4) << "and bounded";
+
+  // Release: the next run stores and a fresh peer gets the hit.
+  ASSERT_EQ(::flock(held, LOCK_UN), 0);
+  ::close(held);
+  EXPECT_EQ(VerifyP1(e1, cache->get()), contended);
+  EXPECT_EQ((*cache)->stores(), 1);
+
+  CacheAudit audit = AuditCacheDir(dir);
+  EXPECT_TRUE(audit.consistent());
+  EXPECT_TRUE(audit.clean());
+}
+
+// --- multi-process hammer (the ISSUE-7 satellite ctest case) -----------------
+
+struct ChildProcess {
+  pid_t pid = -1;
+  std::string spec;
+  std::string stats_path;
+};
+
+ChildProcess SpawnVerify(const std::string& spec, const std::string& cache_dir,
+                         const std::string& stats_path) {
+  ChildProcess child;
+  child.spec = spec;
+  child.stats_path = stats_path;
+  std::vector<std::string> args = {WAVE_VERIFY_BIN,
+                                   spec,
+                                   "--cache-dir=" + cache_dir,
+                                   "--stats-json=" + stats_path,
+                                   "--timeout=120",
+                                   "--keep-going"};
+  child.pid = ::fork();
+  if (child.pid == 0) {
+    std::freopen("/dev/null", "w", stdout);
+    std::vector<char*> argv;
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  return child;
+}
+
+/// property -> verdict from a child's stats JSON.
+std::optional<std::map<std::string, std::string>> ReadVerdicts(
+    const std::string& stats_path) {
+  StatusOr<std::string> text = ReadFileToString(stats_path);
+  if (!text.ok()) return std::nullopt;
+  std::optional<obs::Json> doc = obs::Json::Parse(*text);
+  if (!doc.has_value()) return std::nullopt;
+  const obs::Json* runs = doc->Find("runs");
+  if (runs == nullptr || !runs->is_array()) return std::nullopt;
+  std::map<std::string, std::string> verdicts;
+  for (const obs::Json& run : runs->items()) {
+    const obs::Json* property = run.Find("property");
+    const obs::Json* verdict = run.Find("verdict");
+    if (property == nullptr || verdict == nullptr) return std::nullopt;
+    verdicts[property->AsString()] = verdict->AsString();
+  }
+  return verdicts;
+}
+
+TEST(CacheConcurrencyTest, ConcurrentVerifyProcessesShareOneCacheSafely) {
+  const std::string dir = FreshDir("hammer");
+  const std::string scratch = FreshDir("hammer_stats");
+  fs::create_directories(scratch);
+  const std::vector<std::string> specs = {
+      std::string(WAVE_REPO_ROOT) + "/specs/e1_shopping.spec",
+      std::string(WAVE_REPO_ROOT) + "/specs/e2_motogp.spec",
+      std::string(WAVE_REPO_ROOT) + "/specs/e3_airline.spec",
+      std::string(WAVE_REPO_ROOT) + "/specs/e4_bookstore.spec"};
+
+  // Six children — every spec at least once, E1/E2 doubled so two
+  // processes race on identical keys — all forked before any wait, all
+  // sharing one cache directory.
+  std::vector<ChildProcess> children;
+  for (int i = 0; i < 6; ++i) {
+    children.push_back(SpawnVerify(
+        specs[i % specs.size()], dir,
+        scratch + "/stats_" + std::to_string(i) + ".json"));
+    ASSERT_GT(children.back().pid, 0);
+  }
+  for (const ChildProcess& child : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(child.pid, &status, 0), child.pid);
+    ASSERT_TRUE(WIFEXITED(status)) << child.spec << ": killed by signal";
+    EXPECT_EQ(WEXITSTATUS(status), 0)
+        << child.spec << ": some verdict undecided or load error";
+  }
+
+  // Identical verdicts: children that verified the same spec must agree
+  // property by property.
+  std::map<std::string, std::map<std::string, std::string>> by_spec;
+  int64_t lock_waits = 0, corrupt = 0;
+  for (const ChildProcess& child : children) {
+    auto verdicts = ReadVerdicts(child.stats_path);
+    ASSERT_TRUE(verdicts.has_value()) << child.stats_path;
+    ASSERT_FALSE(verdicts->empty());
+    auto [it, inserted] = by_spec.emplace(child.spec, *verdicts);
+    if (!inserted) {
+      EXPECT_EQ(it->second, *verdicts)
+          << child.spec << ": concurrent runs disagreed";
+    }
+    std::optional<obs::Json> doc =
+        obs::Json::Parse(*ReadFileToString(child.stats_path));
+    ASSERT_TRUE(doc.has_value());
+    const obs::Json* metrics = doc->Find("metrics");
+    ASSERT_NE(metrics, nullptr) << "stats JSON must carry metrics";
+    if (const obs::Json* w = metrics->Find("verify.cache.lock_waits")) {
+      lock_waits += w->AsInt();
+    }
+    if (const obs::Json* c = metrics->Find("verify.cache.corrupt")) {
+      corrupt += c->AsInt();
+    }
+  }
+  EXPECT_EQ(corrupt, 0) << "no child may ever observe a corrupt entry";
+  // lock_waits is contention-dependent; it only has to be well-formed
+  // (non-negative), and the deterministic CacheLockTest above proves it
+  // populates under real contention.
+  EXPECT_GE(lock_waits, 0);
+
+  // The shared directory: consistent, no leftover temp files, nothing
+  // quarantined, and every property of every spec published.
+  CacheAudit audit = AuditCacheDir(dir);
+  EXPECT_TRUE(audit.consistent())
+      << (audit.problems.empty() ? "" : audit.problems[0]);
+  EXPECT_TRUE(audit.clean());
+  EXPECT_EQ(audit.tmp_files, 0);
+  EXPECT_EQ(audit.quarantined_files, 0);
+  int64_t total_properties = 0;
+  for (const auto& [spec, verdicts] : by_spec) {
+    total_properties += static_cast<int64_t>(verdicts.size());
+  }
+  EXPECT_EQ(audit.manifested_entries, total_properties);
+}
+
+// --- crash harness smoke -----------------------------------------------------
+
+TEST(CacheConcurrencyTest, CrashHarnessSmokeBudgetPasses) {
+  const std::string work = FreshDir("crash_smoke");
+  std::string cmd = std::string(WAVE_CRASH_BIN) +
+                    " --kills=3 --max-rounds=60 --seed=11 --quiet" +
+                    " --work-dir=" + work + " 2>/dev/null";
+  int status = std::system(cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0)
+      << "wave_crash found an inconsistency or verdict divergence; re-run "
+         "without --quiet: "
+      << cmd;
+}
+
+}  // namespace
+}  // namespace wave

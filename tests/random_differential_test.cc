@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "testing/oracle.h"
 #include "testing/shrink.h"
 #include "testing/spec_gen.h"
@@ -84,13 +85,22 @@ TEST(RandomDifferentialTest, EveryUnknownReasonIsProbed) {
 }
 
 // End-to-end self-test of the failure pipeline: inject a verdict bug
-// (flip the reference verdict of cases whose spec mentions `marked`),
-// and the oracle must catch it, the shrinker must minimize it below 30
-// spec lines, and the minimized case must still be a valid reproducer.
+// (arm the `oracle.flip_verdict` fault, which flips every decided
+// reference verdict), and the oracle must catch it, the shrinker must
+// minimize it below 30 spec lines, and the minimized case must still be
+// a valid reproducer. The flip fires unconditionally (no @N / :p
+// schedule), so the shrinker's predicate stays deterministic across its
+// many probe evaluations.
 TEST(RandomDifferentialTest, InjectedVerdictBugIsCaughtAndMinimized) {
   testing::OracleOptions options;
-  options.inject_flip_marker = "marked";
   options.run_metamorphic = false;  // the baseline axis is the catcher
+
+  fault::Plan plan;
+  fault::Rule rule;
+  rule.site = "oracle.flip_verdict";
+  rule.kind = fault::Kind::kFlip;
+  plan.rules.push_back(rule);
+  fault::ScopedPlan armed(std::move(plan));
 
   bool caught = false;
   for (uint64_t seed = 1; seed <= 50 && !caught; ++seed) {
@@ -117,7 +127,7 @@ TEST(RandomDifferentialTest, InjectedVerdictBugIsCaughtAndMinimized) {
     EXPECT_TRUE(still_fails(shrunk.minimized)) << shrunk.minimized.Text();
   }
   EXPECT_TRUE(caught)
-      << "no generated case in seeds 1..50 contained the flip marker";
+      << "no generated case in seeds 1..50 produced a decided reference";
 }
 
 // Reproducibility contract: the generator (and both metamorphic

@@ -434,10 +434,12 @@ TEST(ResultCacheTest, CorruptRecordsDegradeToMisses) {
     ASSERT_TRUE(verifier.RunBatch(request).ok());
   }
 
-  // Vandalize every stored record a different way: garbage bytes,
-  // truncation, valid JSON of the wrong shape, empty file.
+  // Vandalize every stored entry (format v2: framed records under
+  // entries/) a different way: garbage bytes, truncation, valid JSON of
+  // the wrong shape, empty file. Every variant breaks the CRC frame.
   std::vector<std::filesystem::path> records;
-  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir + "/entries")) {
     records.push_back(entry.path());
   }
   ASSERT_EQ(records.size(), catalog.size());
@@ -445,7 +447,7 @@ TEST(ResultCacheTest, CorruptRecordsDegradeToMisses) {
     std::ofstream out(records[i], std::ios::trunc);
     switch (i % 4) {
       case 0: out << "not json at all {{{"; break;
-      case 1: out << "{\"format\": 1, \"verdict\": \"viol"; break;  // truncated
+      case 1: out << "{\"format\": 2, \"verdict\": \"viol"; break;  // truncated
       case 2: out << "{\"format\": 99, \"verdict\": \"holds\"}"; break;
       case 3: break;  // empty file
     }
@@ -460,6 +462,19 @@ TEST(ResultCacheTest, CorruptRecordsDegradeToMisses) {
   EXPECT_EQ(reread->merged.cache_hits, 0);
   EXPECT_EQ(metrics.counter("verify.cache.misses")->value(),
             static_cast<int64_t>(catalog.size()));
+  // Corruption is detected (CRC/frame), counted, and QUARANTINED — not
+  // silently re-missed forever (ISSUE 7 satellite).
+  EXPECT_EQ(metrics.counter("verify.cache.corrupt")->value(),
+            static_cast<int64_t>(catalog.size()));
+  EXPECT_EQ((*cache)->health().quarantined,
+            static_cast<int64_t>(catalog.size()));
+  int64_t quarantined_files = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir + "/quarantine")) {
+    (void)entry;
+    ++quarantined_files;
+  }
+  EXPECT_EQ(quarantined_files, static_cast<int64_t>(catalog.size()));
   // The re-verified verdicts overwrite the vandalized records...
   EXPECT_EQ(metrics.counter("verify.cache.stores")->value(),
             static_cast<int64_t>(catalog.size()));

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/io.h"
 #include "common/status.h"
 #include "obs/json.h"
@@ -78,9 +79,10 @@ options:
   --no-metamorphic      skip the rename/reorder axes
   --probe-reasons       also probe every UnknownReason under starved
                         budgets and report per-reason coverage
-  --inject-flip=MARKER  TEST-ONLY: flip the reference verdict of cases
-                        whose spec text contains MARKER, to self-test the
-                        disagreement + shrink machinery
+  --inject-flip         TEST-ONLY: arm the `oracle.flip_verdict` fault
+                        (common/fault.h) so every decided reference
+                        verdict is flipped, to self-test the disagreement
+                        + shrink machinery
   --quiet               JSON lines only (no per-case stderr summary)
 exit status: 0 campaign clean, 1 usage/setup error, 3 disagreements (or
 an uncovered --probe-reasons reason) found
@@ -94,6 +96,7 @@ struct CliOptions {
   std::string cache_dir;
   bool shrink = true;
   bool probe_reasons = false;
+  bool inject_flip = false;
   bool quiet = false;
   GeneratorConfig generator;
   OracleOptions oracle;
@@ -136,8 +139,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* out, std::string* error) {
       out->oracle.run_metamorphic = false;
     } else if (std::strcmp(arg, "--probe-reasons") == 0) {
       out->probe_reasons = true;
-    } else if ((v = value_of(arg, "--inject-flip")) != nullptr) {
-      out->oracle.inject_flip_marker = v;
+    } else if (std::strcmp(arg, "--inject-flip") == 0) {
+      out->inject_flip = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
       out->quiet = true;
     } else {
@@ -180,6 +183,19 @@ int Main(int argc, char** argv) {
                    cli.out_dir.c_str(), ec.message().c_str());
       return 1;
     }
+  }
+  if (Status armed = fault::ArmFromEnv(); !armed.ok()) {
+    std::fprintf(stderr, "wave_fuzz: WAVE_FAULT_SPEC: %s\n",
+                 armed.ToString().c_str());
+    return 1;
+  }
+  if (cli.inject_flip) {
+    fault::Plan plan;
+    fault::Rule rule;
+    rule.site = "oracle.flip_verdict";
+    rule.kind = fault::Kind::kFlip;
+    plan.rules.push_back(std::move(rule));
+    fault::Arm(std::move(plan));
   }
 
   const auto start = std::chrono::steady_clock::now();

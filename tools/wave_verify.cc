@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/io.h"
 #include "common/status.h"
 #include "obs/json.h"
@@ -205,6 +206,15 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  // Deterministic fault injection (ISSUE 7): WAVE_FAULT_SPEC in the
+  // environment arms a scenario for this whole process — how
+  // tools/wave_crash drives its kill-points through us.
+  if (Status armed = fault::ArmFromEnv(); !armed.ok()) {
+    std::fprintf(stderr, "wave_verify: WAVE_FAULT_SPEC: %s\n",
+                 armed.ToString().c_str());
+    return 1;
+  }
+
   StatusOr<ParseResult> loaded = ParseSpecFile(cli.spec_path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "wave_verify: %s\n",
@@ -355,6 +365,7 @@ int Main(int argc, char** argv) {
       request.options = options;
       request.retry.enabled = cli.retry_ladder;
       request.jobs = cli.jobs;
+      request.cache = cache.get();
       StatusOr<VerifyResponse> response = verifier.Run(request);
       if (!response.ok()) {
         std::fprintf(stderr, "wave_verify: %s: %s\n", p->property.name.c_str(),
@@ -413,6 +424,20 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(m.prepass_reuses));
   }
 
+  // Silent-corruption fix (ISSUE 7 satellite): a cache that quarantined
+  // or merely detected corrupt entries says so out loud — the records
+  // are preserved under <cache>/quarantine/ for postmortem, and the
+  // counts ride in the verify.cache.* metrics of the stats JSON.
+  if (cache != nullptr && cache->health().corrupt > 0) {
+    std::fprintf(stderr,
+                 "wave_verify: warning: %lld corrupt cache entr%s detected "
+                 "(%lld moved to %s/quarantine); re-verified from scratch\n",
+                 static_cast<long long>(cache->health().corrupt),
+                 cache->health().corrupt == 1 ? "y" : "ies",
+                 static_cast<long long>(cache->health().quarantined),
+                 cache->dir().c_str());
+  }
+
   if (cli.summary && tracer) {
     std::printf("\n%s", tracer->PhaseSummary().c_str());
     std::printf("\n%s", metrics.Summary().c_str());
@@ -438,6 +463,9 @@ int Main(int argc, char** argv) {
   }
 
   if (!cli.stats_path.empty()) {
+    // Armed fault tallies ride in the stats JSON (fault.hits.* /
+    // fault.injected.*), so harnesses can assert a site actually fired.
+    fault::ExportMetrics(&metrics);
     obs::Json doc = obs::Json::Object();
     doc.Set("spec", obs::Json::Str(cli.spec_path));
     doc.Set("app", obs::Json::Str(parsed.spec->name));
