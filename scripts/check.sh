@@ -18,6 +18,8 @@
 #   scripts/check.sh --faults            # fault-injection battery + 200-kill crash campaign
 #   scripts/check.sh --faults=30         # shorter crash campaign (~3 kills/sec)
 #   scripts/check.sh --faults undefined  # fault battery under UBSan
+#   scripts/check.sh --serve             # daemon suite + wave_load smoke (8 clients)
+#   scripts/check.sh --serve=30          # longer load run (~5 requests/client/sec)
 #
 # Stress mode drives wave_verify over every bundled spec with
 # deliberately tiny budgets (sub-second deadlines, 2-tuple candidate
@@ -101,14 +103,27 @@ case "${1-}" in
     FAULT_KILLS=$(( ${1#--faults=} * 3 ))
     shift
     ;;
+  --serve)
+    MODE=serve
+    shift
+    ;;
+  --serve=*)
+    MODE=serve
+    SERVE_REQUESTS=$(( ${1#--serve=} * 5 ))
+    shift
+    ;;
 esac
 FAULT_KILLS="${FAULT_KILLS-200}"
+SERVE_REQUESTS="${SERVE_REQUESTS-40}"
 
 if [ "$MODE" = "tsan" ]; then
   SANITIZER="${1-thread}"
-elif [ "$MODE" = "install" ] || [ "$MODE" = "bench" ]; then
+elif [ "$MODE" = "install" ] || [ "$MODE" = "bench" ] || [ "$MODE" = "serve" ]; then
   # Benchmarks measure wall time; sanitizer instrumentation would skew
-  # every record, so the bench gate always runs on a plain build.
+  # every record, so the bench gate always runs on a plain build. The
+  # serve load run records latency percentiles, so it gets the same
+  # treatment (the serve ctest suite still runs under `scripts/check.sh
+  # address` via the plain battery).
   SANITIZER=""
 else
   SANITIZER="${1-address}"
@@ -189,6 +204,24 @@ if [ "$MODE" = "bench" ]; then
       --compare "$ROOT/bench/baselines/BENCH_verify.json" \
       --threshold-time 1.5
   echo "== BENCH OK"
+  exit 0
+fi
+
+# Serve mode (ISSUE 9): the `serve`-labelled ctest suite (loopback
+# daemon: concurrency, fairness, drain, socket-surface fault sites) plus
+# the real thing — wave_load forking a wave_serve daemon and driving the
+# four bundled specs from 8 concurrent connections through cold, warm
+# and batch phases. wave_load itself fails the run on any wrong or
+# dropped response, a warm phase that never hit the session/cache
+# layers, or an unclean SIGTERM drain; the latency-percentile record
+# lands in BENCH_serve.json (wave_bench --compare format).
+if [ "$MODE" = "serve" ]; then
+  echo "== serve-labelled tests"
+  ctest --test-dir "$BUILD_DIR" -L serve --output-on-failure
+  echo "== wave_load smoke (8 clients x $SERVE_REQUESTS requests)"
+  "$BUILD_DIR/tools/wave_load" --spawn --clients=8       --requests="$SERVE_REQUESTS" --out="$BUILD_DIR/BENCH_serve.json"
+  echo "== record -> $BUILD_DIR/BENCH_serve.json"
+  echo "== SERVE OK"
   exit 0
 fi
 

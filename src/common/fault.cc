@@ -246,6 +246,17 @@ const std::vector<SiteInfo>& KnownSites() {
        mask({Kind::kDelay})},
       {"worker.wait_done", "src/verifier/worker_pool.cc",
        mask({Kind::kDelay})},
+      // serve/server.cc — the daemon's socket surface (ISSUE 9). These
+      // need a live server + client, so the generic sweep skips them;
+      // tests/serve_test.cc proves each one fires and degrades cleanly.
+      {"serve.accept", "src/serve/server.cc",
+       mask({Kind::kEio, Kind::kDelay})},
+      {"serve.read", "src/serve/server.cc",
+       mask({Kind::kEio, Kind::kDelay})},
+      {"serve.write", "src/serve/server.cc",
+       mask({Kind::kEio, Kind::kShortWrite, Kind::kDelay})},
+      {"serve.enqueue", "src/serve/server.cc",
+       mask({Kind::kEio, Kind::kDelay})},
       // testing/oracle.cc — the PR-5 flip hook, now on this framework.
       {"oracle.flip_verdict", "src/testing/oracle.cc",
        mask({Kind::kFlip})},

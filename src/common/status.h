@@ -34,6 +34,7 @@ enum class StatusCode {
   kDeadlineExceeded,    // wall-clock deadline passed
   kUnavailable,         // transient environment failure (I/O)
   kInternal,            // bug surfaced as a status (should be WAVE_CHECKed)
+  kShuttingDown,        // service draining; resubmit elsewhere or later
 };
 
 /// Stable upper-snake name ("INVALID_ARGUMENT", ...) for logs and JSON.
@@ -80,6 +81,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg, SourceLocation loc = {}) {
     return Status(StatusCode::kInternal, std::move(msg), loc);
+  }
+  static Status ShuttingDown(std::string msg, SourceLocation loc = {}) {
+    return Status(StatusCode::kShuttingDown, std::move(msg), loc);
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,97 @@
+// The `wave_serve` daemon core (ISSUE 9): a concurrent multi-tenant
+// verification server speaking the serve/protocol.h line protocol.
+//
+// Thread model:
+//   * one accept thread — accepts connections, spawns a reader each;
+//   * one reader thread per connection — frames lines, parses envelopes,
+//     answers ping/metrics inline, enqueues verify/batch jobs;
+//   * `executors` executor threads — drain the admission queue and run
+//     requests through the shared `SessionPool`.
+//
+// Admission control & fairness: the queue holds at most `queue_capacity`
+// jobs (beyond that a typed RESOURCE_EXHAUSTED goes straight back), and
+// executors pick jobs ROUND-ROBIN ACROSS CONNECTIONS — a client flooding
+// thousands of requests gets one slot per turn, so a light client's
+// requests never queue behind the flood.
+//
+// Graceful drain (`Shutdown`, typically on SIGTERM via
+// `RequestShutdown`): the listener closes, in-flight requests finish and
+// their responses are written, every still-queued job is answered with a
+// typed SHUTTING_DOWN status, then connections close and threads join.
+//
+// Observability: the server owns (or borrows) a thread-safe
+// `MetricsRegistry` — serve.requests / serve.responses / serve.rejected /
+// serve.queue_depth / serve.latency_seconds plus per-client
+// serve.client.<id>.* instruments — and each request runs under its own
+// `obs::Tracer` span tree, merged into one server-wide tracer lane per
+// connection (the `metrics` verb dumps the registry over the wire).
+//
+// Fault sites (curated in fault::KnownSites, swept by tests/serve_test):
+// serve.accept, serve.read, serve.write, serve.enqueue.
+#ifndef WAVE_SERVE_SERVER_H_
+#define WAVE_SERVE_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "serve/session_pool.h"
+
+namespace wave::serve {
+
+struct ServerOptions {
+  /// Unix-domain socket path; empty switches to TCP on 127.0.0.1.
+  std::string socket_path;
+  /// TCP port when `socket_path` is empty (0 = ephemeral, see `port()`).
+  int port = 0;
+
+  int executors = 2;        // request-executor threads
+  int session_capacity = 8; // hot specs kept by the LRU session pool
+  int queue_capacity = 64;  // admission bound on queued jobs
+  /// Per-request `jobs` values are clamped into [1, max_jobs]; 0 in a
+  /// request (one worker per hardware thread) also clamps here — the
+  /// daemon, not the client, owns machine-level parallelism.
+  int max_jobs = 4;
+  /// Shared persistent `ResultCache` directory; empty disables it.
+  std::string cache_dir;
+  /// Borrowed registry (thread-safe); null = the server owns one.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class Server {
+ public:
+  /// Binds, listens and starts the thread fleet. InvalidArgument for a
+  /// bad configuration, Unavailable when the socket cannot be bound.
+  static StatusOr<std::unique_ptr<Server>> Start(const ServerOptions& options);
+  ~Server();  // graceful Shutdown if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Resolved TCP port (useful with port 0); -1 for a Unix socket.
+  int port() const;
+  const std::string& socket_path() const;
+
+  /// Async-signal-safe shutdown request (one relaxed atomic store); the
+  /// thread that owns the server observes it via `shutdown_requested()`
+  /// and calls `Shutdown()`.
+  void RequestShutdown();
+  bool shutdown_requested() const;
+
+  /// Graceful drain, idempotent: stop accepting, finish in-flight work,
+  /// answer queued jobs with SHUTTING_DOWN, join every thread.
+  void Shutdown();
+
+  obs::MetricsRegistry& metrics();
+  const SessionPool& sessions() const;
+
+ private:
+  class Impl;
+  explicit Server(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wave::serve
+
+#endif  // WAVE_SERVE_SERVER_H_

@@ -1,0 +1,102 @@
+#include "serve/session_pool.h"
+
+#include <utility>
+
+namespace wave::serve {
+
+struct SessionPool::Entry {
+  std::mutex mu;  // held by the lease for its whole lifetime
+  std::unique_ptr<WebAppSpec> spec;
+  std::vector<Property> properties;
+  std::unique_ptr<Verifier> verifier;
+  std::unique_ptr<ResultCache> cache;  // may be null
+  uint64_t last_use = 0;               // under the pool mutex
+};
+
+WebAppSpec& SessionPool::Lease::spec() { return *entry_->spec; }
+std::vector<Property>& SessionPool::Lease::properties() {
+  return entry_->properties;
+}
+Verifier& SessionPool::Lease::verifier() { return *entry_->verifier; }
+ResultCache* SessionPool::Lease::cache() { return entry_->cache.get(); }
+
+SessionPool::SessionPool(int capacity, std::string cache_dir)
+    : capacity_(capacity < 1 ? 1 : capacity),
+      cache_dir_(std::move(cache_dir)) {}
+
+SessionPool::~SessionPool() = default;
+
+StatusOr<SessionPool::Lease> SessionPool::Acquire(
+    const std::string& spec_text) {
+  FingerprintBuilder fp;
+  fp.AddTag("serve.spec_text");
+  fp.AddString(spec_text);
+  const Fingerprint key = fp.Finish();
+
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      entry = it->second;
+      entry->last_use = ++use_clock_;
+      ++stats_.hits;
+    }
+  }
+  if (entry == nullptr) {
+    // Build outside the pool lock: parsing and verifier construction are
+    // per-spec work that must not serialize unrelated clients. A racing
+    // build of the same spec is benign — last insert wins, the loser's
+    // entry dies with its lease.
+    ParseResult parsed = ParseSpec(spec_text);
+    if (!parsed.ok()) return parsed.status();
+    auto fresh = std::make_shared<Entry>();
+    fresh->spec = std::move(parsed.spec);
+    fresh->properties.reserve(parsed.properties.size());
+    for (const ParsedProperty& p : parsed.properties) {
+      fresh->properties.push_back(p.property);
+    }
+    WAVE_ASSIGN_OR_RETURN(fresh->verifier,
+                          Verifier::Create(fresh->spec.get()));
+    if (!cache_dir_.empty()) {
+      StatusOr<std::unique_ptr<ResultCache>> cache =
+          ResultCache::Open(cache_dir_);
+      // An unopenable cache degrades the entry to uncached — a warm
+      // start lost, never a failed request.
+      if (cache.ok()) fresh->cache = std::move(*cache);
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = entries_.emplace(key, fresh);
+    if (!inserted) {
+      ++stats_.hits;  // raced: another executor built it first
+    } else {
+      ++stats_.misses;
+      while (static_cast<int>(entries_.size()) > capacity_) {
+        auto victim = entries_.end();
+        for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+          if (e->first == key) continue;  // never evict what we serve now
+          if (victim == entries_.end() ||
+              e->second->last_use < victim->second->last_use) {
+            victim = e;
+          }
+        }
+        if (victim == entries_.end()) break;
+        entries_.erase(victim);
+        ++stats_.evictions;
+      }
+    }
+    entry = it->second;
+    entry->last_use = ++use_clock_;
+  }
+
+  std::unique_lock<std::mutex> entry_lock(entry->mu);
+  return Lease(std::move(entry), std::move(entry_lock));
+}
+
+SessionPoolStats SessionPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace wave::serve

@@ -1,9 +1,7 @@
 #include "verifier/retry.h"
 
 #include <algorithm>
-#include <utility>
 
-#include "common/check.h"
 #include "common/fault.h"
 
 namespace wave {
@@ -24,12 +22,6 @@ bool Escalates(const RetryRung& prev, const RetryRung& next) {
 }
 
 }  // namespace
-
-obs::Json RetryResult::AttemptsJson() const {
-  obs::Json arr = obs::Json::Array();
-  for (const AttemptRecord& a : attempts) arr.Append(a.ToJson());
-  return arr;
-}
 
 std::vector<RetryRung> DefaultLadder(const VerifyOptions& base) {
   WAVE_FAULT("retry.ladder.build");
@@ -58,26 +50,6 @@ std::vector<RetryRung> DefaultLadder(const VerifyOptions& base) {
   if (Escalates(tight, mid)) ladder.push_back(mid);
   if (Escalates(ladder.back(), wide)) ladder.push_back(wide);
   return ladder;
-}
-
-RetryResult VerifyWithRetry(Verifier* verifier, const Property& property,
-                            const VerifyOptions& base,
-                            const RetryOptions& retry) {
-  VerifyRequest request;
-  request.property = &property;
-  request.options = base;
-  request.retry.enabled = true;
-  request.retry.ladder = retry.ladder;
-  request.retry.total_budget_seconds = retry.total_budget_seconds;
-  StatusOr<VerifyResponse> response = verifier->Run(request);
-  WAVE_CHECK_MSG(response.ok(), "VerifyWithRetry(" << property.name << "): "
-                                                   << response.status()
-                                                          .message());
-  RetryResult out;
-  out.attempts = std::move(response->attempts);
-  out.decided_rung = response->decided_rung;
-  out.result = std::move(static_cast<VerifyResult&>(*response));
-  return out;
 }
 
 }  // namespace wave

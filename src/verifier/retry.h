@@ -2,20 +2,20 @@
 //
 // The paper's verifier is a semi-decision procedure tuned by budgets: a
 // tight candidate budget or expansion cap may return "unknown" on a
-// property a slightly larger budget decides. `VerifyWithRetry` runs a
-// *ladder* of attempts — tight budgets first, then the caller's own
-// settings, then a widened configuration with `exhaustive_existential` —
-// and escalates only while the previous attempt failed for a
-// budget-limited reason (`IsBudgetLimited`): a timeout, memory trip or
-// cancellation ends the ladder, because more candidate budget will not
-// cure those. The total wall-clock budget is split across the remaining
-// rungs (remaining / rungs-left), so early cheap rungs cannot starve the
+// property a slightly larger budget decides. The ladder runs attempts —
+// tight budgets first, then the caller's own settings, then a widened
+// configuration with `exhaustive_existential` — and escalates only while
+// the previous attempt failed for a budget-limited reason
+// (`IsBudgetLimited`): a timeout, memory trip or cancellation ends the
+// ladder, because more candidate budget will not cure those. The total
+// wall-clock budget is split across the remaining rungs
+// (remaining / rungs-left), so early cheap rungs cannot starve the
 // expensive final one.
 //
 // PR 3: the ladder loop itself lives in `Verifier::Run` (enable it with
 // `VerifyRequest::retry`); `RetryRung` and `AttemptRecord` moved to
-// verifier/verifier.h. `VerifyWithRetry` survives as a thin deprecated
-// wrapper over `Run` for source compatibility.
+// verifier/verifier.h. This header keeps only `DefaultLadder`, the
+// standard rung derivation.
 #ifndef WAVE_VERIFIER_RETRY_H_
 #define WAVE_VERIFIER_RETRY_H_
 
@@ -28,26 +28,6 @@
 
 namespace wave {
 
-struct RetryOptions {
-  /// Ladder to climb; empty uses `DefaultLadder(base)`.
-  std::vector<RetryRung> ladder;
-  /// Total wall-clock budget across every attempt; <= 0 uses the base
-  /// options' `timeout_seconds`.
-  double total_budget_seconds = -1;
-};
-
-/// Outcome of the ladder: the final (or first decided) attempt's result
-/// plus the per-attempt history.
-struct RetryResult {
-  VerifyResult result;
-  std::vector<AttemptRecord> attempts;
-  /// Index of the rung that decided (kHolds/kViolated); -1 if none did.
-  int decided_rung = -1;
-
-  /// JSON array of `AttemptRecord::ToJson` values.
-  obs::Json AttemptsJson() const;
-};
-
 /// The standard three-rung ladder derived from the caller's options:
 ///   0 "tight"      — half the candidate budget, capped expansions: fails
 ///                    fast on easy instances, cheap to discard on hard ones;
@@ -56,16 +36,6 @@ struct RetryResult {
 ///                    exhaustive_existential on.
 /// Rungs whose budgets do not exceed the previous rung's are dropped.
 std::vector<RetryRung> DefaultLadder(const VerifyOptions& base);
-
-/// DEPRECATED — thin wrapper over `Verifier::Run` with
-/// `VerifyRequest::retry.enabled`, kept for source compatibility. Climbs
-/// the ladder: escalates past rung k only when attempt k returned kUnknown
-/// for a budget-limited reason; any decision, timeout, memory trip or
-/// cancellation returns immediately with the history so far.
-[[deprecated("set VerifyRequest::retry and call Verifier::Run")]]
-RetryResult VerifyWithRetry(Verifier* verifier, const Property& property,
-                            const VerifyOptions& base,
-                            const RetryOptions& retry = {});
 
 }  // namespace wave
 

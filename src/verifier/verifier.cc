@@ -1670,27 +1670,6 @@ StatusOr<BatchResponse> Verifier::RunBatch(const BatchRequest& request) {
   return batch;
 }
 
-VerifyResult Verifier::Verify(const Property& property,
-                              const VerifyOptions& options) {
-  VerifyRequest request;
-  request.property = &property;
-  request.options = options;
-  StatusOr<VerifyResponse> response = Run(request);
-  WAVE_CHECK_MSG(response.ok(), "Verify(" << property.name << "): "
-                                          << response.status().message());
-  return std::move(*response);
-}
-
-StatusOr<VerifyResult> Verifier::TryVerify(const Property& property,
-                                           const VerifyOptions& options) {
-  VerifyRequest request;
-  request.property = &property;
-  request.options = options;
-  StatusOr<VerifyResponse> response = Run(request);
-  if (!response.ok()) return response.status();
-  return VerifyResult(std::move(*response));
-}
-
 obs::Json AttemptRecord::ToJson() const {
   obs::Json j = obs::Json::Object();
   j.Set("rung", obs::Json::Int(rung));

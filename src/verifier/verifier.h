@@ -16,9 +16,9 @@
 // and `VerifyRequest::jobs` runs them on a work-stealing worker pool (see
 // docs/PARALLELISM.md for the shard model and the determinism contract).
 // `Verifier::Run(VerifyRequest) -> StatusOr<VerifyResponse>` is the one
-// supported single-property entry point; `Verify`, `TryVerify` and
-// `VerifyWithRetry` survive as thin `[[deprecated]]` wrappers over it
-// (removal timeline: README "Stable vs internal headers").
+// supported single-property entry point (the pre-PR-3 `Verify` /
+// `TryVerify` / `VerifyWithRetry` wrappers are gone — see the README
+// changelog).
 //
 // PR 4: verification sessions. Each `Verifier` owns a `VerifierSession`
 // (verifier/session.h) that memoizes the sequential pre-pass —
@@ -206,7 +206,7 @@ struct VerifyResult {
   Verdict verdict = Verdict::kUnknown;
   std::string failure_reason;  // non-empty when kUnknown
   /// Which limit produced a kUnknown verdict (kNone otherwise). Budget
-  /// reasons (`IsBudgetLimited`) are the ones `VerifyWithRetry` escalates.
+  /// reasons (`IsBudgetLimited`) are the ones the retry ladder escalates.
   UnknownReason unknown_reason = UnknownReason::kNone;
 
   /// Counterexample (when kViolated): `stick` is the lollipop prefix,
@@ -361,7 +361,7 @@ struct BatchResponse {
 /// body is bound by the forall block. Returns kOk when the property can be
 /// verified without tripping an internal invariant; otherwise an
 /// InvalidArgument Status naming the property and the offending atom.
-/// `Verifier::TryVerify` runs this automatically.
+/// `Verifier::Run` runs this automatically.
 Status ValidatePropertyForSpec(const WebAppSpec& spec,
                                const Property& property);
 
@@ -394,20 +394,6 @@ class Verifier {
   /// for a null/out-of-range selection or a property failing
   /// `ValidatePropertyForSpec` — before verifying anything.
   StatusOr<BatchResponse> RunBatch(const BatchRequest& request);
-
-  /// Thin wrapper over `Run` kept for source compatibility. Checks that
-  /// all runs satisfy `property`; aborts (WAVE_CHECK) if the property
-  /// fails pre-flight validation. Scheduled for removal — see README
-  /// "Stable vs internal headers".
-  [[deprecated("build a VerifyRequest and call Verifier::Run")]]
-  VerifyResult Verify(const Property& property,
-                      const VerifyOptions& options = {});
-
-  /// Thin wrapper over `Run` kept for source compatibility. Scheduled for
-  /// removal — see README "Stable vs internal headers".
-  [[deprecated("build a VerifyRequest and call Verifier::Run")]]
-  StatusOr<VerifyResult> TryVerify(const Property& property,
-                                   const VerifyOptions& options = {});
 
   const PreparedSpec& prepared() const { return prepared_; }
 

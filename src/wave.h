@@ -28,6 +28,8 @@
 //                           artifacts behind Run/RunBatch (advanced use)
 //   verifier/validate.h   — counterexample validation (Section 7 mode)
 //   verifier/governor.h   — GovernorLimits, UnknownReason, CancellationToken
+//   api/wire.h            — the versioned JSON wire schema for
+//                           requests/responses (what wave_serve speaks)
 //   obs/metrics.h, obs/tracer.h — observability hooks for VerifyOptions
 //
 // Everything else under src/ (analysis/, buchi/, fo/, relational/,
@@ -37,6 +39,7 @@
 #ifndef WAVE_WAVE_H_
 #define WAVE_WAVE_H_
 
+#include "api/wire.h"
 #include "common/status.h"
 #include "ltl/patterns.h"
 #include "obs/metrics.h"

@@ -7,7 +7,7 @@
 // the first worker to claim wins) replays as a genuine violating run.
 // The suite also covers prompt cooperative cancellation of a worker
 // fleet, the ShardQueue / BudgetLedger / WorkerPool building blocks, and
-// the request-selector and deprecated-wrapper surfaces of the API.
+// the request-selector surface of the API.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -336,25 +336,6 @@ TEST(VerifyRequestTest, BadSelectorsAreInvalidArgument) {
   EXPECT_EQ(verifier.Run(bad_index).status().code(),
             StatusCode::kInvalidArgument);
 }
-
-// Deliberate coverage of the deprecated wrappers: they must stay thin
-// forwards to Run with identical verdicts until their removal (see
-// README.md "Deprecated entry points").
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(VerifyRequestTest, DeprecatedVerifyWrapperMatchesRun) {
-  AppBundle bundle = BuildE2();
-  Verifier verifier(bundle.spec.get());
-  const Property& property = bundle.properties[0].property;
-  VerifyResult wrapped = verifier.Verify(property);
-  VerifyResult direct = RunVerify(verifier, property);
-  EXPECT_EQ(wrapped.verdict, direct.verdict);
-  EXPECT_EQ(wrapped.stats.num_expansions, direct.stats.num_expansions);
-  StatusOr<VerifyResult> tried = verifier.TryVerify(property);
-  ASSERT_TRUE(tried.ok());
-  EXPECT_EQ(tried->verdict, direct.verdict);
-}
-#pragma GCC diagnostic pop
 
 // Parallel runs surface their shape in the metrics registry and merge
 // worker trace spans (tid >= 2) into the caller's tracer.

@@ -302,7 +302,7 @@ TEST(ValidatePropertyTest, RejectsPropertyWithNoBody) {
 TEST(ValidatePropertyTest, RejectsPropertyAgainstForeignSpec) {
   // Parse properties against a spec where everything resolves, then
   // validate them against a spec missing the page and the relation —
-  // the cross-spec misuse TryVerify must catch instead of aborting.
+  // the cross-spec misuse Run must catch instead of aborting.
   ParseResult home = ParseSpec(kTinySpec);
   ASSERT_TRUE(home.ok()) << home.ErrorText();
   ParseResult props = ParseProperties(
@@ -738,25 +738,23 @@ TEST(RetryLadderTest, NonBudgetReasonsEndTheLadder) {
       << "a timeout must stop the ladder before the last rung";
 }
 
-// Deliberate coverage of the deprecated `VerifyWithRetry` wrapper: it must
-// stay a thin forward to `Run` with `retry.enabled` until its removal (see
-// README.md "Deprecated entry points").
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// A pre-cancelled token must end the ladder after a single attempt —
+// more candidate budget cannot cure cancellation.
 TEST(RetryLadderTest, CancellationEndsTheLadder) {
   AppBundle e1 = BuildE1();
   Verifier verifier(e1.spec.get());
   CancellationToken token;
   token.Cancel();
-  VerifyOptions base;
-  base.cancellation = &token;
-  RetryResult r =
-      VerifyWithRetry(&verifier, e1.properties[0].property, base);
-  EXPECT_EQ(r.result.verdict, Verdict::kUnknown);
-  EXPECT_EQ(r.result.unknown_reason, UnknownReason::kCancelled);
-  EXPECT_EQ(r.attempts.size(), 1u);
+  VerifyRequest request;
+  request.property = &e1.properties[0].property;
+  request.options.cancellation = &token;
+  request.retry.enabled = true;
+  StatusOr<VerifyResponse> response = verifier.Run(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->verdict, Verdict::kUnknown);
+  EXPECT_EQ(response->unknown_reason, UnknownReason::kCancelled);
+  EXPECT_EQ(response->attempts.size(), 1u);
 }
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace wave

@@ -1,7 +1,6 @@
-// Shared test-side entry point into the verifier: every test that is not
-// deliberately exercising the deprecated Verify/TryVerify/VerifyWithRetry
-// wrappers goes through the unified VerifyRequest API (PR 3) via this
-// helper, so the request-based code path gets the bulk of the coverage.
+// Shared test-side entry point into the verifier: tests go through the
+// unified VerifyRequest API (PR 3) via this helper, so the request-based
+// code path gets the bulk of the coverage.
 #ifndef WAVE_TESTS_VERIFY_HELPERS_H_
 #define WAVE_TESTS_VERIFY_HELPERS_H_
 

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "api/wire.h"
 #include "common/fault.h"
 #include "common/io.h"
 #include "common/status.h"
@@ -64,6 +65,14 @@ options:
                         spec+property+options fingerprint; later runs with
                         an unchanged spec report them as cache hits and
                         skip the search (created if missing)
+  --request=FILE.json   run a wire-schema request fixture (api/wire.h,
+                        docs/SERVING.md) against the spec's catalog —
+                        exactly what the wave_serve daemon would run
+  --response-json=PATH  with --request: write the wire-schema response
+                        JSON (atomic; the daemon's over-the-wire bytes)
+  --audit-cache         read-only integrity audit of --cache-dir (no spec
+                        needed): prints the AuditCacheDir report as JSON,
+                        exits 0 iff the directory is safe to serve reads
   --list                list the file's properties and exit
   --trace=PATH          write a Chrome trace-event JSON file (chrome://tracing, Perfetto)
   --stats-json=PATH     write verdicts + VerifyStats + metrics as JSON (atomic)
@@ -94,6 +103,9 @@ struct CliOptions {
   std::vector<std::string> properties;
   bool all_properties = false;
   std::string cache_dir;
+  std::string request_path;
+  std::string response_json_path;
+  bool audit_cache = false;
   bool list = false;
   std::string trace_path;
   std::string stats_path;
@@ -127,6 +139,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* out, std::string* error) {
       out->all_properties = true;
     } else if ((v = value_of(arg, "--cache-dir")) != nullptr) {
       out->cache_dir = v;
+    } else if ((v = value_of(arg, "--request")) != nullptr) {
+      out->request_path = v;
+    } else if ((v = value_of(arg, "--response-json")) != nullptr) {
+      out->response_json_path = v;
+    } else if (std::strcmp(arg, "--audit-cache") == 0) {
+      out->audit_cache = true;
     } else if (std::strcmp(arg, "--list") == 0) {
       out->list = true;
     } else if ((v = value_of(arg, "--trace")) != nullptr) {
@@ -164,8 +182,26 @@ bool ParseArgs(int argc, char** argv, CliOptions* out, std::string* error) {
       return false;
     }
   }
+  if (out->audit_cache) {
+    if (out->cache_dir.empty()) {
+      *error = "--audit-cache needs --cache-dir";
+      return false;
+    }
+    return true;  // no spec file involved
+  }
   if (out->spec_path.empty()) {
     *error = "no spec file given";
+    return false;
+  }
+  if (!out->request_path.empty() &&
+      (out->all_properties || out->validated || out->retry_ladder ||
+       !out->properties.empty())) {
+    *error = "--request carries its own selection and policy; drop "
+             "--property/--all-properties/--validated/--retry-ladder";
+    return false;
+  }
+  if (!out->response_json_path.empty() && out->request_path.empty()) {
+    *error = "--response-json needs --request";
     return false;
   }
   if (out->retry_ladder && out->validated) {
@@ -198,6 +234,115 @@ CancellationToken g_interrupt;
 
 extern "C" void HandleSigint(int) { g_interrupt.Cancel(); }
 
+/// --audit-cache: the read-only integrity report, no locks taken, nothing
+/// healed. Exit 0 iff the directory is safe to serve reads from as-is.
+int RunAuditCache(const std::string& dir) {
+  CacheAudit audit = AuditCacheDir(dir);
+  obs::Json doc = obs::Json::Object();
+  doc.Set("dir", obs::Json::Str(dir));
+  doc.Set("manifest_present", obs::Json::Bool(audit.manifest_present));
+  doc.Set("manifest_ok", obs::Json::Bool(audit.manifest_ok));
+  doc.Set("manifested_entries", obs::Json::Int(audit.manifested_entries));
+  doc.Set("torn_entries", obs::Json::Int(audit.torn_entries));
+  doc.Set("missing_entries", obs::Json::Int(audit.missing_entries));
+  doc.Set("orphan_files", obs::Json::Int(audit.orphan_files));
+  doc.Set("tmp_files", obs::Json::Int(audit.tmp_files));
+  doc.Set("legacy_files", obs::Json::Int(audit.legacy_files));
+  doc.Set("quarantined_files", obs::Json::Int(audit.quarantined_files));
+  doc.Set("consistent", obs::Json::Bool(audit.consistent()));
+  doc.Set("clean", obs::Json::Bool(audit.clean()));
+  obs::Json problems = obs::Json::Array();
+  for (const std::string& p : audit.problems) {
+    problems.Append(obs::Json::Str(p));
+  }
+  doc.Set("problems", std::move(problems));
+  std::printf("%s\n", doc.Dump(2).c_str());
+  return audit.consistent() ? 0 : 2;
+}
+
+/// --request=FILE.json: run one wire-schema request fixture against the
+/// spec's catalog — byte-for-byte what wave_serve executes, minus the
+/// socket — and optionally write the wire-schema response.
+int RunWireRequest(const CliOptions& cli, const ParseResult& parsed,
+                   Verifier& verifier, ResultCache* cache) {
+  StatusOr<std::string> text = ReadFileToString(cli.request_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "wave_verify: %s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  std::string parse_error;
+  std::optional<obs::Json> doc = obs::Json::Parse(*text, &parse_error);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "wave_verify: %s: %s\n", cli.request_path.c_str(),
+                 parse_error.c_str());
+    return 1;
+  }
+
+  std::vector<Property> catalog;
+  catalog.reserve(parsed.properties.size());
+  for (const ParsedProperty& p : parsed.properties) {
+    catalog.push_back(p.property);
+  }
+
+  auto fail = [](const Status& status) {
+    std::fprintf(stderr, "wave_verify: %s\n", status.ToString().c_str());
+    return 1;
+  };
+
+  obs::Json response_json;
+  int undecided = 0;
+  const bool is_batch = doc->Find("properties") != nullptr ||
+                        doc->Find("property_indices") != nullptr;
+  if (is_batch) {
+    StatusOr<api::WireBatchRequest> request = api::BatchRequestFromJson(*doc);
+    if (!request.ok()) return fail(request.status());
+    Status bound = api::BindBatchRequest(&*request, catalog);
+    if (!bound.ok()) return fail(bound);
+    request->request.cache = cache;
+    request->request.options.cancellation = &g_interrupt;
+    StatusOr<BatchResponse> response = verifier.RunBatch(request->request);
+    if (!response.ok()) return fail(response.status());
+    const std::vector<int>& indices = request->request.property_indices;
+    for (size_t i = 0; i < response->responses.size(); ++i) {
+      const VerifyResponse& r = response->responses[i];
+      if (r.verdict == Verdict::kUnknown) ++undecided;
+      size_t catalog_index = indices.empty() ? i
+                                             : static_cast<size_t>(indices[i]);
+      std::printf("%-8s %-9s %8.3fs  expansions=%lld%s\n",
+                  catalog[catalog_index].name.c_str(), VerdictName(r.verdict),
+                  r.stats.seconds,
+                  static_cast<long long>(r.stats.num_expansions),
+                  r.stats.cache_hits > 0 ? "  (cached)" : "");
+    }
+    response_json = api::BatchResponseToJson(*response, *parsed.spec);
+  } else {
+    StatusOr<VerifyRequest> request = api::RequestFromJson(*doc);
+    if (!request.ok()) return fail(request.status());
+    request->properties = &catalog;
+    request->cache = cache;
+    request->options.cancellation = &g_interrupt;
+    StatusOr<VerifyResponse> response = verifier.Run(*request);
+    if (!response.ok()) return fail(response.status());
+    if (response->verdict == Verdict::kUnknown) ++undecided;
+    std::printf("%-8s %-9s %8.3fs  expansions=%lld%s\n",
+                request->property_name.empty() ? "request"
+                                               : request->property_name.c_str(),
+                VerdictName(response->verdict), response->stats.seconds,
+                static_cast<long long>(response->stats.num_expansions),
+                response->stats.cache_hits > 0 ? "  (cached)" : "");
+    response_json = api::ResponseToJson(*response, *parsed.spec);
+  }
+
+  if (!cli.response_json_path.empty()) {
+    Status written = AtomicWriteFile(cli.response_json_path,
+                                     response_json.Dump(2) + "\n");
+    if (!written.ok()) return fail(written);
+    std::fprintf(stderr, "response written to %s\n",
+                 cli.response_json_path.c_str());
+  }
+  return undecided > 0 ? 2 : 0;
+}
+
 int Main(int argc, char** argv) {
   CliOptions cli;
   std::string error;
@@ -214,6 +359,8 @@ int Main(int argc, char** argv) {
                  armed.ToString().c_str());
     return 1;
   }
+
+  if (cli.audit_cache) return RunAuditCache(cli.cache_dir);
 
   StatusOr<ParseResult> loaded = ParseSpecFile(cli.spec_path);
   if (!loaded.ok()) {
@@ -308,6 +455,10 @@ int Main(int argc, char** argv) {
       return 1;
     }
     cache = std::move(*opened);
+  }
+
+  if (!cli.request_path.empty()) {
+    return RunWireRequest(cli, parsed, verifier, cache.get());
   }
 
   // --all-properties: one RunBatch call over the whole catalog. The spec
